@@ -1,0 +1,156 @@
+package adwars
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"adwars/internal/antiadblock"
+)
+
+func TestCompileFilterList(t *testing.T) {
+	list, errs := CompileFilterList("t", `
+! comment
+||pagefair.com^$third-party
+smashboards.com###noticeMain
+@@||numerama.com/ads.js
+`)
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if list.Len() != 3 {
+		t.Fatalf("rules = %d, want 3", list.Len())
+	}
+	dec, rule := list.MatchRequest(HTTPRequest{
+		URL: "http://pagefair.com/x.js", Type: "script", PageDomain: "pub.com",
+	})
+	if dec.String() != "blocked" || rule == nil {
+		t.Fatalf("decision = %v", dec)
+	}
+}
+
+func TestParseFilterRule(t *testing.T) {
+	r, err := ParseFilterRule("||example.com^$script,domain=pub.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DomainAnchor || len(r.Domains) != 1 {
+		t.Fatalf("parse wrong: %+v", r)
+	}
+	if _, err := ParseFilterRule("! comment"); err == nil {
+		t.Fatal("comment should error")
+	}
+}
+
+func TestWorldAndListsFacade(t *testing.T) {
+	world := NewWorld(ScaledWorldConfig(9, 100))
+	if world.Universe.Len() != 1000 {
+		t.Fatalf("universe = %d", world.Universe.Len())
+	}
+	lists := GenerateFilterLists(world, 9)
+	if lists.AAK == nil || lists.Combined == nil {
+		t.Fatal("missing histories")
+	}
+	rev, ok := lists.Combined.Latest()
+	if !ok || len(rev.Rules) == 0 {
+		t.Fatal("empty combined list")
+	}
+}
+
+func TestDetectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pos, neg []string
+	for i := 0; i < 30; i++ {
+		pos = append(pos,
+			antiadblock.HTMLBaitScript("n", rng, antiadblock.GenOptions{}),
+			antiadblock.HTTPBaitScript("http://x.com/ads.js", "n", rng, antiadblock.GenOptions{}))
+		neg = append(neg,
+			antiadblock.RandomBenignScript(rng, antiadblock.GenOptions{}),
+			antiadblock.RandomBenignScript(rng, antiadblock.GenOptions{}))
+	}
+	det, err := TrainDetector(pos, neg, DefaultDetectorConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.NumFeatures() == 0 {
+		t.Fatal("no features")
+	}
+	got, err := det.IsAntiAdblock(antiadblock.HTMLBaitScript("other", rng, antiadblock.GenOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("unseen bait script should classify positive")
+	}
+	got, err = det.IsAntiAdblock(antiadblock.RandomBenignScript(rng, antiadblock.GenOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("benign script should classify negative")
+	}
+	if _, err := det.IsAntiAdblock("((("); err == nil {
+		t.Error("unparseable script must error")
+	}
+}
+
+func TestTrainDetectorErrors(t *testing.T) {
+	if _, err := TrainDetector([]string{"((("}, []string{")"}, DefaultDetectorConfig(1)); err == nil {
+		t.Fatal("all-unparseable corpus must error")
+	}
+}
+
+func TestDetectorSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pos, neg []string
+	for i := 0; i < 25; i++ {
+		pos = append(pos, antiadblock.HTMLBaitScript("n", rng, antiadblock.GenOptions{}))
+		neg = append(neg,
+			antiadblock.RandomBenignScript(rng, antiadblock.GenOptions{}),
+			antiadblock.RandomBenignScript(rng, antiadblock.GenOptions{}))
+	}
+	det, err := TrainDetector(pos, neg, DefaultDetectorConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Detector
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFeatures() != det.NumFeatures() {
+		t.Fatalf("features %d != %d", back.NumFeatures(), det.NumFeatures())
+	}
+	// Predictions must survive the round trip.
+	for i := 0; i < 10; i++ {
+		src := antiadblock.HTMLBaitScript("other", rng, antiadblock.GenOptions{})
+		a, err := det.IsAntiAdblock(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.IsAntiAdblock(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatal("prediction changed after round trip")
+		}
+	}
+	// Non-boosted config serializes too.
+	cfg := DefaultDetectorConfig(5)
+	cfg.Boost = false
+	svmDet, err := TrainDetector(pos, neg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(svmDet); err != nil {
+		t.Fatal(err)
+	}
+	var empty Detector
+	if err := json.Unmarshal([]byte(`{"config":{},"vocabulary":["a"]}`), &empty); err == nil {
+		t.Error("detector JSON without model must error")
+	}
+}

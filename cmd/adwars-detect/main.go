@@ -1,0 +1,99 @@
+// Command adwars-detect runs the §5 machine-learning pipeline: collect the
+// script corpus from the retrospective crawl, print Table 2's example
+// features, sweep the Table 3 configurations with cross-validation, and
+// run the out-of-sample live-script test.
+//
+// Usage:
+//
+//	adwars-detect [-scale N] [-seed S] [-folds K] [-maxsamples M] [-topk list]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"adwars/internal/antiadblock"
+	"adwars/internal/experiments"
+	"adwars/internal/simworld"
+)
+
+func main() {
+	scale := flag.Int("scale", 20, "world shrink factor (1 = paper scale)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	maxSamples := flag.Int("maxsamples", 1100, "corpus cap (0 = unlimited)")
+	topkFlag := flag.String("topk", "100,1000", "comma-separated feature budgets")
+	flag.Parse()
+
+	var topk []int
+	for _, s := range strings.Split(*topkFlag, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -topk value %q: %v", s, err)
+		}
+		topk = append(topk, k)
+	}
+
+	cfg := simworld.DefaultConfig(*seed)
+	if *scale > 1 {
+		cfg = simworld.Scaled(*seed, *scale)
+	}
+	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
+	lab := experiments.NewLab(cfg)
+
+	// Table 2 on a representative BlockAdBlock-style script.
+	rows2, err := experiments.Table2(antiadblock.ReferenceBlockAdBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderTable2(rows2))
+
+	fmt.Fprintln(os.Stderr, "collecting corpus from retrospective crawl...")
+	retro, err := lab.RunRetrospective(context.Background(), experiments.RetroConfig{
+		Months: lab.RetroMonths(2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := &experiments.Corpus{Positives: retro.CorpusPos, Negatives: retro.CorpusNeg}
+	fmt.Printf("corpus: %d positives, %d negatives (%.1f:1 imbalance)\n\n",
+		len(corpus.Positives), len(corpus.Negatives), corpus.Imbalance())
+
+	fmt.Fprintln(os.Stderr, "running Table 3 sweep...")
+	rows3, err := experiments.Table3(corpus, experiments.Table3Config{
+		TopK: topk, Folds: *folds, Seed: *seed, MaxSamples: *maxSamples,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderTable3(rows3))
+	best := experiments.BestRow(rows3)
+	fmt.Printf("best: %s, %s features, top-%d → TP %.1f%%, FP %.1f%%\n\n",
+		best.Classifier, best.FeatureSet, best.NumFeatures,
+		100*best.TPRate, 100*best.FPRate)
+
+	fmt.Fprintln(os.Stderr, "running signature-baseline comparison...")
+	base, err := experiments.CompareBaselines(corpus, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(base.Render())
+
+	fmt.Fprintln(os.Stderr, "running live out-of-sample test...")
+	live, err := lab.RunLive(context.Background(), experiments.LiveConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ranks are paper-scale (effective), so the training cut is always
+	// the top-5K regardless of world scale.
+	res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+}

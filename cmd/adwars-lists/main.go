@@ -1,0 +1,64 @@
+// Command adwars-lists runs the §3 filter-list analyses: the temporal
+// evolution of each list (Figure 1), the rank and category distributions
+// of listed domains (Table 1, Figure 2), the exception/overlap comparison
+// (§3.3), and the cross-list addition lag (Figure 3).
+//
+// Usage:
+//
+//	adwars-lists [-scale N] [-seed S]
+//
+// -scale shrinks the world by N× (1 = paper scale, slow; 20 = quick).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"adwars/internal/abp"
+	"adwars/internal/experiments"
+	"adwars/internal/listgen"
+	"adwars/internal/simworld"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "world shrink factor (1 = paper scale)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	dump := flag.String("dump", "", "directory to write the generated filter lists as .txt files")
+	flag.Parse()
+
+	cfg := simworld.DefaultConfig(*seed)
+	if *scale > 1 {
+		cfg = simworld.Scaled(*seed, *scale)
+	}
+	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
+	lab := experiments.NewLab(cfg)
+
+	fmt.Println(experiments.Fig1(lab.Lists.AAK, lab.World.Cfg.End).Render())
+	fmt.Println(experiments.Fig1(lab.Lists.AWRL, lab.World.Cfg.End).Render())
+	fmt.Println(experiments.Fig1(lab.Lists.EasyListAA, lab.World.Cfg.End).Render())
+	fmt.Println(lab.Table1().Render())
+	fmt.Println(lab.Fig2().Render())
+	fmt.Println(lab.Overlap().Render())
+	fmt.Println(experiments.RenderSharedRules(lab.SharedRuleExhibit(4)))
+	fmt.Println(lab.Fig3().Render())
+
+	if *dump != "" {
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for file, h := range map[string]*abp.History{
+			"anti-adblock-killer.txt":     lab.Lists.AAK,
+			"easylist-antiadblock.txt":    lab.Lists.EasyListAA,
+			"adblock-warning-removal.txt": lab.Lists.AWRL,
+		} {
+			path := filepath.Join(*dump, file)
+			if err := os.WriteFile(path, []byte(listgen.RenderLatest(h)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}

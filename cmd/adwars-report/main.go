@@ -1,0 +1,122 @@
+// Command adwars-report regenerates every table and figure of the paper
+// in one run and prints a combined report — the data recorded in
+// EXPERIMENTS.md. Run with -scale 1 for full paper scale (slow) or a
+// larger factor for a proportional quick pass.
+//
+// Usage:
+//
+//	adwars-report [-scale N] [-seed S] [-stride M] [-folds K]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"adwars/internal/antiadblock"
+	"adwars/internal/experiments"
+	"adwars/internal/features"
+	"adwars/internal/simworld"
+)
+
+func section(title string) {
+	fmt.Printf("\n================ %s ================\n\n", title)
+}
+
+func main() {
+	scale := flag.Int("scale", 10, "world shrink factor (1 = paper scale)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	stride := flag.Int("stride", 1, "crawl every Mth month")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	maxSamples := flag.Int("maxsamples", 1650, "ML corpus cap (0 = unlimited)")
+	flag.Parse()
+
+	started := time.Now()
+	cfg := simworld.DefaultConfig(*seed)
+	if *scale > 1 {
+		cfg = simworld.Scaled(*seed, *scale)
+	}
+	fmt.Printf("adwars-report — scale 1/%d (universe %d domains), seed %d\n",
+		*scale, cfg.UniverseSize, *seed)
+	lab := experiments.NewLab(cfg)
+
+	section("Figure 1 — filter list evolution")
+	fmt.Println(experiments.Fig1(lab.Lists.AAK, lab.World.Cfg.End).Render())
+	fmt.Println(experiments.Fig1(lab.Lists.AWRL, lab.World.Cfg.End).Render())
+	fmt.Println(experiments.Fig1(lab.Lists.EasyListAA, lab.World.Cfg.End).Render())
+
+	section("Table 1 / Figure 2 / §3.3 / Figure 3 — list comparison")
+	fmt.Println(lab.Table1().Render())
+	fmt.Println(lab.Fig2().Render())
+	fmt.Println(lab.Overlap().Render())
+	fmt.Println(experiments.RenderSharedRules(lab.SharedRuleExhibit(4)))
+	fmt.Println(lab.Fig3().Render())
+
+	section("Figures 5–7 — retrospective coverage (Wayback crawl)")
+	fmt.Fprintf(os.Stderr, "crawling %d months...\n", len(lab.RetroMonths(*stride)))
+	retro, err := lab.RunRetrospective(context.Background(), experiments.RetroConfig{
+		Months: lab.RetroMonths(*stride),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(retro.RenderFig5())
+	fmt.Println(retro.RenderFig6())
+	fmt.Println(lab.Fig7(0).Render())
+
+	section("Circumvention effectiveness (adblock-user simulation)")
+	fmt.Println(lab.Circumvention(0, lab.World.Cfg.End).Render())
+
+	section("§4.3 — live web coverage")
+	live, err := lab.RunLive(context.Background(), experiments.LiveConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(live.Render())
+
+	section("§5 — anti-adblock script detection")
+	rows2, err := experiments.Table2(antiadblock.ReferenceBlockAdBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderTable2(rows2))
+
+	corpus := &experiments.Corpus{Positives: retro.CorpusPos, Negatives: retro.CorpusNeg}
+	fmt.Printf("corpus: %d positives, %d negatives (%.1f:1)\n\n",
+		len(corpus.Positives), len(corpus.Negatives), corpus.Imbalance())
+	fmt.Fprintln(os.Stderr, "running Table 3 sweep...")
+	rows3, err := experiments.Table3(corpus, experiments.Table3Config{
+		TopK: []int{100, 1000, 10000}, Folds: *folds, Seed: *seed, MaxSamples: *maxSamples,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderTable3(rows3))
+
+	base, err := experiments.CompareBaselines(corpus, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(base.Render())
+
+	top, err := experiments.TopFeatures(corpus, features.SetKeyword, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderTopFeatures(top, features.SetKeyword))
+
+	res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	section("Paper vs measured")
+	summary := lab.Collect(retro, live, lab.Fig7(0), rows3, res)
+	fmt.Println(experiments.RenderComparison(experiments.PaperComparison(summary, lab.Scale())))
+
+	fmt.Printf("report complete in %s\n", time.Since(started).Round(time.Second))
+}

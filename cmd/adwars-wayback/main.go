@@ -1,0 +1,49 @@
+// Command adwars-wayback runs the §4.1–4.2 retrospective measurement:
+// monthly Wayback-style crawls of the top-N, replayed against historic
+// filter list versions. It prints Figure 5 (missing snapshots), Figure 6
+// (rule triggers over time), and Figure 7 (detection delay CDFs).
+//
+// Usage:
+//
+//	adwars-wayback [-scale N] [-seed S] [-stride M] [-workers W]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"adwars/internal/experiments"
+	"adwars/internal/simworld"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "world shrink factor (1 = paper scale)")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	stride := flag.Int("stride", 1, "crawl every Mth month")
+	workers := flag.Int("workers", 10, "parallel crawler instances")
+	flag.Parse()
+
+	cfg := simworld.DefaultConfig(*seed)
+	if *scale > 1 {
+		cfg = simworld.Scaled(*seed, *scale)
+	}
+	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
+	lab := experiments.NewLab(cfg)
+
+	fmt.Fprintf(os.Stderr, "crawling %d months...\n", len(lab.RetroMonths(*stride)))
+	retro, err := lab.RunRetrospective(context.Background(), experiments.RetroConfig{
+		Months:  lab.RetroMonths(*stride),
+		Workers: *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(retro.RenderFig5())
+	fmt.Println(retro.RenderFig6())
+	fmt.Println(lab.Fig7(0).Render())
+	fmt.Printf("corpus: %d anti-adblock scripts, %d benign scripts\n",
+		len(retro.CorpusPos), len(retro.CorpusNeg))
+}

@@ -1,0 +1,82 @@
+// Wayback explorer: drive the archive substrate directly — query the
+// Availability JSON API for a site's monthly snapshots, fetch one, and
+// inspect its HAR with archive-URL truncation, the way §4.1's crawler
+// does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adwars"
+	"adwars/internal/stats"
+	"adwars/internal/wayback"
+)
+
+func main() {
+	world := adwars.NewWorld(adwars.ScaledWorldConfig(42, 20))
+	domains := world.TopDomains(60)
+	cfg := wayback.DefaultConfig(42)
+	cfg.Robots, cfg.Admin, cfg.Undefined = 2, 1, 1
+	archive := wayback.New(world, domains, cfg)
+
+	// Pick a site with an anti-adblock deployment so the snapshot is
+	// interesting.
+	target := ""
+	for _, d := range domains {
+		if dep := world.DeploymentOf(d); dep != nil && dep.Start.Year() <= 2015 {
+			target = d
+			break
+		}
+	}
+	if target == "" {
+		log.Fatal("no deployed site in the top slice")
+	}
+	dep := world.DeploymentOf(target)
+	fmt.Printf("site %s deploys %s anti-adblocking on %s\n\n",
+		target, dep.Vendor.Name, dep.Start.Format("2006-01-02"))
+
+	// Walk the availability API month by month.
+	fmt.Println("month     availability")
+	var fetched *wayback.Snapshot
+	for _, m := range stats.MonthsBetween(cfg.Start, cfg.End) {
+		body, err := archive.QueryAvailability(target, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		closest, err := wayback.ParseAvailability(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "not archived"
+		if closest != nil {
+			ts, err := closest.Time()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if wayback.WithinSkew(m, ts) {
+				status = "archived @ " + ts.Format("2006-01-02")
+				if fetched == nil && m.After(dep.Start) {
+					snap, err := archive.Fetch(archive.RefFor(target, ts))
+					if err == nil && !snap.Ref.Partial {
+						fetched = snap
+					}
+				}
+			} else {
+				status = "outdated (closest " + ts.Format("2006-01-02") + ")"
+			}
+		}
+		if m.Month()%6 == 1 { // print a biannual sample to keep output short
+			fmt.Printf("%s   %s\n", stats.MonthLabel(m), status)
+		}
+	}
+
+	if fetched == nil {
+		log.Fatal("no post-deployment snapshot available")
+	}
+	fmt.Printf("\nsnapshot of %s at %s — HAR entries:\n",
+		target, fetched.Ref.Timestamp.Format("2006-01-02"))
+	for _, u := range fetched.HAR.URLs() {
+		fmt.Printf("  archived:  %s\n  truncated: %s\n", u, wayback.TruncateURL(u))
+	}
+}

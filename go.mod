@@ -1,0 +1,3 @@
+module adwars
+
+go 1.22

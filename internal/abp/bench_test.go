@@ -1,0 +1,115 @@
+package abp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchRules builds a realistic mixed rule set of n rules.
+func benchRules(n int) []*Rule {
+	var rules []*Rule
+	for i := 0; i < n; i++ {
+		var line string
+		switch i % 5 {
+		case 0:
+			line = fmt.Sprintf("||vendor%04d.com^$third-party", i)
+		case 1:
+			line = fmt.Sprintf("||site%04d.com/ads.js", i)
+		case 2:
+			line = fmt.Sprintf("site%04d.com###notice%d", i, i)
+		case 3:
+			line = fmt.Sprintf("@@||benign%04d.com/ads.js", i)
+		default:
+			line = fmt.Sprintf("/detect%04d*.js$script,domain=site%04d.com", i, i)
+		}
+		r, err := Parse(line)
+		if err != nil {
+			panic(err)
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+var benchURLs = []string{
+	"http://vendor0005.com/score.js",
+	"http://site0001.com/ads.js",
+	"http://cdn.other.net/lib/jquery.js",
+	"http://img.other.net/banner.png",
+	"http://site0123.com/js/app.js?v=9",
+}
+
+// BenchmarkListMatchIndexed measures request matching with the keyword
+// index (the production path).
+func BenchmarkListMatchIndexed(b *testing.B) {
+	list := NewList("bench", benchRules(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := benchURLs[i%len(benchURLs)]
+		list.MatchRequest(Request{URL: u, Type: TypeScript, PageDomain: "page.com"})
+	}
+}
+
+// BenchmarkListMatchLinear is the ablation baseline: match every rule
+// without the keyword index. The index should win by a wide margin.
+func BenchmarkListMatchLinear(b *testing.B) {
+	rules := benchRules(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Request{URL: benchURLs[i%len(benchURLs)], Type: TypeScript, PageDomain: "page.com"}
+		for _, r := range rules {
+			if r.IsHTTP() && r.MatchRequest(q) {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkParseRule measures single-rule parsing.
+func BenchmarkParseRule(b *testing.B) {
+	lines := []string{
+		"||pagefair.com^$third-party",
+		"smashboards.com###noticeMain",
+		"/example.js$script,domain=example2.com",
+		"@@||numerama.com/ads.js",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkElementHiding measures element hiding over a 50-element DOM.
+func BenchmarkElementHiding(b *testing.B) {
+	list := NewList("bench", benchRules(500))
+	elems := make([]*Element, 50)
+	for i := range elems {
+		elems[i] = &Element{Tag: "div", ID: fmt.Sprintf("el%d", i), Classes: []string{"c"}}
+	}
+	elems[10].ID = "notice2"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		list.HiddenElements("site0002.com", elems)
+	}
+}
+
+// BenchmarkHistoryAt measures revision lookup in a 500-revision history.
+func BenchmarkHistoryAt(b *testing.B) {
+	h := NewHistory("bench")
+	rules := benchRules(100)
+	for i := 0; i < 500; i++ {
+		h.Append(day(2012, 1, 1).AddDate(0, 0, i*3), rules[:1+(i%99)])
+	}
+	when := day(2014, 6, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.At(when); !ok {
+			b.Fatal("missing revision")
+		}
+	}
+}

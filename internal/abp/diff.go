@@ -1,0 +1,72 @@
+package abp
+
+import "sort"
+
+// RevisionDiff is the change set between two list revisions.
+type RevisionDiff struct {
+	// Added are rules present only in the newer revision.
+	Added []*Rule
+	// Removed are rules present only in the older revision.
+	Removed []*Rule
+}
+
+// Churn returns the number of added-or-modified rules — the statistic the
+// paper reports per revision (a modified rule appears as one removal plus
+// one addition; the paper's "adds or modifies" counts the addition side).
+func (d *RevisionDiff) Churn() int { return len(d.Added) }
+
+// Diff compares two rule sets by raw rule text and returns the additions
+// and removals, each in stable (sorted) order.
+func Diff(old, new []*Rule) *RevisionDiff {
+	oldSet := make(map[string]*Rule, len(old))
+	for _, r := range old {
+		oldSet[r.Raw] = r
+	}
+	newSet := make(map[string]*Rule, len(new))
+	for _, r := range new {
+		newSet[r.Raw] = r
+	}
+	d := &RevisionDiff{}
+	for raw, r := range newSet {
+		if _, ok := oldSet[raw]; !ok {
+			d.Added = append(d.Added, r)
+		}
+	}
+	for raw, r := range oldSet {
+		if _, ok := newSet[raw]; !ok {
+			d.Removed = append(d.Removed, r)
+		}
+	}
+	sort.Slice(d.Added, func(i, j int) bool { return d.Added[i].Raw < d.Added[j].Raw })
+	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i].Raw < d.Removed[j].Raw })
+	return d
+}
+
+// DiffHistory returns the change set between consecutive revisions: entry
+// i describes the transition from revision i to revision i+1.
+func (h *History) DiffHistory() []*RevisionDiff {
+	if len(h.revisions) < 2 {
+		return nil
+	}
+	out := make([]*RevisionDiff, 0, len(h.revisions)-1)
+	for i := 1; i < len(h.revisions); i++ {
+		out = append(out, Diff(h.revisions[i-1].Rules, h.revisions[i].Rules))
+	}
+	return out
+}
+
+// RulesForDomain returns the rules in a list that target the given domain,
+// in insertion order — the §3.3 comparison of how two lists implement
+// rules for the same site (Codes 9 and 10 in the paper).
+func (l *List) RulesForDomain(domain string) []*Rule {
+	var out []*Rule
+	for _, r := range l.rules {
+		for _, d := range r.TargetDomains() {
+			if d == domain {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package abp
+
+import "testing"
+
+func TestDiff(t *testing.T) {
+	old := rules(t, "||a.com^", "||b.com^", "c.com###x")
+	new := rules(t, "||a.com^", "c.com###y", "||d.com^")
+	d := Diff(old, new)
+	if len(d.Added) != 2 {
+		t.Fatalf("added = %v", d.Added)
+	}
+	if d.Added[0].Raw != "c.com###y" || d.Added[1].Raw != "||d.com^" {
+		t.Fatalf("added order = %v, %v", d.Added[0], d.Added[1])
+	}
+	if len(d.Removed) != 2 {
+		t.Fatalf("removed = %v", d.Removed)
+	}
+	if d.Churn() != 2 {
+		t.Fatalf("churn = %d", d.Churn())
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	same := rules(t, "||a.com^")
+	d := Diff(same, same)
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatal("identical sets must diff empty")
+	}
+}
+
+func TestDiffHistory(t *testing.T) {
+	h := NewHistory("x")
+	h.Append(day(2014, 1, 1), rules(t, "||a.com^"))
+	h.Append(day(2014, 2, 1), rules(t, "||a.com^", "||b.com^"))
+	h.Append(day(2014, 3, 1), rules(t, "||b.com^"))
+	diffs := h.DiffHistory()
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %d", len(diffs))
+	}
+	if diffs[0].Churn() != 1 || len(diffs[0].Removed) != 0 {
+		t.Fatalf("first diff wrong: %+v", diffs[0])
+	}
+	if diffs[1].Churn() != 0 || len(diffs[1].Removed) != 1 {
+		t.Fatalf("second diff wrong: %+v", diffs[1])
+	}
+	if NewHistory("y").DiffHistory() != nil {
+		t.Fatal("empty history should have nil diffs")
+	}
+}
+
+func TestDiffHistoryAgreesWithChurn(t *testing.T) {
+	h := NewHistory("x")
+	h.Append(day(2014, 1, 1), rules(t, "||a.com^"))
+	h.Append(day(2014, 2, 1), rules(t, "||a.com^", "||b.com^", "||c.com^"))
+	h.Append(day(2014, 3, 1), rules(t, "||a.com^", "||b.com^", "||c.com^", "||d.com^"))
+	total := 0
+	for _, d := range h.DiffHistory() {
+		total += d.Churn()
+	}
+	want := h.ChurnPerRevision() * float64(h.Len()-1)
+	if float64(total) != want {
+		t.Fatalf("diff churn %d != ChurnPerRevision aggregate %.0f", total, want)
+	}
+}
+
+func TestRulesForDomain(t *testing.T) {
+	l := buildList(t, "test",
+		"yocast.tv###notice",
+		"||yocast.tv/ads.js",
+		"||pagefair.com^$third-party",
+		"||pagefair.com/static/d.min.js$domain=majorleaguegaming.com",
+	)
+	got := l.RulesForDomain("yocast.tv")
+	if len(got) != 2 {
+		t.Fatalf("yocast.tv rules = %v", got)
+	}
+	// The anchor+tag rule targets both pagefair.com and the tagged site.
+	if got := l.RulesForDomain("majorleaguegaming.com"); len(got) != 1 {
+		t.Fatalf("mlg rules = %v", got)
+	}
+	if got := l.RulesForDomain("pagefair.com"); len(got) != 2 {
+		t.Fatalf("pagefair rules = %v", got)
+	}
+	if got := l.RulesForDomain("absent.com"); len(got) != 0 {
+		t.Fatalf("absent rules = %v", got)
+	}
+}

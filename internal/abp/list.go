@@ -1,0 +1,296 @@
+package abp
+
+import (
+	"sort"
+	"strings"
+)
+
+// Decision is the outcome of matching a request against a List.
+type Decision int
+
+const (
+	// NoMatch means no rule in the list matched the request.
+	NoMatch Decision = iota
+	// Blocked means a blocking rule matched and no exception overrode it.
+	Blocked
+	// Allowed means an exception rule matched (overriding any block).
+	Allowed
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Blocked:
+		return "blocked"
+	case Allowed:
+		return "allowed"
+	default:
+		return "no-match"
+	}
+}
+
+// List is a compiled filter list: rules split by kind, with a keyword index
+// over HTTP rules so that matching a URL inspects only a few candidates.
+// Build lists with NewList; a List is safe for concurrent readers.
+type List struct {
+	// Name identifies the list (e.g. "Anti-Adblock Killer").
+	Name string
+
+	rules      []*Rule
+	blockIdx   *keywordIndex
+	exceptIdx  *keywordIndex
+	elemHide   []*Rule
+	elemExcept []*Rule
+}
+
+// NewList compiles a set of parsed rules into a matchable list. Comment and
+// invalid rules are ignored.
+func NewList(name string, rules []*Rule) *List {
+	l := &List{
+		Name:      name,
+		blockIdx:  newKeywordIndex(),
+		exceptIdx: newKeywordIndex(),
+	}
+	for _, r := range rules {
+		switch r.Kind {
+		case KindHTTPBlock:
+			l.blockIdx.add(r)
+		case KindHTTPException:
+			l.exceptIdx.add(r)
+		case KindElemHide:
+			l.elemHide = append(l.elemHide, r)
+		case KindElemHideException:
+			l.elemExcept = append(l.elemExcept, r)
+		default:
+			continue
+		}
+		l.rules = append(l.rules, r)
+	}
+	return l
+}
+
+// ParseAndBuild parses a filter list body and compiles it in one step,
+// returning the list together with any per-line parse errors.
+func ParseAndBuild(name, body string) (*List, []error) {
+	rules, errs := ParseList(body)
+	return NewList(name, rules), errs
+}
+
+// Len returns the number of compiled (non-comment) rules.
+func (l *List) Len() int { return len(l.rules) }
+
+// Rules returns the compiled rules in insertion order. The returned slice
+// must not be modified.
+func (l *List) Rules() []*Rule { return l.rules }
+
+// MatchRequest evaluates the request against the list. Exception rules
+// override blocking rules, mirroring adblocker semantics. The rule that
+// determined the decision is returned (nil for NoMatch).
+func (l *List) MatchRequest(q Request) (Decision, *Rule) {
+	if r := l.exceptIdx.match(q); r != nil {
+		return Allowed, r
+	}
+	if r := l.blockIdx.match(q); r != nil {
+		return Blocked, r
+	}
+	return NoMatch, nil
+}
+
+// MatchingHTTPRules returns every HTTP rule (blocking and exception) that
+// matches the request, in insertion order. The coverage measurement uses
+// this to record which rules triggered on a crawl.
+func (l *List) MatchingHTTPRules(q Request) []*Rule {
+	var out []*Rule
+	for _, r := range l.rules {
+		if r.IsHTTP() && r.MatchRequest(q) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ElemHideDisabled reports whether an @@…$elemhide exception rule turns
+// element hiding off for pages on the domain; genericOnly additionally
+// reports $generichide (only domain-less hiding rules disabled).
+func (l *List) ElemHideDisabled(pageDomain string) (all, genericOnly bool) {
+	q := Request{
+		URL:        "http://" + pageDomain + "/",
+		Type:       TypeDocument,
+		PageDomain: pageDomain,
+	}
+	for _, r := range l.rules {
+		if r.Kind != KindHTTPException || (!r.DisableElemHide && !r.DisableGenericHide) {
+			continue
+		}
+		if r.MatchRequest(q) {
+			if r.DisableElemHide {
+				all = true
+			}
+			if r.DisableGenericHide {
+				genericOnly = true
+			}
+		}
+	}
+	return all, genericOnly
+}
+
+// HiddenElements returns, for a page on the given domain, the indexes of
+// elements that element hiding rules would hide, together with the rule
+// that hides each. Element-hiding exception rules unhide matching
+// elements; $elemhide / $generichide exceptions disable hiding wholesale.
+func (l *List) HiddenElements(pageDomain string, elems []*Element) map[int]*Rule {
+	allOff, genericOff := l.ElemHideDisabled(pageDomain)
+	if allOff {
+		return map[int]*Rule{}
+	}
+	hidden := make(map[int]*Rule)
+	for i, e := range elems {
+		var hideRule *Rule
+		for _, r := range l.elemHide {
+			if genericOff && !r.HasDomainTag() {
+				continue
+			}
+			if r.appliesOn(pageDomain) && r.Selector.Match(e) {
+				hideRule = r
+				break
+			}
+		}
+		if hideRule == nil {
+			continue
+		}
+		excepted := false
+		for _, r := range l.elemExcept {
+			if r.appliesOn(pageDomain) && r.Selector.Match(e) {
+				excepted = true
+				break
+			}
+		}
+		if !excepted {
+			hidden[i] = hideRule
+		}
+	}
+	return hidden
+}
+
+// appliesOn reports whether an element hiding rule is active on a page
+// domain, honoring the rule's domain prefix and ~negations.
+func (r *Rule) appliesOn(pageDomain string) bool {
+	if len(r.Domains) > 0 {
+		ok := false
+		for _, d := range r.Domains {
+			if domainWithin(pageDomain, d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range r.NotDomains {
+		if domainWithin(pageDomain, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountByClass tallies the list's rules by Figure 1 class.
+func (l *List) CountByClass() map[Class]int {
+	out := make(map[Class]int, len(AllClasses))
+	for _, r := range l.rules {
+		out[r.Class()]++
+	}
+	return out
+}
+
+// Domains returns the sorted set of domains targeted by any rule in the
+// list (per Rule.TargetDomains). This feeds the §3.3 domain-overlap and
+// Table 1 / Figure 2 analyses.
+func (l *List) Domains() []string {
+	seen := make(map[string]bool)
+	for _, r := range l.rules {
+		for _, d := range r.TargetDomains() {
+			seen[d] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExceptionDomainSplit returns the sets of domains that appear in exception
+// rules and in non-exception rules (a domain can appear in both). §3.3 uses
+// the ratio of the two set sizes.
+func (l *List) ExceptionDomainSplit() (exception, nonException []string) {
+	exc := make(map[string]bool)
+	non := make(map[string]bool)
+	for _, r := range l.rules {
+		for _, d := range r.TargetDomains() {
+			if r.IsException() {
+				exc[d] = true
+			} else {
+				non[d] = true
+			}
+		}
+	}
+	for d := range exc {
+		exception = append(exception, d)
+	}
+	for d := range non {
+		nonException = append(nonException, d)
+	}
+	sort.Strings(exception)
+	sort.Strings(nonException)
+	return exception, nonException
+}
+
+// keywordIndex buckets HTTP rules by a literal keyword drawn from their
+// pattern. Rules without a usable keyword go into a generic bucket that is
+// always scanned. The same scheme real adblockers use to keep per-request
+// work small.
+type keywordIndex struct {
+	byKeyword map[string][]*Rule
+	generic   []*Rule
+	keywords  []string // sorted, for deterministic scans
+}
+
+func newKeywordIndex() *keywordIndex {
+	return &keywordIndex{byKeyword: make(map[string][]*Rule)}
+}
+
+func (idx *keywordIndex) add(r *Rule) {
+	kw := r.Keyword()
+	if kw == "" {
+		idx.generic = append(idx.generic, r)
+		return
+	}
+	if _, ok := idx.byKeyword[kw]; !ok {
+		idx.keywords = append(idx.keywords, kw)
+		sort.Strings(idx.keywords)
+	}
+	idx.byKeyword[kw] = append(idx.byKeyword[kw], r)
+}
+
+func (idx *keywordIndex) match(q Request) *Rule {
+	u := strings.ToLower(q.URL)
+	for _, kw := range idx.keywords {
+		if !strings.Contains(u, kw) {
+			continue
+		}
+		for _, r := range idx.byKeyword[kw] {
+			if r.MatchRequest(q) {
+				return r
+			}
+		}
+	}
+	for _, r := range idx.generic {
+		if r.MatchRequest(q) {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package abp
+
+import "strings"
+
+// Request describes a single HTTP request as seen by the adblocker: the
+// request URL, the resource type, and the domain of the page that issued it.
+type Request struct {
+	// URL is the absolute request URL.
+	URL string
+	// Type is the resource type (script, image, …). Empty means TypeOther.
+	Type RequestType
+	// PageDomain is the registrable domain of the page issuing the
+	// request, used for $domain= and $third-party evaluation.
+	PageDomain string
+}
+
+// Host returns the lower-cased host of the request URL, without port.
+func (q Request) Host() string { return HostOf(q.URL) }
+
+// IsThirdParty reports whether the request host falls outside the page's
+// domain (the $third-party notion).
+func (q Request) IsThirdParty() bool {
+	h := q.Host()
+	if h == "" || q.PageDomain == "" {
+		return false
+	}
+	return !domainWithin(h, q.PageDomain)
+}
+
+// HostOf extracts the lower-cased host (without port or credentials) from an
+// absolute URL. It returns "" when the URL has no authority component.
+func HostOf(rawurl string) string {
+	s := rawurl
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	} else if strings.HasPrefix(s, "//") {
+		s = s[2:]
+	} else {
+		return ""
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
+
+// domainWithin reports whether host equals domain or is a subdomain of it.
+func domainWithin(host, domain string) bool {
+	host, domain = strings.ToLower(host), strings.ToLower(domain)
+	return host == domain || strings.HasSuffix(host, "."+domain)
+}
+
+// MatchRequest reports whether the HTTP rule matches the request. It
+// evaluates the $ options (type, third-party, domain) and then the URL
+// pattern with its anchors. Element hiding rules never match requests.
+func (r *Rule) MatchRequest(q Request) bool {
+	if !r.IsHTTP() {
+		return false
+	}
+	if q.Type == "" {
+		q.Type = TypeOther
+	}
+	if len(r.Types) > 0 && !containsType(r.Types, q.Type) {
+		return false
+	}
+	if containsType(r.NotTypes, q.Type) {
+		return false
+	}
+	if r.ThirdParty != 0 {
+		tp := q.IsThirdParty()
+		if (r.ThirdParty > 0) != tp {
+			return false
+		}
+	}
+	if len(r.Domains) > 0 {
+		ok := false
+		for _, d := range r.Domains {
+			if domainWithin(q.PageDomain, d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range r.NotDomains {
+		if domainWithin(q.PageDomain, d) {
+			return false
+		}
+	}
+	return r.matchURL(q.URL)
+}
+
+func containsType(ts []RequestType, t RequestType) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// urlMatcher holds the pre-lowered pattern for repeated matching.
+type urlMatcher struct {
+	pattern   string
+	matchCase bool
+}
+
+func (r *Rule) compile() *urlMatcher {
+	if r.matcher == nil {
+		p := r.Pattern
+		if !r.MatchCase {
+			p = strings.ToLower(p)
+		}
+		r.matcher = &urlMatcher{pattern: p, matchCase: r.MatchCase}
+	}
+	return r.matcher
+}
+
+// matchURL applies the rule's URL pattern (with anchors) to an absolute URL.
+func (r *Rule) matchURL(rawurl string) bool {
+	m := r.compile()
+	u := rawurl
+	if !m.matchCase {
+		u = strings.ToLower(u)
+	}
+	switch {
+	case r.DomainAnchor:
+		return matchDomainAnchored(m.pattern, u, r.EndAnchor)
+	case r.StartAnchor:
+		return matchHere(m.pattern, u, r.EndAnchor)
+	default:
+		for i := 0; i <= len(u); i++ {
+			if matchHere(m.pattern, u[i:], r.EndAnchor) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// matchDomainAnchored implements "||": the pattern must match starting at
+// the beginning of the URL's host or immediately after a dot inside it.
+func matchDomainAnchored(pat, u string, endAnchor bool) bool {
+	hostStart := 0
+	if i := strings.Index(u, "://"); i >= 0 {
+		hostStart = i + 3
+	} else if strings.HasPrefix(u, "//") {
+		hostStart = 2
+	} else {
+		return false
+	}
+	hostEnd := len(u)
+	if i := strings.IndexAny(u[hostStart:], "/?#"); i >= 0 {
+		hostEnd = hostStart + i
+	}
+	if matchHere(pat, u[hostStart:], endAnchor) {
+		return true
+	}
+	for i := hostStart; i < hostEnd; i++ {
+		if u[i] == '.' && matchHere(pat, u[i+1:], endAnchor) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSeparator implements the Adblock Plus '^' placeholder: any character
+// that is not a letter, a digit, or one of '_', '-', '.', '%'.
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '_', c == '-', c == '.', c == '%':
+		return false
+	}
+	return true
+}
+
+// matchHere matches pat against a prefix of s (the whole of s when endAnchor
+// is set). '*' matches any run of characters; '^' matches one separator
+// character or the end of the URL.
+func matchHere(pat, s string, endAnchor bool) bool {
+	for len(pat) > 0 {
+		switch pat[0] {
+		case '*':
+			// Collapse consecutive stars, then try every split point.
+			rest := strings.TrimLeft(pat, "*")
+			if rest == "" {
+				return true // trailing '*' absorbs the remainder
+			}
+			for k := 0; k <= len(s); k++ {
+				if matchHere(rest, s[k:], endAnchor) {
+					return true
+				}
+			}
+			return false
+		case '^':
+			if len(s) > 0 && isSeparator(s[0]) {
+				pat, s = pat[1:], s[1:]
+				continue
+			}
+			if len(s) == 0 {
+				// '^' may match the end of the URL.
+				pat = pat[1:]
+				continue
+			}
+			return false
+		default:
+			if len(s) > 0 && s[0] == pat[0] {
+				pat, s = pat[1:], s[1:]
+				continue
+			}
+			return false
+		}
+	}
+	if endAnchor {
+		return len(s) == 0
+	}
+	return true
+}
+
+// Keyword returns the longest run of "stable" literal characters in the
+// rule's pattern, used by List to index rules so that only a few candidate
+// rules are inspected per URL. Returns "" when no useful keyword exists.
+func (r *Rule) Keyword() string {
+	if !r.IsHTTP() {
+		return ""
+	}
+	pat := strings.ToLower(r.Pattern)
+	best, cur := "", strings.Builder{}
+	flush := func() {
+		if cur.Len() > len(best) {
+			best = cur.String()
+		}
+		cur.Reset()
+	}
+	for i := 0; i < len(pat); i++ {
+		c := pat[i]
+		if c == '*' || c == '^' || c == '|' {
+			flush()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	flush()
+	if len(best) < 3 {
+		return ""
+	}
+	return best
+}

@@ -1,0 +1,235 @@
+package abp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func req(url, page string, typ RequestType) Request {
+	return Request{URL: url, PageDomain: page, Type: typ}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := map[string]string{
+		"http://example.com/a":             "example.com",
+		"https://Sub.Example.COM:8080/x":   "sub.example.com",
+		"//cdn.example.com/lib.js":         "cdn.example.com",
+		"http://user:pw@example.com/p?q=1": "example.com",
+		"not-a-url":                        "",
+		"http://example.com?x=1":           "example.com",
+		"http://example.com#frag":          "example.com",
+	}
+	for in, want := range cases {
+		if got := HostOf(in); got != want {
+			t.Errorf("HostOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDomainAnchorMatching(t *testing.T) {
+	r := mustParse(t, "||example1.com")
+	if !r.MatchRequest(req("http://example1.com/ads.js", "pub.com", TypeScript)) {
+		t.Error("want match on exact host")
+	}
+	if !r.MatchRequest(req("http://cdn.example1.com/x.png", "pub.com", TypeImage)) {
+		t.Error("want match on subdomain")
+	}
+	if r.MatchRequest(req("http://notexample1.com/x", "pub.com", TypeScript)) {
+		t.Error("must not match host suffix without domain boundary")
+	}
+	if r.MatchRequest(req("http://evil.com/example1.com/x", "pub.com", TypeScript)) {
+		t.Error("must not match path occurrence")
+	}
+}
+
+func TestSeparatorMatching(t *testing.T) {
+	r := mustParse(t, "||pagefair.com^$third-party")
+	if !r.MatchRequest(req("http://pagefair.com/score.js", "news.com", TypeScript)) {
+		t.Error("'^' should match '/'")
+	}
+	if !r.MatchRequest(req("http://pagefair.com", "news.com", TypeScript)) {
+		t.Error("'^' should match end of URL")
+	}
+	if r.MatchRequest(req("http://pagefair.community/x", "news.com", TypeScript)) {
+		t.Error("'^' must not match letters")
+	}
+	if r.MatchRequest(req("http://pagefair.com/score.js", "pagefair.com", TypeScript)) {
+		t.Error("$third-party must not match first-party request")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	r := mustParse(t, "/advert*.js")
+	if !r.MatchRequest(req("http://x.com/advertisement-v2.js", "x.com", TypeScript)) {
+		t.Error("wildcard should bridge arbitrary text")
+	}
+	if !r.MatchRequest(req("http://x.com/advert.js", "x.com", TypeScript)) {
+		t.Error("wildcard should match empty")
+	}
+	if r.MatchRequest(req("http://x.com/advert.css", "x.com", TypeStylesheet)) {
+		t.Error("suffix must still match")
+	}
+}
+
+func TestStartEndAnchors(t *testing.T) {
+	r := mustParse(t, "|http://ads.example.com/a.js|")
+	if !r.MatchRequest(req("http://ads.example.com/a.js", "p.com", TypeScript)) {
+		t.Error("exact URL should match")
+	}
+	if r.MatchRequest(req("http://ads.example.com/a.js?x=1", "p.com", TypeScript)) {
+		t.Error("end anchor must reject longer URL")
+	}
+	if r.MatchRequest(req("https://mirror.net/http://ads.example.com/a.js", "p.com", TypeScript)) {
+		t.Error("start anchor must reject embedded URL")
+	}
+}
+
+func TestTypeOptions(t *testing.T) {
+	r := mustParse(t, "||example1.com$script")
+	if !r.MatchRequest(req("http://example1.com/a.js", "p.com", TypeScript)) {
+		t.Error("script request should match")
+	}
+	if r.MatchRequest(req("http://example1.com/a.png", "p.com", TypeImage)) {
+		t.Error("image request must not match a $script rule")
+	}
+	neg := mustParse(t, "||example1.com$~script")
+	if neg.MatchRequest(req("http://example1.com/a.js", "p.com", TypeScript)) {
+		t.Error("$~script must reject script requests")
+	}
+	if !neg.MatchRequest(req("http://example1.com/a.png", "p.com", TypeImage)) {
+		t.Error("$~script should allow image requests")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	// Rule 4 of Code 1: /example.js$script,domain=example2.com
+	r := mustParse(t, "/example.js$script,domain=example2.com")
+	if !r.MatchRequest(req("http://cdn.net/example.js", "example2.com", TypeScript)) {
+		t.Error("should match on example2.com pages")
+	}
+	if !r.MatchRequest(req("http://cdn.net/example.js", "sub.example2.com", TypeScript)) {
+		t.Error("should match on subdomain pages")
+	}
+	if r.MatchRequest(req("http://cdn.net/example.js", "other.com", TypeScript)) {
+		t.Error("must not match on other pages")
+	}
+}
+
+func TestNegatedDomainOption(t *testing.T) {
+	r := mustParse(t, "/b.js$domain=a.com|~sub.a.com")
+	if !r.MatchRequest(req("http://c.net/b.js", "a.com", TypeScript)) {
+		t.Error("should match on a.com")
+	}
+	if r.MatchRequest(req("http://c.net/b.js", "sub.a.com", TypeScript)) {
+		t.Error("must not match on negated subdomain")
+	}
+}
+
+func TestCaseInsensitiveByDefault(t *testing.T) {
+	r := mustParse(t, "/ADS.JS")
+	if !r.MatchRequest(req("http://x.com/ads.js", "x.com", TypeScript)) {
+		t.Error("matching should be case-insensitive by default")
+	}
+	mc := mustParse(t, "/ADS.JS$match-case")
+	if mc.MatchRequest(req("http://x.com/ads.js", "x.com", TypeScript)) {
+		t.Error("$match-case must respect case")
+	}
+}
+
+func TestExceptionRuleMatchesSameURLs(t *testing.T) {
+	// Rule 2 of Code 7: @@||numerama.com/ads.js
+	blk := mustParse(t, "/ads.js?")
+	exc := mustParse(t, "@@||numerama.com/ads.js")
+	u := "http://numerama.com/ads.js?v=2"
+	if !blk.MatchRequest(req(u, "numerama.com", TypeScript)) {
+		t.Error("blocking rule should match the bait URL")
+	}
+	if !exc.MatchRequest(req(u, "numerama.com", TypeScript)) {
+		t.Error("exception rule should match the bait URL")
+	}
+}
+
+func TestElemHideRuleNeverMatchesRequests(t *testing.T) {
+	r := mustParse(t, "example.com###banner")
+	if r.MatchRequest(req("http://example.com/banner", "example.com", TypeOther)) {
+		t.Error("element hiding rules must not match HTTP requests")
+	}
+}
+
+func TestKeywordExtraction(t *testing.T) {
+	cases := map[string]string{
+		"||pagefair.com^$third-party": "pagefair.com",
+		"/ads.js?":                    "/ads.js?",
+		"||a^":                        "",
+		"*^*":                         "",
+	}
+	for line, want := range cases {
+		r, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		if got := r.Keyword(); got != want {
+			t.Errorf("Keyword(%q) = %q, want %q", line, got, want)
+		}
+	}
+}
+
+func TestMatchHereProperties(t *testing.T) {
+	// Property: a pattern consisting only of literal characters matches a
+	// string exactly when it is a substring (unanchored semantics).
+	f := func(pat, pad1, pad2 string) bool {
+		clean := func(s string) string {
+			s = strings.Map(func(r rune) rune {
+				if r == '*' || r == '^' || r == '|' || r == '$' {
+					return 'x'
+				}
+				if r < ' ' || r > '~' {
+					return 'y'
+				}
+				return r
+			}, s)
+			return strings.ToLower(s)
+		}
+		p := clean(pat)
+		if p == "" {
+			return true
+		}
+		s := clean(pad1) + p + clean(pad2)
+		for i := 0; i <= len(s); i++ {
+			if matchHere(p, s[i:], false) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeparatorProperty(t *testing.T) {
+	// Property: isSeparator never accepts letters, digits, or _-.%
+	f := func(c byte) bool {
+		isAlnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		special := c == '_' || c == '-' || c == '.' || c == '%'
+		if isAlnum || special {
+			return !isSeparator(c)
+		}
+		return isSeparator(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThirdPartyComputation(t *testing.T) {
+	q := req("http://cdn.pagefair.com/x.js", "news.com", TypeScript)
+	if !q.IsThirdParty() {
+		t.Error("cross-domain request should be third-party")
+	}
+	q = req("http://static.news.com/x.js", "news.com", TypeScript)
+	if q.IsThirdParty() {
+		t.Error("subdomain request should be first-party")
+	}
+}

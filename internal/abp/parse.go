@@ -1,0 +1,228 @@
+package abp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Parse errors returned for malformed lines. Callers that ingest whole lists
+// should prefer ParseList, which skips comments and collects errors.
+var (
+	ErrEmptyLine    = errors.New("abp: empty line")
+	ErrCommentLine  = errors.New("abp: comment line")
+	ErrBadSelector  = errors.New("abp: malformed element hiding selector")
+	ErrBadOption    = errors.New("abp: unknown filter option")
+	ErrEmptyPattern = errors.New("abp: empty URL pattern")
+)
+
+// Parse parses a single filter list line into a Rule. Comment lines ("!",
+// "[") return a Rule with KindComment and ErrCommentLine; blank lines return
+// ErrEmptyLine. Lines that look like rules but are malformed return a nil
+// Rule and a descriptive error.
+func Parse(line string) (*Rule, error) {
+	raw := line
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil, ErrEmptyLine
+	}
+	if strings.HasPrefix(line, "!") || strings.HasPrefix(line, "[") {
+		return &Rule{Raw: raw, Kind: KindComment}, ErrCommentLine
+	}
+
+	// Element hiding rules: domains##selector, domains#@#selector.
+	// Check before HTTP parsing so "#" inside URLs does not confuse us:
+	// the element hiding separator is "##" or "#@#".
+	if i := strings.Index(line, "#@#"); i >= 0 {
+		return parseElemHide(raw, line[:i], line[i+3:], true)
+	}
+	if i := strings.Index(line, "##"); i >= 0 {
+		return parseElemHide(raw, line[:i], line[i+2:], false)
+	}
+
+	return parseHTTP(raw, line)
+}
+
+// parseElemHide parses the element hiding form. prefix is the (possibly
+// empty) comma-separated domain list, sel the CSS selector text.
+func parseElemHide(raw, prefix, sel string, exception bool) (*Rule, error) {
+	r := &Rule{Raw: raw, Kind: KindElemHide}
+	if exception {
+		r.Kind = KindElemHideException
+	}
+	prefix = strings.TrimSpace(prefix)
+	if prefix != "" {
+		for _, d := range strings.Split(prefix, ",") {
+			d = strings.ToLower(strings.TrimSpace(d))
+			if d == "" {
+				continue
+			}
+			if strings.HasPrefix(d, "~") {
+				r.NotDomains = append(r.NotDomains, d[1:])
+			} else {
+				r.Domains = append(r.Domains, d)
+			}
+		}
+	}
+	selector, err := ParseSelector(strings.TrimSpace(sel))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrBadSelector, sel, err)
+	}
+	r.Selector = selector
+	return r, nil
+}
+
+// parseHTTP parses an HTTP request rule (blocking or "@@" exception).
+func parseHTTP(raw, line string) (*Rule, error) {
+	r := &Rule{Raw: raw, Kind: KindHTTPBlock}
+	if strings.HasPrefix(line, "@@") {
+		r.Kind = KindHTTPException
+		line = line[2:]
+	}
+
+	// Split off the "$options" suffix. A '$' inside the pattern is rare in
+	// practice; Adblock Plus treats the last '$' as the option separator
+	// when the suffix parses as options.
+	if i := strings.LastIndexByte(line, '$'); i >= 0 {
+		if opts := line[i+1:]; looksLikeOptions(opts) {
+			if err := r.parseOptions(opts); err != nil {
+				return nil, err
+			}
+			line = line[:i]
+		}
+	}
+
+	if strings.HasPrefix(line, "||") {
+		r.DomainAnchor = true
+		line = line[2:]
+	} else if strings.HasPrefix(line, "|") {
+		r.StartAnchor = true
+		line = line[1:]
+	}
+	if strings.HasSuffix(line, "|") {
+		r.EndAnchor = true
+		line = line[:len(line)-1]
+	}
+	if line == "" {
+		return nil, ErrEmptyPattern
+	}
+	r.Pattern = line
+	return r, nil
+}
+
+// looksLikeOptions reports whether s is plausibly a comma-separated option
+// list rather than part of the URL pattern.
+func looksLikeOptions(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, opt := range strings.Split(s, ",") {
+		opt = strings.TrimPrefix(strings.TrimSpace(opt), "~")
+		if opt == "" {
+			return false
+		}
+		name := opt
+		if i := strings.IndexByte(opt, '='); i >= 0 {
+			name = opt[:i]
+		}
+		if !isOptionName(strings.ToLower(name)) {
+			return false
+		}
+	}
+	return true
+}
+
+// knownOptions enumerates the filter options the engine understands. Options
+// the paper's lists use but that do not affect matching in our substrate
+// (e.g. collapse) are accepted and ignored.
+var knownOptions = map[string]bool{
+	"script": true, "image": true, "stylesheet": true, "object": true,
+	"xmlhttprequest": true, "subdocument": true, "document": true,
+	"elemhide": true, "popup": true, "other": true, "third-party": true,
+	"domain": true, "match-case": true, "collapse": true, "media": true,
+	"font": true, "websocket": true, "ping": true, "object-subrequest": true,
+	"genericblock": true, "generichide": true,
+}
+
+func isOptionName(name string) bool { return knownOptions[name] }
+
+// typeOptions maps option names to request types for content-type filtering.
+var typeOptions = map[string]RequestType{
+	"script": TypeScript, "image": TypeImage, "stylesheet": TypeStylesheet,
+	"object": TypeObject, "xmlhttprequest": TypeXHR,
+	"subdocument": TypeSubdocument, "document": TypeDocument,
+	"popup": TypePopup, "other": TypeOther, "media": TypeOther,
+	"font": TypeOther, "websocket": TypeOther, "ping": TypeOther,
+	"object-subrequest": TypeObject,
+}
+
+// parseOptions parses the comma-separated option list after '$'.
+func (r *Rule) parseOptions(opts string) error {
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		neg := strings.HasPrefix(opt, "~")
+		if neg {
+			opt = opt[1:]
+		}
+		name, value := opt, ""
+		if i := strings.IndexByte(opt, '='); i >= 0 {
+			name, value = opt[:i], opt[i+1:]
+		}
+		name = strings.ToLower(name)
+		switch {
+		case name == "domain":
+			for _, d := range strings.Split(value, "|") {
+				d = strings.ToLower(strings.TrimSpace(d))
+				if d == "" {
+					continue
+				}
+				if strings.HasPrefix(d, "~") {
+					r.NotDomains = append(r.NotDomains, d[1:])
+				} else {
+					r.Domains = append(r.Domains, d)
+				}
+			}
+		case name == "third-party":
+			if neg {
+				r.ThirdParty = -1
+			} else {
+				r.ThirdParty = +1
+			}
+		case name == "match-case":
+			r.MatchCase = true
+		case name == "elemhide":
+			r.DisableElemHide = true
+		case name == "generichide":
+			r.DisableGenericHide = true
+		case typeOptions[name] != "":
+			if neg {
+				r.NotTypes = append(r.NotTypes, typeOptions[name])
+			} else {
+				r.Types = append(r.Types, typeOptions[name])
+			}
+		case isOptionName(name):
+			// Recognized but irrelevant to our matcher (collapse, …).
+		default:
+			return fmt.Errorf("%w: %q", ErrBadOption, opt)
+		}
+	}
+	return nil
+}
+
+// ParseList parses an entire filter list body (one rule per line). Comments
+// and blank lines are skipped. Malformed rule lines are collected into errs
+// but do not abort parsing, matching how adblockers tolerate bad lines.
+func ParseList(body string) (rules []*Rule, errs []error) {
+	for _, line := range strings.Split(body, "\n") {
+		r, err := Parse(line)
+		switch {
+		case err == nil:
+			rules = append(rules, r)
+		case errors.Is(err, ErrEmptyLine), errors.Is(err, ErrCommentLine):
+			// skip
+		default:
+			errs = append(errs, fmt.Errorf("line %q: %w", line, err))
+		}
+	}
+	return rules, errs
+}

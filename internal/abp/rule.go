@@ -1,0 +1,256 @@
+package abp
+
+import (
+	"sort"
+	"strings"
+)
+
+// Kind identifies the broad category of a filter rule.
+type Kind int
+
+const (
+	// KindInvalid marks lines that could not be parsed as a rule.
+	KindInvalid Kind = iota
+	// KindComment marks comment lines (starting with "!") and section
+	// headers (starting with "[").
+	KindComment
+	// KindHTTPBlock is an HTTP request blocking rule.
+	KindHTTPBlock
+	// KindHTTPException is an HTTP request exception rule ("@@" prefix).
+	KindHTTPException
+	// KindElemHide is an HTML element hiding rule ("##" separator).
+	KindElemHide
+	// KindElemHideException is an element hiding exception rule ("#@#").
+	KindElemHideException
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindComment:
+		return "comment"
+	case KindHTTPBlock:
+		return "http-block"
+	case KindHTTPException:
+		return "http-exception"
+	case KindElemHide:
+		return "elemhide"
+	case KindElemHideException:
+		return "elemhide-exception"
+	default:
+		return "invalid"
+	}
+}
+
+// Class is the six-way taxonomy of Figure 1 in the paper. Every non-comment
+// rule belongs to exactly one class.
+type Class int
+
+const (
+	// ClassUnknown is returned for comments and invalid lines.
+	ClassUnknown Class = iota
+	// ClassHTMLNoDomain is an element hiding rule without a domain prefix
+	// (applies on every website), e.g. "###examplebanner".
+	ClassHTMLNoDomain
+	// ClassHTMLWithDomain is an element hiding rule restricted to one or
+	// more domains, e.g. "example.com###examplebanner".
+	ClassHTMLWithDomain
+	// ClassHTTPPlain is an HTTP rule with neither a domain anchor ("||")
+	// nor a domain tag ("$domain="), e.g. "/ads.js?".
+	ClassHTTPPlain
+	// ClassHTTPAnchor is an HTTP rule with only a domain anchor,
+	// e.g. "||example.com^".
+	ClassHTTPAnchor
+	// ClassHTTPTag is an HTTP rule with only a domain tag,
+	// e.g. "/ads.js$domain=example.com".
+	ClassHTTPTag
+	// ClassHTTPAnchorTag is an HTTP rule with both a domain anchor and a
+	// domain tag, e.g. "||cdn.com^$domain=example.com".
+	ClassHTTPAnchorTag
+)
+
+// classNames indexes Class values; keep in sync with the constants above.
+var classNames = [...]string{
+	"unknown",
+	"HTML rules without domain",
+	"HTML rules with domain",
+	"HTTP rules without domain anchor and tag",
+	"HTTP rules with domain anchor",
+	"HTTP rules with domain tag",
+	"HTTP rules with domain anchor and tag",
+}
+
+// String returns the label used for the class in Figure 1 of the paper.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return "unknown"
+	}
+	return classNames[c]
+}
+
+// AllClasses lists the six rule classes in Figure 1 order.
+var AllClasses = []Class{
+	ClassHTMLNoDomain,
+	ClassHTMLWithDomain,
+	ClassHTTPPlain,
+	ClassHTTPAnchor,
+	ClassHTTPTag,
+	ClassHTTPAnchorTag,
+}
+
+// RequestType classifies the resource an HTTP request loads, mirroring the
+// Adblock Plus content-type options.
+type RequestType string
+
+// Request types understood by the matcher. TypeOther covers everything else.
+const (
+	TypeScript      RequestType = "script"
+	TypeImage       RequestType = "image"
+	TypeStylesheet  RequestType = "stylesheet"
+	TypeObject      RequestType = "object"
+	TypeXHR         RequestType = "xmlhttprequest"
+	TypeSubdocument RequestType = "subdocument"
+	TypeDocument    RequestType = "document"
+	TypePopup       RequestType = "popup"
+	TypeOther       RequestType = "other"
+)
+
+// Rule is a single parsed filter rule. The zero value is an invalid rule;
+// use Parse to construct rules.
+type Rule struct {
+	// Raw is the original filter list line, unchanged.
+	Raw string
+	// Kind is the rule's broad category.
+	Kind Kind
+
+	// Pattern is the URL pattern of an HTTP rule with anchors stripped:
+	// the text after "||", between "|...|", or the bare pattern.
+	Pattern string
+	// DomainAnchor is true for "||" rules (match at a domain boundary of
+	// the request host).
+	DomainAnchor bool
+	// StartAnchor and EndAnchor are true when the pattern is pinned to
+	// the start or end of the URL with "|".
+	StartAnchor bool
+	EndAnchor   bool
+
+	// Types holds the positive content-type options ($script, $image, …).
+	// Empty means the rule applies to every request type.
+	Types []RequestType
+	// NotTypes holds negated content-type options ($~script, …).
+	NotTypes []RequestType
+	// ThirdParty is +1 for $third-party, -1 for $~third-party, 0 if unset.
+	ThirdParty int
+	// MatchCase reports the $match-case option.
+	MatchCase bool
+	// DisableElemHide reports the $elemhide option: an exception rule
+	// carrying it turns element hiding off on matching pages.
+	DisableElemHide bool
+	// DisableGenericHide reports the $generichide option: an exception
+	// rule carrying it disables only generic (domain-less) hiding rules.
+	DisableGenericHide bool
+	// Domains and NotDomains come from the $domain= option of HTTP rules
+	// or the domain prefix of element hiding rules. Lower-cased.
+	Domains    []string
+	NotDomains []string
+
+	// Selector is the element hiding selector (after "##" / "#@#").
+	Selector *Selector
+
+	matcher *urlMatcher // lazily compiled by compile()
+}
+
+// IsException reports whether the rule is an exception (allow) rule.
+func (r *Rule) IsException() bool {
+	return r.Kind == KindHTTPException || r.Kind == KindElemHideException
+}
+
+// IsHTTP reports whether the rule matches HTTP requests.
+func (r *Rule) IsHTTP() bool {
+	return r.Kind == KindHTTPBlock || r.Kind == KindHTTPException
+}
+
+// IsElemHide reports whether the rule hides HTML elements.
+func (r *Rule) IsElemHide() bool {
+	return r.Kind == KindElemHide || r.Kind == KindElemHideException
+}
+
+// HasDomainTag reports whether the rule carries a $domain= option or an
+// element-hiding domain prefix.
+func (r *Rule) HasDomainTag() bool {
+	return len(r.Domains) > 0 || len(r.NotDomains) > 0
+}
+
+// Class returns the rule's position in the six-way taxonomy of Figure 1.
+func (r *Rule) Class() Class {
+	switch {
+	case r.IsElemHide():
+		if len(r.Domains) > 0 || len(r.NotDomains) > 0 {
+			return ClassHTMLWithDomain
+		}
+		return ClassHTMLNoDomain
+	case r.IsHTTP():
+		tag := r.HasDomainTag()
+		switch {
+		case r.DomainAnchor && tag:
+			return ClassHTTPAnchorTag
+		case r.DomainAnchor:
+			return ClassHTTPAnchor
+		case tag:
+			return ClassHTTPTag
+		default:
+			return ClassHTTPPlain
+		}
+	default:
+		return ClassUnknown
+	}
+}
+
+// TargetDomains returns the set of domains the rule is scoped to: the
+// positive $domain= / prefix domains plus, for domain-anchored rules, the
+// registrable domain extracted from the pattern. The result is sorted and
+// deduplicated. Rules with no domain scope return nil.
+func (r *Rule) TargetDomains() []string {
+	seen := make(map[string]bool)
+	for _, d := range r.Domains {
+		seen[d] = true
+	}
+	if r.DomainAnchor {
+		if d := anchorDomain(r.Pattern); d != "" {
+			seen[d] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// anchorDomain extracts the host portion at the front of a "||" pattern:
+// everything up to the first '/', '^', '*', '$', or '|'.
+func anchorDomain(pattern string) string {
+	end := len(pattern)
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '/', '^', '*', '$', '|', '?':
+			end = i
+		}
+		if end != len(pattern) {
+			break
+		}
+	}
+	host := strings.ToLower(pattern[:end])
+	host = strings.TrimSuffix(host, ".")
+	if host == "" || strings.ContainsAny(host, " \t") {
+		return ""
+	}
+	return host
+}
+
+// String returns the rule in filter list syntax (its original raw line).
+func (r *Rule) String() string { return r.Raw }

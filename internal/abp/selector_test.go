@@ -1,0 +1,118 @@
+package abp
+
+import "testing"
+
+func el(tag, id string, classes ...string) *Element {
+	return &Element{Tag: tag, ID: id, Classes: classes}
+}
+
+func TestSelectorID(t *testing.T) {
+	s, err := ParseSelector("#noticeMain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Match(el("div", "noticeMain")) {
+		t.Error("want match by id")
+	}
+	if s.Match(el("div", "other")) {
+		t.Error("must not match different id")
+	}
+}
+
+func TestSelectorClass(t *testing.T) {
+	s, err := ParseSelector(".adblock-notice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Match(el("div", "", "wrap", "adblock-notice")) {
+		t.Error("want match by class")
+	}
+	if s.Match(el("div", "", "adblock")) {
+		t.Error("must not match partial class token")
+	}
+}
+
+func TestSelectorTagCompound(t *testing.T) {
+	s, err := ParseSelector("div#overlay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Match(el("div", "overlay")) {
+		t.Error("want match tag+id")
+	}
+	if s.Match(el("span", "overlay")) {
+		t.Error("must not match wrong tag")
+	}
+}
+
+func TestSelectorAttribute(t *testing.T) {
+	s, err := ParseSelector(`div[data-role="bait"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := el("div", "")
+	e.Attrs = map[string]string{"data-role": "bait"}
+	if !s.Match(e) {
+		t.Error("want attribute match")
+	}
+	e.Attrs["data-role"] = "content"
+	if s.Match(e) {
+		t.Error("must not match wrong attribute value")
+	}
+}
+
+func TestSelectorAttrPrefixAndSubstr(t *testing.T) {
+	pre, err := ParseSelector(`[id^="ad-"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Match(el("div", "ad-banner")) {
+		t.Error("prefix predicate should match")
+	}
+	if pre.Match(el("div", "brand-ad-banner")) {
+		t.Error("prefix predicate must anchor at start")
+	}
+	sub, err := ParseSelector(`[class*="block"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Match(el("div", "", "adblocker-note")) {
+		t.Error("substring predicate should match")
+	}
+}
+
+func TestSelectorRejectsCombinators(t *testing.T) {
+	for _, bad := range []string{"div p", "a > b", "x + y", "p ~ q", "a, b"} {
+		if _, err := ParseSelector(bad); err == nil {
+			t.Errorf("ParseSelector(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSelectorRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"", "#", ".", "[unterminated", "##", "div##"} {
+		if _, err := ParseSelector(bad); err == nil {
+			t.Errorf("ParseSelector(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSelectorMultipleClasses(t *testing.T) {
+	s, err := ParseSelector(".a.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Match(el("div", "", "b", "a", "c")) {
+		t.Error("want match when all classes present")
+	}
+	if s.Match(el("div", "", "a")) {
+		t.Error("must require every class")
+	}
+}
+
+func TestSelectorNilElement(t *testing.T) {
+	s, _ := ParseSelector("#x")
+	if s.Match(nil) {
+		t.Error("nil element must not match")
+	}
+}

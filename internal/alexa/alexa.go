@@ -1,0 +1,209 @@
+// Package alexa provides the synthetic domain universe that stands in for
+// the Alexa rankings and McAfee's URL categorization service (DESIGN.md,
+// substitutions). Domains get deterministic names, Zipf-flavored popularity
+// ranks, and one of the fifteen categories Figure 2 of the paper plots
+// (plus Others).
+package alexa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Category labels a website the way the paper's McAfee-based
+// categorization does (Figure 2's x axis).
+type Category int
+
+// The top-15 categories of Figure 2, plus Others.
+const (
+	CatInternetServices Category = iota
+	CatEntertainment
+	CatBlogsForums
+	CatGames
+	CatIllegalSoftware
+	CatBusiness
+	CatStreamingSharing
+	CatGeneralNews
+	CatMarketing
+	CatSports
+	CatPersonalStorage
+	CatShareware
+	CatWebAds
+	CatMaliciousSites
+	CatPornography
+	CatOthers
+	numCategories
+)
+
+var categoryNames = [...]string{
+	"Internet Services", "Entertainment", "Blogs/Forums", "Games",
+	"Illegal Software", "Business", "Streaming/Sharing", "General News",
+	"Marketing", "Sports", "Personal Storage", "Shareware", "Web Ads",
+	"Malicious Sites", "Pornography", "Others",
+}
+
+// String returns the Figure 2 label of the category.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return "Others"
+	}
+	return categoryNames[c]
+}
+
+// Categories lists all categories in Figure 2 order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// categoryWeights shape the category mix of the universe. Streaming,
+// entertainment, and news sites are where anti-adblockers concentrate
+// (Rafique et al. found 16.3% on free live streaming sites), so they get
+// substantial mass.
+var categoryWeights = [...]float64{
+	CatInternetServices: 0.14, CatEntertainment: 0.11, CatBlogsForums: 0.09,
+	CatGames: 0.07, CatIllegalSoftware: 0.04, CatBusiness: 0.09,
+	CatStreamingSharing: 0.07, CatGeneralNews: 0.08, CatMarketing: 0.05,
+	CatSports: 0.05, CatPersonalStorage: 0.03, CatShareware: 0.03,
+	CatWebAds: 0.03, CatMaliciousSites: 0.02, CatPornography: 0.04,
+	CatOthers: 0.06,
+}
+
+// Site is one ranked, categorized domain.
+type Site struct {
+	// Domain is the registrable domain name.
+	Domain string
+	// Rank is the Alexa-style global popularity rank (1 = most popular).
+	Rank int
+	// Category is the McAfee-style category.
+	Category Category
+}
+
+// Universe is a fixed snapshot of the synthetic web's rankings. Build with
+// NewUniverse; lookups are O(1).
+type Universe struct {
+	sites    []*Site
+	byDomain map[string]*Site
+}
+
+// domain name fragments, chosen to look like the real web without colliding
+// with well-known real domains.
+var (
+	prefixes = []string{
+		"daily", "super", "mega", "top", "my", "the", "go", "all", "best",
+		"free", "live", "web", "net", "pro", "quick", "smart", "true",
+		"prime", "global", "ultra", "easy", "fast", "open", "real", "blue",
+		"red", "silver", "gold", "zen", "nova", "astro", "pixel", "cyber",
+		"hyper", "meta", "giga", "terra", "alpha", "delta", "omni",
+	}
+	stems = map[Category][]string{
+		CatInternetServices: {"mail", "search", "cloud", "host", "dns", "cdn", "api", "portal"},
+		CatEntertainment:    {"movies", "tv", "shows", "celeb", "fun", "clips", "cinema", "series"},
+		CatBlogsForums:      {"blog", "forum", "board", "talk", "threads", "posts", "diary"},
+		CatGames:            {"games", "play", "arcade", "quest", "pixelgame", "clan", "guild"},
+		CatIllegalSoftware:  {"warez", "cracks", "keygen", "serials", "patch"},
+		CatBusiness:         {"biz", "corp", "trade", "invest", "finance", "market", "office"},
+		CatStreamingSharing: {"stream", "video", "watch", "share", "torrent", "tube", "cast"},
+		CatGeneralNews:      {"news", "times", "daily", "press", "headline", "report", "wire"},
+		CatMarketing:        {"ads", "promo", "leads", "brand", "click", "banner"},
+		CatSports:           {"sports", "score", "league", "match", "goal", "racing"},
+		CatPersonalStorage:  {"files", "drive", "box", "vault", "backup", "locker"},
+		CatShareware:        {"download", "soft", "apps", "tools", "install"},
+		CatWebAds:           {"adserve", "track", "metrics", "pixelad", "impress"},
+		CatMaliciousSites:   {"prize", "winner", "lucky", "bonus", "alertz"},
+		CatPornography:      {"adultx", "camsx", "nsfwhub"},
+		CatOthers:           {"stuff", "misc", "hub", "spot", "zone", "place", "world"},
+	}
+	tlds = []string{".com", ".com", ".com", ".net", ".org", ".tv", ".io", ".info", ".co"}
+)
+
+// NewUniverse builds a deterministic universe of n ranked domains.
+func NewUniverse(n int, seed int64) *Universe {
+	rng := rand.New(rand.NewSource(seed))
+	u := &Universe{byDomain: make(map[string]*Site, n)}
+	seen := make(map[string]bool, n)
+	cats := Categories()
+	for rank := 1; rank <= n; rank++ {
+		cat := sampleCategory(rng, cats)
+		domain := ""
+		for attempt := 0; ; attempt++ {
+			st := stems[cat][rng.Intn(len(stems[cat]))]
+			pre := prefixes[rng.Intn(len(prefixes))]
+			tld := tlds[rng.Intn(len(tlds))]
+			domain = pre + st + tld
+			if attempt > 4 {
+				domain = fmt.Sprintf("%s%s%d%s", pre, st, rng.Intn(10000), tld)
+			}
+			if !seen[domain] {
+				break
+			}
+		}
+		seen[domain] = true
+		s := &Site{Domain: domain, Rank: rank, Category: cat}
+		u.sites = append(u.sites, s)
+		u.byDomain[domain] = s
+	}
+	return u
+}
+
+func sampleCategory(rng *rand.Rand, cats []Category) Category {
+	r := rng.Float64()
+	acc := 0.0
+	for _, c := range cats {
+		acc += categoryWeights[c]
+		if r < acc {
+			return c
+		}
+	}
+	return CatOthers
+}
+
+// Len returns the universe size.
+func (u *Universe) Len() int { return len(u.sites) }
+
+// Top returns the n highest-ranked sites (all sites when n exceeds the
+// universe). The returned slice must not be modified.
+func (u *Universe) Top(n int) []*Site {
+	if n > len(u.sites) {
+		n = len(u.sites)
+	}
+	return u.sites[:n]
+}
+
+// Site looks a domain up.
+func (u *Universe) Site(domain string) (*Site, bool) {
+	s, ok := u.byDomain[domain]
+	return s, ok
+}
+
+// Rank returns a domain's rank, or 0 when the domain is outside the
+// universe (the paper buckets such domains as ">1M").
+func (u *Universe) Rank(domain string) int {
+	if s, ok := u.byDomain[domain]; ok {
+		return s.Rank
+	}
+	return 0
+}
+
+// RankBucket maps a rank to the Table 1 buckets. Rank 0 (unknown domain)
+// lands in ">1M".
+func RankBucket(rank int) string {
+	switch {
+	case rank >= 1 && rank <= 5000:
+		return "1-5K"
+	case rank > 5000 && rank <= 10000:
+		return "5K-10K"
+	case rank > 10000 && rank <= 100000:
+		return "10K-100K"
+	case rank > 100000 && rank <= 1000000:
+		return "100K-1M"
+	default:
+		return ">1M"
+	}
+}
+
+// RankBuckets lists the Table 1 bucket labels in order.
+var RankBuckets = []string{"1-5K", "5K-10K", "10K-100K", "100K-1M", ">1M"}

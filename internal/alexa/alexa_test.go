@@ -1,0 +1,103 @@
+package alexa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewUniverseDeterministic(t *testing.T) {
+	u1 := NewUniverse(1000, 42)
+	u2 := NewUniverse(1000, 42)
+	if u1.Len() != 1000 || u2.Len() != 1000 {
+		t.Fatalf("sizes = %d, %d", u1.Len(), u2.Len())
+	}
+	for i, s := range u1.Top(1000) {
+		o := u2.Top(1000)[i]
+		if s.Domain != o.Domain || s.Rank != o.Rank || s.Category != o.Category {
+			t.Fatalf("universe not deterministic at rank %d", i+1)
+		}
+	}
+}
+
+func TestUniverseUniqueDomains(t *testing.T) {
+	u := NewUniverse(5000, 7)
+	seen := make(map[string]bool)
+	for _, s := range u.Top(5000) {
+		if seen[s.Domain] {
+			t.Fatalf("duplicate domain %q", s.Domain)
+		}
+		seen[s.Domain] = true
+		if !strings.Contains(s.Domain, ".") {
+			t.Fatalf("domain %q has no TLD", s.Domain)
+		}
+	}
+}
+
+func TestUniverseRanks(t *testing.T) {
+	u := NewUniverse(100, 1)
+	top := u.Top(10)
+	if len(top) != 10 {
+		t.Fatalf("Top(10) = %d sites", len(top))
+	}
+	for i, s := range top {
+		if s.Rank != i+1 {
+			t.Fatalf("rank %d at position %d", s.Rank, i)
+		}
+	}
+	if got := u.Top(1000); len(got) != 100 {
+		t.Fatalf("oversized Top = %d", len(got))
+	}
+	first := top[0]
+	if r := u.Rank(first.Domain); r != 1 {
+		t.Fatalf("Rank(%q) = %d", first.Domain, r)
+	}
+	if r := u.Rank("unknown.example"); r != 0 {
+		t.Fatalf("Rank(unknown) = %d, want 0", r)
+	}
+	if _, ok := u.Site(first.Domain); !ok {
+		t.Fatal("Site lookup failed")
+	}
+}
+
+func TestRankBucket(t *testing.T) {
+	cases := map[int]string{
+		1: "1-5K", 5000: "1-5K", 5001: "5K-10K", 10000: "5K-10K",
+		10001: "10K-100K", 100000: "10K-100K", 100001: "100K-1M",
+		1000000: "100K-1M", 1000001: ">1M", 0: ">1M",
+	}
+	for rank, want := range cases {
+		if got := RankBucket(rank); got != want {
+			t.Errorf("RankBucket(%d) = %q, want %q", rank, got, want)
+		}
+	}
+}
+
+func TestCategoryDistribution(t *testing.T) {
+	u := NewUniverse(10000, 3)
+	counts := make(map[Category]int)
+	for _, s := range u.Top(10000) {
+		counts[s.Category]++
+	}
+	// Every category should be represented in a 10K universe.
+	for _, c := range Categories() {
+		if counts[c] == 0 {
+			t.Errorf("category %v empty", c)
+		}
+	}
+	// Internet services should outnumber pornography per the weights.
+	if counts[CatInternetServices] <= counts[CatPornography] {
+		t.Error("category weights not respected")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatStreamingSharing.String() != "Streaming/Sharing" {
+		t.Error("category label mismatch")
+	}
+	if Category(99).String() != "Others" {
+		t.Error("out-of-range category should read Others")
+	}
+	if len(Categories()) != 16 {
+		t.Errorf("categories = %d, want 16", len(Categories()))
+	}
+}

@@ -1,0 +1,276 @@
+package antiadblock
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BenignKind enumerates the non-anti-adblock script families of the
+// synthetic web; they are the negative class of §5's training corpus.
+type BenignKind int
+
+const (
+	// BenignUILibrary is a jQuery-style DOM utility.
+	BenignUILibrary BenignKind = iota
+	// BenignAnalytics is a page-view beacon.
+	BenignAnalytics
+	// BenignCarousel is an image slider widget.
+	BenignCarousel
+	// BenignFormValidation validates form fields.
+	BenignFormValidation
+	// BenignSocialWidget injects share buttons.
+	BenignSocialWidget
+	// BenignLazyLoader defers image loading.
+	BenignLazyLoader
+	// BenignCookieConsent shows a consent banner.
+	BenignCookieConsent
+	// BenignAdViewability measures whether ads are actually visible —
+	// it probes the same element geometry an HTML bait does, making it
+	// the classic false-positive source.
+	BenignAdViewability
+	// BenignScriptLoader loads a CDN script with an onerror fallback —
+	// the same injection-plus-error-hook shape as an HTTP bait.
+	BenignScriptLoader
+	// BenignModal is an overlay dialog library: hidden divs, display
+	// toggles, getComputedStyle checks.
+	BenignModal
+	// BenignThemeBundle is a site bundle (theme/plugin build) that ships
+	// a dormant adblock detector the site never enables. No bait request
+	// ever fires, so filter lists never flag the site — but a static
+	// classifier sees detector code and (correctly) raises it. This is
+	// the dominant "false positive" source of §5's evaluation.
+	BenignThemeBundle
+	numBenignKinds
+)
+
+// BenignKinds lists every benign script family.
+func BenignKinds() []BenignKind {
+	out := make([]BenignKind, numBenignKinds)
+	for i := range out {
+		out[i] = BenignKind(i)
+	}
+	return out
+}
+
+// BenignScript generates a benign script of the given kind with randomized
+// identifiers/literals. Some families intentionally share API surface with
+// anti-adblockers (DOM creation, styles, cookies) so the classifier faces
+// realistic confusable negatives — the source of the paper's 3–9% FP rates.
+func BenignScript(kind BenignKind, rng *rand.Rand, opt GenOptions) string {
+	var src string
+	switch kind {
+	case BenignUILibrary:
+		ns := randIdent(rng, "util")
+		src = fmt.Sprintf(`
+var %[1]s = {};
+%[1]s.byId = function (id) { return document.getElementById(id); };
+%[1]s.each = function (list, fn) {
+  for (var i = 0; i < list.length; i++) { fn(list[i], i); }
+};
+%[1]s.addClass = function (el, cls) {
+  if (el.className.indexOf(cls) < 0) { el.className = el.className + ' ' + cls; }
+};
+%[1]s.ready = function (fn) {
+  if (document.readyState != 'loading') { fn(); }
+  else { document.addEventListener('DOMContentLoaded', fn); }
+};
+`, ns)
+	case BenignAnalytics:
+		fn := randIdent(rng, "track")
+		acct := rng.Intn(99999)
+		src = fmt.Sprintf(`
+var %[1]s = function (event, value) {
+  var img = new Image();
+  img.src = '/collect?a=%[2]d&e=' + encodeURIComponent(event) +
+    '&v=' + encodeURIComponent(value) + '&t=' + new Date().getTime() +
+    '&r=' + encodeURIComponent(document.referrer);
+};
+%[1]s('pageview', window.location.pathname);
+window.addEventListener('beforeunload', function () { %[1]s('leave', '1'); });
+`, fn, acct)
+	case BenignCarousel:
+		cls := randIdent(rng, "slider")
+		ms := 2000 + 500*rng.Intn(8)
+		src = fmt.Sprintf(`
+function %[1]s(container) {
+  var slides = container.children;
+  var current = 0;
+  function show(i) {
+    for (var j = 0; j < slides.length; j++) {
+      slides[j].style.display = (j == i) ? 'block' : 'none';
+    }
+  }
+  show(0);
+  setInterval(function () {
+    current = (current + 1) %% slides.length;
+    show(current);
+  }, %[2]d);
+}
+var carousels = document.getElementsByClassName('carousel');
+for (var ci = 0; ci < carousels.length; ci++) { %[1]s(carousels[ci]); }
+`, cls, ms)
+	case BenignFormValidation:
+		fn := randIdent(rng, "validate")
+		src = fmt.Sprintf(`
+function %[1]s(form) {
+  var ok = true;
+  var fields = form.getElementsByTagName('input');
+  for (var i = 0; i < fields.length; i++) {
+    var f = fields[i];
+    if (f.getAttribute('required') !== null && f.value === '') {
+      f.style.borderColor = 'red';
+      ok = false;
+    }
+    if (f.getAttribute('type') === 'email' && f.value.indexOf('@') < 0) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+`, fn)
+	case BenignSocialWidget:
+		fn := randIdent(rng, "share")
+		src = fmt.Sprintf(`
+var %[1]s = function (network) {
+  var url = encodeURIComponent(window.location.href);
+  var title = encodeURIComponent(document.title);
+  var popup = 'https://social.example/' + network + '?u=' + url + '&t=' + title;
+  window.open(popup, 'share', 'width=600,height=400');
+};
+var buttons = document.getElementsByClassName('share-btn');
+for (var i = 0; i < buttons.length; i++) {
+  buttons[i].addEventListener('click', function (e) {
+    %[1]s(e.target.getAttribute('data-network'));
+  });
+}
+`, fn)
+	case BenignLazyLoader:
+		fn := randIdent(rng, "lazy")
+		src = fmt.Sprintf(`
+function %[1]s() {
+  var imgs = document.querySelectorAll('img[data-src]');
+  for (var i = 0; i < imgs.length; i++) {
+    var rect = imgs[i].getBoundingClientRect();
+    if (rect.top < window.innerHeight + 200) {
+      imgs[i].src = imgs[i].getAttribute('data-src');
+      imgs[i].removeAttribute('data-src');
+    }
+  }
+}
+window.addEventListener('scroll', %[1]s);
+%[1]s();
+`, fn)
+	case BenignCookieConsent:
+		fn := randIdent(rng, "consent")
+		cookie := "cc_" + randIdent(rng, "seen")
+		src = fmt.Sprintf(`
+var %[1]s = function () {
+  if (document.cookie.indexOf('%[2]s=1') >= 0) { return; }
+  var bar = document.createElement('div');
+  bar.setAttribute('class', 'cookie-consent');
+  bar.style.position = 'fixed';
+  bar.style.bottom = '0';
+  var btn = document.createElement('button');
+  btn.addEventListener('click', function () {
+    var d = new Date();
+    d.setTime(d.getTime() + 365 * 24 * 60 * 60 * 1000);
+    document.cookie = '%[2]s=1; expires=' + d.toUTCString() + '; path=/';
+    document.body.removeChild(bar);
+  });
+  bar.appendChild(btn);
+  document.body.appendChild(bar);
+};
+%[1]s();
+`, fn, cookie)
+	case BenignAdViewability:
+		fn := randIdent(rng, "viewable")
+		threshold := 30 + 10*rng.Intn(5)
+		src = fmt.Sprintf(`
+function %[1]s(slot) {
+  var visible = true;
+  if (slot.offsetParent === null || slot.offsetHeight == 0 || slot.offsetWidth == 0) {
+    visible = false;
+  }
+  var rect = slot.getBoundingClientRect();
+  if (rect.top > window.innerHeight || rect.bottom < 0) {
+    visible = false;
+  }
+  var img = new Image();
+  img.src = '/viewability?slot=' + slot.id + '&v=' + (visible ? 1 : 0) +
+    '&h=' + slot.clientHeight + '&w=' + slot.clientWidth;
+  return visible;
+}
+setTimeout(function () {
+  var slots = document.getElementsByClassName('ad-slot');
+  for (var i = 0; i < slots.length; i++) { %[1]s(slots[i]); }
+}, %[2]d0);
+`, fn, threshold)
+	case BenignScriptLoader:
+		fn := randIdent(rng, "loadLib")
+		lib := []string{"jquery", "react", "vue", "d3", "lodash"}[rng.Intn(5)]
+		src = fmt.Sprintf(`
+var %[1]s = function (primary, fallback, done) {
+  var s = document.createElement('script');
+  s.setAttribute('async', true);
+  s.setAttribute('src', primary);
+  s.setAttribute('onerror', "window.%[1]sFailed(true);");
+  s.setAttribute('onload', "window.%[1]sFailed(false);");
+  window.%[1]sFailed = function (failed) {
+    if (failed) {
+      var f = document.createElement('script');
+      f.src = fallback;
+      document.getElementsByTagName('head')[0].appendChild(f);
+    }
+    if (done) { done(failed); }
+  };
+  document.getElementsByTagName('head')[0].appendChild(s);
+};
+%[1]s('//cdn.example/%[2]s.min.js', '/local/%[2]s.min.js', null);
+`, fn, lib)
+	case BenignModal:
+		fn := randIdent(rng, "modal")
+		src = fmt.Sprintf(`
+function %[1]s(id) {
+  this.el = document.getElementById(id);
+  this.backdrop = document.createElement('div');
+  this.backdrop.setAttribute('class', 'modal-backdrop');
+  this.backdrop.setAttribute('style', 'position: fixed; top: 0; left: 0; width: 100%%; height: 100%%;');
+}
+%[1]s.prototype.open = function () {
+  document.body.appendChild(this.backdrop);
+  this.el.style.display = 'block';
+  this.el.style.zIndex = '9000';
+  var cs = window.getComputedStyle(this.el, null);
+  if (cs && cs.visibility == 'hidden') {
+    this.el.style.visibility = 'visible';
+  }
+};
+%[1]s.prototype.close = function () {
+  this.el.style.display = 'none';
+  if (this.backdrop.parentNode !== null) {
+    document.body.removeChild(this.backdrop);
+  }
+};
+`, fn)
+	case BenignThemeBundle:
+		// A utility library plus an inert, never-invoked detector —
+		// syntactically indistinguishable from the real thing.
+		body := BenignScript(BenignUILibrary, rng, GenOptions{})
+		detector := HTMLBaitScript("themeAdbNotice", rng, GenOptions{})
+		src = body + "\nfunction initThemeAdbGuard() {\n" + detector + "\n}\n"
+	default:
+		src = "var noop = 1;\n"
+	}
+	return finish(src, rng, opt)
+}
+
+// RandomBenignScript picks a family at random and generates a script.
+// Theme bundles with dormant detectors appear at half the weight of the
+// other families (they are common, but not one-in-ten common).
+func RandomBenignScript(rng *rand.Rand, opt GenOptions) string {
+	kind := BenignKind(rng.Intn(int(numBenignKinds)))
+	if kind == BenignThemeBundle && rng.Float64() < 0.5 {
+		kind = BenignKind(rng.Intn(int(numBenignKinds - 1)))
+	}
+	return BenignScript(kind, rng, opt)
+}

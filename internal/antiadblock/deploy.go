@@ -1,0 +1,139 @@
+package antiadblock
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/web"
+)
+
+// Deployment records one site adopting anti-adblocking: the ground truth
+// the retrospective measurement (§4) and the filter-list curation model
+// (listgen) both consume.
+type Deployment struct {
+	// SiteDomain is the publisher's domain.
+	SiteDomain string
+	// Vendor supplies the detection script.
+	Vendor *Vendor
+	// Start is when the anti-adblocker went live on the site.
+	Start time.Time
+	// End is when the site removed it (zero = still deployed).
+	End time.Time
+	// NoticeID is the DOM id of the warning overlay the script reveals;
+	// HTML element filter rules target it.
+	NoticeID string
+	// BaitPath is the site-local bait request path (HTTP bait technique).
+	BaitPath string
+	// ScriptURL is where the detector script is loaded from.
+	ScriptURL string
+}
+
+// noticeIDPool mirrors the ids real anti-adblock notices use
+// (cf. "noticeMain" on smashboards.com, "ra9e"/"notice" on yocast.tv).
+var noticeIDPool = []string{
+	"noticeMain", "adblock-notice", "abWarning", "blockerOverlay",
+	"disableAdblockMsg", "notice", "adbDetected", "pleaseWhitelist",
+	"ra9e", "abMsgBox", "adblockModal", "supportUsOverlay",
+}
+
+var baitPathPool = []string{
+	"/ads.js", "/advertising.js", "/adsbygoogle.js", "/js/ads.js",
+	"/assets/ad-loader.js", "/static/showads.js", "/banner/ads.js",
+}
+
+// variantScriptNames are the self-hosted detector filenames publishers
+// invent when they hand-roll or rename their anti-adblock script; broad
+// path rules miss these.
+var variantScriptNames = []string{
+	"ab-shield", "adcheck", "blockdetect", "noadblock", "abwatch",
+	"sponsor-guard", "revenue-keeper",
+}
+
+// NewDeployment creates a deployment of vendor v on a site starting at t.
+// The rng individualizes the notice id and bait path per site. First-party
+// "Custom" detectors usually live at a site-specific path rather than the
+// canonical one, which is why broad path rules cover only a fraction of
+// them (§3.3's staleness/coverage gap).
+func NewDeployment(siteDomain string, v *Vendor, start time.Time, rng *rand.Rand) *Deployment {
+	notice := noticeIDPool[rng.Intn(len(noticeIDPool))]
+	if rng.Float64() < 0.4 {
+		notice = fmt.Sprintf("%s%d", notice, rng.Intn(100))
+	}
+	scriptURL := v.ScriptURL(siteDomain)
+	if v.Name == "Custom" && rng.Float64() < 0.55 {
+		scriptURL = fmt.Sprintf("http://%s/js/%s%d.js", siteDomain,
+			variantScriptNames[rng.Intn(len(variantScriptNames))], rng.Intn(100))
+	}
+	return &Deployment{
+		SiteDomain: siteDomain,
+		Vendor:     v,
+		Start:      start,
+		NoticeID:   notice,
+		BaitPath:   baitPathPool[rng.Intn(len(baitPathPool))],
+		ScriptURL:  scriptURL,
+	}
+}
+
+// CanonicalScript reports whether the deployment loads the vendor's
+// canonical script URL (generic path rules only match canonical
+// deployments).
+func (d *Deployment) CanonicalScript() bool {
+	return d.ScriptURL == d.Vendor.ScriptURL(d.SiteDomain)
+}
+
+// ActiveAt reports whether the deployment is live at time t.
+func (d *Deployment) ActiveAt(t time.Time) bool {
+	if t.Before(d.Start) {
+		return false
+	}
+	return d.End.IsZero() || t.Before(d.End)
+}
+
+// BaitURL returns the absolute URL of the site-local HTTP bait.
+func (d *Deployment) BaitURL() string {
+	return "http://" + d.SiteDomain + d.BaitPath
+}
+
+// Apply injects the deployment into a page: the detector script tag and
+// request, the HTTP bait request (when the technique uses one), the hidden
+// warning overlay element, and — for HTML bait — the bait div the script
+// creates at runtime. The rng drives script-body randomization and must be
+// seeded per site for stable page content across re-crawls.
+func (d *Deployment) Apply(p *web.Page, rng *rand.Rand, opt GenOptions) {
+	head, body := p.Head(), p.Body()
+	if head == nil || body == nil {
+		return
+	}
+
+	// Warning overlay, hidden until the detector fires.
+	overlay := web.NewElement("div", d.NoticeID, "adblock-wall")
+	overlay.SetStyle("display", "none")
+	overlay.Text = noticeMessages[rng.Intn(len(noticeMessages))]
+	body.Append(overlay)
+
+	// Detector script element + its network request.
+	script := web.NewElement("script", "")
+	script.SetAttr("src", d.ScriptURL)
+	head.Append(script)
+	p.AddRequest(d.ScriptURL, abp.TypeScript)
+	p.Scripts = append(p.Scripts, web.Script{
+		URL:         d.ScriptURL,
+		Source:      VendorScript(d.Vendor, d.BaitURL(), d.NoticeID, rng, opt),
+		AntiAdblock: true,
+	})
+
+	if d.Vendor.Technique.UsesHTTP() {
+		// The bait request the detector issues.
+		p.AddRequest(d.BaitURL(), abp.TypeScript)
+	}
+	if d.Vendor.Technique.UsesHTML() {
+		// The bait div the detector creates; archived snapshots contain
+		// it because the crawler saves post-load DOM.
+		bait := web.NewElement("div", "", baitClassPools[rng.Intn(len(baitClassPools))])
+		bait.SetStyle("position", "absolute")
+		bait.SetStyle("left", "-10000px")
+		body.Append(bait)
+	}
+}

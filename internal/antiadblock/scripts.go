@@ -1,0 +1,287 @@
+package antiadblock
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenOptions controls script generation.
+type GenOptions struct {
+	// PackProbability is the chance a generated script wraps itself in an
+	// eval() payload, exercising the unpacker (§5, Unpacking Dynamic
+	// JavaScript).
+	PackProbability float64
+	// Minify drops cosmetic whitespace.
+	Minify bool
+}
+
+// identStyles vary how publishers name things; the ML keyword feature set
+// must survive all of them.
+func randIdent(rng *rand.Rand, hint string) string {
+	switch rng.Intn(4) {
+	case 0: // hex-obfuscated
+		return fmt.Sprintf("_0x%04x", rng.Intn(0xffff))
+	case 1: // camelCase with hint
+		return hint + suffixes[rng.Intn(len(suffixes))]
+	case 2: // short cryptic
+		return string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) +
+			fmt.Sprintf("%d", rng.Intn(100))
+	default: // underscore style
+		return "_" + hint + fmt.Sprintf("%d", rng.Intn(1000))
+	}
+}
+
+var suffixes = []string{"Check", "Probe", "State", "Flag", "Helper", "Mgr", "Ctl", "X"}
+
+// baitClassPools are ad-like class names that blocking rules target; real
+// detectors copy them from EasyList so adblockers will hide the bait.
+var baitClassPools = []string{
+	"ad-banner", "pub_300x250", "textads", "ad-placement", "adsbox",
+	"banner_ad", "sponsor-box", "ad-unit", "adzone", "square-ad",
+}
+
+// noticeMessages are the warning texts publishers show adblock users.
+var noticeMessages = []string{
+	"Please disable your adblocker to continue",
+	"We noticed you are using an ad blocker",
+	"Support us by whitelisting our site",
+	"Ads help us keep the lights on - please disable your blocker",
+	"Adblock detected! Turn it off to view this content",
+}
+
+// HTTPBaitScript renders a Code 4-style detector: inject a bait script
+// tag, flip a cookie/flag in onerror/onload, and reveal the notice when the
+// bait failed to load.
+func HTTPBaitScript(baitURL, noticeID string, rng *rand.Rand, opt GenOptions) string {
+	setter := randIdent(rng, "setAdblocker")
+	flag := randIdent(rng, "adblock")
+	el := randIdent(rng, "script")
+	cookieName := "__" + strings.ToLower(randIdent(rng, "abd"))
+	days := 7 + rng.Intn(60)
+
+	src := fmt.Sprintf(`
+var %[1]s = function (%[2]s) {
+  var d = new Date();
+  d.setTime(d.getTime() + 60 * 60 * 24 * %[3]d * 1000);
+  document.cookie = "%[4]s=" + (%[2]s ? "true" : "false") +
+    "; expires=" + d.toUTCString() + "; path=/";
+  if (%[2]s) {
+    var notice = document.getElementById("%[5]s");
+    if (notice !== null) {
+      notice.style.display = "block";
+      notice.style.zIndex = "10000";
+    }
+  }
+};
+var %[6]s = document.createElement("script");
+%[6]s.setAttribute("async", true);
+%[6]s.setAttribute("src", "%[7]s");
+%[6]s.setAttribute("onerror", "%[1]s(true);");
+%[6]s.setAttribute("onload", "%[1]s(false);");
+document.getElementsByTagName("head")[0].appendChild(%[6]s);
+`, setter, flag, days, cookieName, noticeID, el, baitURL)
+	return finish(src, rng, opt)
+}
+
+// HTMLBaitScript renders a Code 5-style detector: create an ad-like div,
+// probe its geometry, and reveal the notice when an adblocker hid it.
+func HTMLBaitScript(noticeID string, rng *rand.Rand, opt GenOptions) string {
+	proto := randIdent(rng, "Blocker")
+	create := "_" + randIdent(rng, "creatBait")
+	check := "_" + randIdent(rng, "checkBait")
+	baitVar := randIdent(rng, "bait")
+	detected := randIdent(rng, "detected")
+	baitClass := baitClassPools[rng.Intn(len(baitClassPools))]
+	loopMs := 50 * (1 + rng.Intn(10))
+
+	// Publishers ship different builds of the detector: the set of
+	// geometry probes and the computed-style fallback vary per site.
+	probes := []string{
+		"offsetParent", "offsetHeight", "offsetLeft", "offsetTop",
+		"offsetWidth", "clientHeight", "clientWidth",
+	}
+	rng.Shuffle(len(probes), func(i, j int) { probes[i], probes[j] = probes[j], probes[i] })
+	nProbes := 3 + rng.Intn(len(probes)-2)
+	touchLines, checkLines := "", ""
+	for _, pr := range probes[:nProbes] {
+		touchLines += "  this._var.bait." + pr + ";\n"
+		if pr == "offsetParent" {
+			checkLines += "      || this._var.bait.offsetParent === null\n"
+		} else {
+			checkLines += "      || this._var.bait." + pr + " == 0\n"
+		}
+	}
+	abpCheck := ""
+	if rng.Float64() < 0.7 {
+		abpCheck = "      || window.document.body.getAttribute('abp') !== null\n"
+	}
+	styleCheck := ""
+	if rng.Float64() < 0.65 {
+		styleCheck = fmt.Sprintf(`
+  if (window.getComputedStyle !== undefined) {
+    var baitTemp = window.getComputedStyle(this._var.bait, null);
+    if (baitTemp && (baitTemp.display == 'none' || baitTemp.visibility == 'hidden')) {
+      %s = true;
+    }
+  }`, detected)
+	}
+
+	src := fmt.Sprintf(`
+function %[1]s(options) {
+  this._options = options || {};
+  this._var = { bait: null, loop: null };
+}
+%[1]s.prototype.%[2]s = function () {
+  var %[3]s = document.createElement('div');
+  %[3]s.setAttribute('class', '%[4]s');
+  %[3]s.setAttribute('style', 'width: 1px !important; height: 1px !important; position: absolute !important; left: -10000px !important; top: -1000px !important;');
+  this._var.bait = window.document.body.appendChild(%[3]s);
+%[10]s};
+%[1]s.prototype.%[5]s = function (loop) {
+  var %[6]s = false;
+  if (false
+%[11]s%[12]s  ) {
+    %[6]s = true;
+  }%[13]s
+  if (%[6]s === true) {
+    var notice = document.getElementById('%[7]s');
+    if (notice !== null) {
+      notice.style.display = 'block';
+    }
+  }
+  return %[6]s;
+};
+var %[8]s = new %[1]s({ checkOnLoad: true, resetOnEnd: true, loopCheckTime: %[9]d });
+%[8]s.%[2]s();
+setTimeout(function () { %[8]s.%[5]s(true); }, %[9]d);
+`, proto, create, baitVar, baitClass, check, detected, noticeID,
+		randIdent(rng, "blocker"), loopMs,
+		touchLines, abpCheck, checkLines, styleCheck)
+	return finish(src, rng, opt)
+}
+
+// ReferenceBlockAdBlock is the canonical BlockAdBlock detector of Code 5
+// in the paper, with every geometry probe present. Table 2 extracts its
+// features; it is also a stable fixture for tests and docs.
+const ReferenceBlockAdBlock = `
+BlockAdBlock.prototype._creatBait = function () {
+  var bait = document.createElement('div');
+  bait.setAttribute('class', this._options.baitClass);
+  bait.setAttribute('style', 'hidden');
+  this._var.bait = window.document.body.appendChild(bait);
+  this._var.bait.offsetParent;
+  this._var.bait.offsetHeight;
+  this._var.bait.offsetLeft;
+  this._var.bait.offsetTop;
+  this._var.bait.offsetWidth;
+  this._var.bait.clientHeight;
+  this._var.bait.clientWidth;
+  if (this._options.debug === true) {
+    this._log('_creatBait', 'Bait has been created');
+  }
+};
+BlockAdBlock.prototype._checkBait = function (loop) {
+  var detected = false;
+  if (window.document.body.getAttribute('abp') !== null
+      || this._var.bait.offsetParent === null
+      || this._var.bait.offsetHeight == 0
+      || this._var.bait.offsetLeft == 0
+      || this._var.bait.offsetTop == 0
+      || this._var.bait.offsetWidth == 0
+      || this._var.bait.clientHeight == 0
+      || this._var.bait.clientWidth == 0) {
+    detected = true;
+  }
+};
+`
+
+// CanRunAdsScript renders the Code 8 pattern: a first-party bait script
+// (ads.js) defines canRunAds; the page script checks it.
+func CanRunAdsScript(noticeID string, rng *rand.Rand, opt GenOptions) string {
+	status := randIdent(rng, "adblockStatus")
+	src := fmt.Sprintf(`
+var %[1]s = 'inactive';
+if (window.canRunAds === undefined) {
+  %[1]s = 'active';
+  var notice = document.getElementById('%[2]s');
+  if (notice !== null) {
+    notice.style.display = 'block';
+  }
+}
+`, status, noticeID)
+	return finish(src, rng, opt)
+}
+
+// finish applies optional packing/minification. Most packed scripts use
+// forms the static unpacker recovers; a small share uses runtime-only
+// decoding (base64 via atob) that static analysis cannot see through —
+// the §5 false-negative source that keeps TP rates below 100%.
+func finish(src string, rng *rand.Rand, opt GenOptions) string {
+	if opt.Minify {
+		src = minify(src)
+	}
+	if rng.Float64() < opt.PackProbability {
+		if rng.Float64() < 0.10 {
+			return packOpaque(src)
+		}
+		return packEval(src)
+	}
+	return strings.TrimSpace(src) + "\n"
+}
+
+// minify strips leading indentation and blank lines (enough to change the
+// byte stream without breaking the parser).
+func minify(src string) string {
+	lines := strings.Split(src, "\n")
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		l = strings.TrimSpace(l)
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// packEval wraps source in eval("…"), the simplest of the dynamic-code
+// shapes Unpack handles.
+func packEval(src string) string {
+	var b strings.Builder
+	b.WriteString(`eval("`)
+	for i := 0; i < len(src); i++ {
+		switch c := src[i]; c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteString(`");`)
+	return b.String()
+}
+
+// packOpaque wraps source in a base64 eval that only a runtime can
+// decode; static analysis sees eval(window.atob("…")) and nothing else.
+func packOpaque(src string) string {
+	return `eval(window.atob("` + base64.StdEncoding.EncodeToString([]byte(src)) + `"));`
+}
+
+// VendorScript generates the JavaScript a vendor serves for a deployment.
+func VendorScript(v *Vendor, baitURL, noticeID string, rng *rand.Rand, opt GenOptions) string {
+	switch v.Technique {
+	case TechHTTPBait:
+		return HTTPBaitScript(baitURL, noticeID, rng, opt)
+	case TechHTMLBait:
+		return HTMLBaitScript(noticeID, rng, opt)
+	default:
+		return HTTPBaitScript(baitURL, noticeID, rng, opt) +
+			HTMLBaitScript(noticeID, rng, opt)
+	}
+}

@@ -1,0 +1,145 @@
+// Package browser replays archived or live pages through an adblocker the
+// way §4.2 of the paper does with Firefox + Adblock Plus: it loads a page,
+// applies a filter list to its HTTP requests (blocking) and its DOM
+// (element hiding), and logs which rules triggered. The log is what the
+// coverage measurement consumes.
+package browser
+
+import (
+	"strings"
+
+	"adwars/internal/abp"
+	"adwars/internal/wayback"
+	"adwars/internal/web"
+)
+
+// HTTPTrigger records one HTTP filter rule firing on one request.
+type HTTPTrigger struct {
+	// URL is the live (truncated) request URL that matched.
+	URL string
+	// Rule is the filter rule that decided the request.
+	Rule *abp.Rule
+	// Decision says whether the rule blocked or excepted the request.
+	Decision abp.Decision
+}
+
+// HTMLTrigger records one element hiding rule firing on one element.
+type HTMLTrigger struct {
+	// ElementID is the id of the hidden element ("" for id-less ones).
+	ElementID string
+	// Rule is the element hiding rule that hid it.
+	Rule *abp.Rule
+}
+
+// PageLog is the adblocker's log for one page load — the equivalent of the
+// Adblock Plus logs the paper extracts triggered rules from.
+type PageLog struct {
+	// Domain is the page's domain.
+	Domain string
+	// HTTP lists HTTP rule triggers in request order.
+	HTTP []HTTPTrigger
+	// HTML lists element hiding triggers in document order.
+	HTML []HTMLTrigger
+}
+
+// Triggered reports whether any rule fired at all.
+func (l *PageLog) Triggered() bool { return len(l.HTTP) > 0 || len(l.HTML) > 0 }
+
+// MatchHTTPURLs matches a set of request URLs (already truncated to live
+// URLs) against a list and returns the triggers. pageDomain scopes
+// $domain= and $third-party options.
+func MatchHTTPURLs(list *abp.List, urls []string, pageDomain string) []HTTPTrigger {
+	var out []HTTPTrigger
+	for _, u := range urls {
+		q := abp.Request{URL: u, Type: guessType(u), PageDomain: pageDomain}
+		if dec, rule := list.MatchRequest(q); dec != abp.NoMatch {
+			out = append(out, HTTPTrigger{URL: u, Rule: rule, Decision: dec})
+		}
+	}
+	return out
+}
+
+// guessType infers the resource type from the URL path, like an adblocker
+// classifying archived requests.
+func guessType(u string) abp.RequestType {
+	low := strings.ToLower(u)
+	if i := strings.IndexAny(low, "?#"); i >= 0 {
+		low = low[:i]
+	}
+	switch {
+	case strings.HasSuffix(low, ".js"):
+		return abp.TypeScript
+	case strings.HasSuffix(low, ".css"):
+		return abp.TypeStylesheet
+	case strings.HasSuffix(low, ".png"), strings.HasSuffix(low, ".jpg"),
+		strings.HasSuffix(low, ".jpeg"), strings.HasSuffix(low, ".gif"),
+		strings.HasSuffix(low, ".svg"), strings.HasSuffix(low, ".webp"):
+		return abp.TypeImage
+	case strings.HasSuffix(low, "/"), strings.HasSuffix(low, ".html"),
+		strings.HasSuffix(low, ".htm"):
+		return abp.TypeDocument
+	default:
+		return abp.TypeOther
+	}
+}
+
+// OpenArchivedHTML loads archived page HTML in the "browser" with the
+// given filter list subscribed, and returns the element hiding triggers —
+// §4.2's HTML-rule detection step.
+func OpenArchivedHTML(list *abp.List, html, pageDomain string) []HTMLTrigger {
+	root := web.ParseHTML(html)
+	if root == nil {
+		return nil
+	}
+	elems := root.Flatten()
+	views := make([]*abp.Element, len(elems))
+	for i, e := range elems {
+		views[i] = e.ToABP()
+	}
+	hidden := list.HiddenElements(pageDomain, views)
+	out := make([]HTMLTrigger, 0, len(hidden))
+	for i := 0; i < len(elems); i++ {
+		if rule, ok := hidden[i]; ok {
+			out = append(out, HTMLTrigger{ElementID: elems[i].ID, Rule: rule})
+		}
+	}
+	return out
+}
+
+// ReplaySnapshot runs the full §4.2 detection on one archived snapshot:
+// HAR URLs are truncated back to live URLs and matched against HTTP rules,
+// and the archived HTML is opened with element hiding active.
+func ReplaySnapshot(list *abp.List, snap *wayback.Snapshot) *PageLog {
+	log := &PageLog{Domain: snap.Ref.Domain}
+	urls := make([]string, 0, len(snap.HAR.Entries))
+	for _, u := range snap.HAR.URLs() {
+		urls = append(urls, wayback.TruncateURL(u))
+	}
+	log.HTTP = MatchHTTPURLs(list, urls, snap.Ref.Domain)
+	log.HTML = OpenArchivedHTML(list, snap.HTML, snap.Ref.Domain)
+	return log
+}
+
+// ReplayLivePage runs the same detection against a live page (the §4.3
+// top-100K crawl): its request URLs need no truncation and its DOM is
+// available directly.
+func ReplayLivePage(list *abp.List, page *web.Page) *PageLog {
+	log := &PageLog{Domain: page.Domain}
+	urls := make([]string, 0, len(page.Requests))
+	for _, q := range page.Requests {
+		urls = append(urls, q.URL)
+	}
+	log.HTTP = MatchHTTPURLs(list, urls, page.Domain)
+	elems := page.Elements()
+	views := make([]*abp.Element, len(elems))
+	for i, e := range elems {
+		views[i] = e.ToABP()
+	}
+	hidden := list.HiddenElements(page.Domain, views)
+	for i := 0; i < len(elems); i++ {
+		if rule, ok := hidden[i]; ok {
+			log.HTML = append(log.HTML, HTMLTrigger{ElementID: elems[i].ID, Rule: rule})
+		}
+	}
+	return log
+}

@@ -1,0 +1,135 @@
+package browser
+
+import (
+	"adwars/internal/abp"
+	"adwars/internal/antiadblock"
+	"adwars/internal/web"
+)
+
+// VisitOutcome is what an adblock user experiences on a site (§3.1–3.2:
+// baits, detection, and the counter-moves anti-adblock filter lists make).
+type VisitOutcome int
+
+const (
+	// OutcomeClean: the site runs no anti-adblocker; nothing happens.
+	OutcomeClean VisitOutcome = iota
+	// OutcomeCircumvented: the anti-adblock list blocked the detector
+	// script itself, so detection never ran.
+	OutcomeCircumvented
+	// OutcomeUndetected: the detector ran but its baits were not
+	// touched (e.g. the exception rules let the bait load), so the
+	// adblock user passed as a normal visitor.
+	OutcomeUndetected
+	// OutcomeWallSuppressed: the detector fired, but the anti-adblock
+	// list hides the warning element, so the user never sees the wall.
+	OutcomeWallSuppressed
+	// OutcomeWallShown: the detector fired and the warning reached the
+	// user — the anti-adblock list failed on this site.
+	OutcomeWallShown
+)
+
+// String names the outcome.
+func (o VisitOutcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeCircumvented:
+		return "circumvented"
+	case OutcomeUndetected:
+		return "undetected"
+	case OutcomeWallSuppressed:
+		return "wall-suppressed"
+	case OutcomeWallShown:
+		return "wall-shown"
+	default:
+		return "unknown"
+	}
+}
+
+// VisitConfig is the adblock user's setup: the ad-blocking rules that make
+// baits fail, plus the anti-adblock list meant to defeat detection.
+type VisitConfig struct {
+	// AdRules is the general ad-blocking list (EasyList's role): it
+	// blocks bait requests and hides ad-like bait elements — the very
+	// signals detectors watch (§3.1).
+	AdRules *abp.List
+	// AntiAdblock is the anti-adblock filter list under test.
+	AntiAdblock *abp.List
+}
+
+// SimulateVisit walks the §3.1 detection mechanics for an adblock user
+// loading a deployed page:
+//
+//  1. If the anti-adblock list blocks the detector script, detection
+//     never runs (the "active adblocking" counter-move).
+//  2. Otherwise the detector probes its baits: an HTTP bait that the ad
+//     rules block (and no exception saves), or a bait element the ad
+//     rules hide, triggers detection.
+//  3. A triggered wall still never reaches the user if the anti-adblock
+//     list hides the warning element (the AWRL counter-move).
+func SimulateVisit(cfg VisitConfig, page *web.Page, dep *antiadblock.Deployment) VisitOutcome {
+	if dep == nil {
+		return OutcomeClean
+	}
+
+	// Step 1: is the detector script itself neutralized?
+	scriptReq := abp.Request{URL: dep.ScriptURL, Type: abp.TypeScript, PageDomain: page.Domain}
+	if cfg.AntiAdblock != nil {
+		if d, _ := cfg.AntiAdblock.MatchRequest(scriptReq); d == abp.Blocked {
+			return OutcomeCircumvented
+		}
+	}
+
+	// Step 2: do the baits betray the adblocker?
+	detected := false
+	if dep.Vendor.Technique.UsesHTTP() {
+		baitReq := abp.Request{URL: dep.BaitURL(), Type: abp.TypeScript, PageDomain: page.Domain}
+		blocked := false
+		if cfg.AdRules != nil {
+			if d, _ := cfg.AdRules.MatchRequest(baitReq); d == abp.Blocked {
+				blocked = true
+			}
+		}
+		// The anti-adblock list's exception rules can let the bait
+		// through even though the ad rules would block it (the
+		// numerama.com pattern, Code 7).
+		if blocked && cfg.AntiAdblock != nil {
+			if d, _ := cfg.AntiAdblock.MatchRequest(baitReq); d == abp.Allowed {
+				blocked = false
+			}
+		}
+		if blocked {
+			detected = true
+		}
+	}
+	if !detected && dep.Vendor.Technique.UsesHTML() && cfg.AdRules != nil {
+		// The bait element is an ad-like div; if the ad rules hide it,
+		// its geometry collapses and the probe fires.
+		views := pageViews(page)
+		if len(cfg.AdRules.HiddenElements(page.Domain, views)) > 0 {
+			detected = true
+		}
+	}
+	if !detected {
+		return OutcomeUndetected
+	}
+
+	// Step 3: does the user actually see the wall?
+	if cfg.AntiAdblock != nil {
+		notice := &abp.Element{Tag: "div", ID: dep.NoticeID, Classes: []string{"adblock-wall"}}
+		hidden := cfg.AntiAdblock.HiddenElements(page.Domain, []*abp.Element{notice})
+		if len(hidden) > 0 {
+			return OutcomeWallSuppressed
+		}
+	}
+	return OutcomeWallShown
+}
+
+func pageViews(page *web.Page) []*abp.Element {
+	elems := page.Elements()
+	views := make([]*abp.Element, len(elems))
+	for i, e := range elems {
+		views[i] = e.ToABP()
+	}
+	return views
+}

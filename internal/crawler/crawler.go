@@ -1,0 +1,233 @@
+// Package crawler drives the measurement crawls of §4: the parallel
+// Wayback Machine crawl of monthly snapshots (Figure 4's pipeline:
+// availability query → fetch → HAR/HTML storage → partial-snapshot
+// filtering) and the live-web crawl of §4.3. Crawls run across a worker
+// pool and honor context cancellation.
+package crawler
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"adwars/internal/wayback"
+	"adwars/internal/web"
+)
+
+// Status classifies one site-month crawl outcome.
+type Status int
+
+// Crawl outcomes. StatusPartial corresponds to HAR files discarded by the
+// 10%-of-average-size rule; StatusExcluded to domains the archive never
+// stores; StatusNotArchived and StatusOutdated to the availability API's
+// failure modes.
+const (
+	StatusOK Status = iota
+	StatusExcluded
+	StatusNotArchived
+	StatusOutdated
+	StatusPartial
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusExcluded:
+		return "excluded"
+	case StatusNotArchived:
+		return "not-archived"
+	case StatusOutdated:
+		return "outdated"
+	case StatusPartial:
+		return "partial"
+	default:
+		return "error"
+	}
+}
+
+// SiteResult is one domain's crawl outcome for one month.
+type SiteResult struct {
+	Domain   string
+	Status   Status
+	Snapshot *wayback.Snapshot // non-nil only when Status is StatusOK
+}
+
+// MonthResult aggregates one month's crawl.
+type MonthResult struct {
+	Month   time.Time
+	Results []SiteResult
+	Counts  map[Status]int
+}
+
+// Config controls crawl parallelism. The paper parallelizes with 10
+// independent browser instances; Workers plays that role.
+type Config struct {
+	Workers int
+	// Metrics, when non-nil, accumulates crawl counters across calls.
+	Metrics *Metrics
+}
+
+// DefaultConfig mirrors the paper's 10 parallel crawlers.
+func DefaultConfig() Config { return Config{Workers: 10} }
+
+// CrawlMonth crawls the monthly snapshot of every domain: availability
+// query, fetch, then the partial-HAR filter (a snapshot whose HAR is
+// smaller than 10% of the month's average HAR size is discarded as
+// partial). Results keep the domain order of the input.
+func CrawlMonth(ctx context.Context, a *wayback.Archive, domains []string, month time.Time, cfg Config) (*MonthResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	started := time.Now()
+	out := &MonthResult{Month: month, Results: make([]SiteResult, len(domains))}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out.Results[i] = crawlOne(a, domains[i], month)
+			}
+		}()
+	}
+	var err error
+feed:
+	for i := range domains {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+
+	markPartials(out)
+	out.Counts = make(map[Status]int)
+	for _, r := range out.Results {
+		out.Counts[r.Status]++
+	}
+	cfg.Metrics.observeMonth(out, time.Since(started))
+	return out, nil
+}
+
+// crawlOne runs the paper's Figure 4 pipeline for one site-month: the
+// upfront exclusion check, an Availability JSON API query, the client-side
+// six-month staleness rule, then the snapshot fetch.
+func crawlOne(a *wayback.Archive, domain string, month time.Time) SiteResult {
+	if a.ExclusionOf(domain) != wayback.ExclNone {
+		return SiteResult{Domain: domain, Status: StatusExcluded}
+	}
+	body, err := a.QueryAvailability(domain, month)
+	if err != nil {
+		return SiteResult{Domain: domain, Status: StatusError}
+	}
+	closest, err := wayback.ParseAvailability(body)
+	if err != nil {
+		return SiteResult{Domain: domain, Status: StatusError}
+	}
+	if closest == nil {
+		// Empty JSON response: the page is not archived.
+		return SiteResult{Domain: domain, Status: StatusNotArchived}
+	}
+	ts, err := closest.Time()
+	if err != nil {
+		return SiteResult{Domain: domain, Status: StatusError}
+	}
+	if !wayback.WithinSkew(month, ts) {
+		// The closest snapshot is too far from the requested date.
+		return SiteResult{Domain: domain, Status: StatusOutdated}
+	}
+	snap, err := a.Fetch(a.RefFor(domain, ts))
+	if err != nil {
+		return SiteResult{Domain: domain, Status: StatusError}
+	}
+	return SiteResult{Domain: domain, Status: StatusOK, Snapshot: snap}
+}
+
+// markPartials applies the paper's partial-snapshot rule: discard HARs
+// whose size is below 10% of the average fetched HAR size.
+func markPartials(m *MonthResult) {
+	total, n := 0, 0
+	sizes := make([]int, len(m.Results))
+	for i, r := range m.Results {
+		if r.Status == StatusOK {
+			sizes[i] = r.Snapshot.HAR.Size()
+			total += sizes[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	cutoff := total / n / 10
+	for i, r := range m.Results {
+		if r.Status == StatusOK && sizes[i] < cutoff {
+			m.Results[i].Status = StatusPartial
+			m.Results[i].Snapshot = nil
+		}
+	}
+}
+
+// LiveSource produces current pages for the live-web crawl; ok=false for
+// unreachable sites.
+type LiveSource interface {
+	LivePage(domain string) (*web.Page, bool)
+}
+
+// LiveResult is one domain's live crawl outcome.
+type LiveResult struct {
+	Domain string
+	Page   *web.Page // nil when unreachable
+}
+
+// CrawlLive visits every domain on the live web (§4.3). Unreachable sites
+// yield a nil Page; the caller counts reachable ones (the paper reports
+// 99,396 of 100K).
+func CrawlLive(ctx context.Context, src LiveSource, domains []string, cfg Config) ([]LiveResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	out := make([]LiveResult, len(domains))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p, ok := src.LivePage(domains[i])
+				if ok {
+					out[i] = LiveResult{Domain: domains[i], Page: p}
+				} else {
+					out[i] = LiveResult{Domain: domains[i]}
+				}
+			}
+		}()
+	}
+	var err error
+feed:
+	for i := range domains {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

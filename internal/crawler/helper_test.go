@@ -1,0 +1,19 @@
+package crawler
+
+import (
+	"time"
+
+	"adwars/internal/har"
+	"adwars/internal/web"
+)
+
+// newHARFor builds a HAR log covering a page's requests, for tests.
+func newHARFor(p *web.Page, urls int) *har.Log {
+	l := har.New("test")
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	pid := l.AddPage(p.URL(), t0)
+	for _, q := range p.Requests {
+		l.AddEntry(pid, q.URL, q.Type, 200, "", t0)
+	}
+	return l
+}

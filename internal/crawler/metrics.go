@@ -1,0 +1,75 @@
+package crawler
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics counts crawl activity across workers. All fields are updated
+// atomically; a single Metrics value can be shared by concurrent crawls
+// (e.g. the 60 monthly crawls of the retrospective study).
+type Metrics struct {
+	// PagesFetched counts successfully fetched snapshots / live pages.
+	PagesFetched atomic.Int64
+	// PagesMissing counts excluded/not-archived/outdated outcomes.
+	PagesMissing atomic.Int64
+	// PartialSnapshots counts snapshots discarded by the size rule.
+	PartialSnapshots atomic.Int64
+	// Errors counts fetch failures.
+	Errors atomic.Int64
+	// HARBytes accumulates serialized HAR sizes of fetched snapshots.
+	HARBytes atomic.Int64
+	// BusyNanos accumulates worker time spent crawling.
+	BusyNanos atomic.Int64
+}
+
+// observeMonth folds one month's results into the metrics.
+func (m *Metrics) observeMonth(res *MonthResult, took time.Duration) {
+	if m == nil {
+		return
+	}
+	for _, r := range res.Results {
+		switch r.Status {
+		case StatusOK:
+			m.PagesFetched.Add(1)
+			m.HARBytes.Add(int64(r.Snapshot.HAR.Size()))
+		case StatusPartial:
+			m.PartialSnapshots.Add(1)
+		case StatusError:
+			m.Errors.Add(1)
+		default:
+			m.PagesMissing.Add(1)
+		}
+	}
+	m.BusyNanos.Add(int64(took))
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		PagesFetched:     m.PagesFetched.Load(),
+		PagesMissing:     m.PagesMissing.Load(),
+		PartialSnapshots: m.PartialSnapshots.Load(),
+		Errors:           m.Errors.Load(),
+		HARBytes:         m.HARBytes.Load(),
+		Busy:             time.Duration(m.BusyNanos.Load()),
+	}
+}
+
+// MetricsSnapshot is an immutable view of crawl counters.
+type MetricsSnapshot struct {
+	PagesFetched     int64
+	PagesMissing     int64
+	PartialSnapshots int64
+	Errors           int64
+	HARBytes         int64
+	Busy             time.Duration
+}
+
+// String renders the counters for progress logs.
+func (s MetricsSnapshot) String() string {
+	return fmt.Sprintf("fetched=%d missing=%d partial=%d errors=%d har=%dKiB busy=%s",
+		s.PagesFetched, s.PagesMissing, s.PartialSnapshots, s.Errors,
+		s.HARBytes/1024, s.Busy.Round(time.Millisecond))
+}

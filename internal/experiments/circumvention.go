@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/browser"
+	"adwars/internal/listgen"
+)
+
+// CircumventionResult tallies, per anti-adblock list, what adblock users
+// experience on deployed sites — the end-to-end effectiveness the filter
+// lists exist to deliver (the trigger counts of §4 measure coverage; this
+// measures consequence).
+type CircumventionResult struct {
+	At       time.Time
+	Deployed int
+	// Outcomes maps list name → outcome → site count.
+	Outcomes map[string]map[browser.VisitOutcome]int
+}
+
+// Circumvention simulates an adblock user (general ad rules + one
+// anti-adblock list) visiting every deployed top-N site at time t.
+func (l *Lab) Circumvention(topN int, at time.Time) *CircumventionResult {
+	if topN <= 0 {
+		topN = int(5000 * l.Scale())
+	}
+	if at.IsZero() {
+		at = l.World.Cfg.End
+	}
+	adRules := listgen.AdBlockingList()
+	lists := map[string]*abp.List{}
+	for name, h := range l.histories() {
+		lists[name] = h.ListAt(at)
+	}
+	// A no-protection baseline: ad blocking without any anti-adblock list.
+	lists["(no anti-adblock list)"] = nil
+
+	res := &CircumventionResult{At: at, Outcomes: map[string]map[browser.VisitOutcome]int{}}
+	for name := range lists {
+		res.Outcomes[name] = map[browser.VisitOutcome]int{}
+	}
+	top := map[string]bool{}
+	for _, d := range l.World.TopDomains(topN) {
+		top[d] = true
+	}
+	for _, dep := range l.World.Deployments() {
+		if !top[dep.SiteDomain] || !dep.ActiveAt(at) {
+			continue
+		}
+		page, ok := l.World.PageAt(dep.SiteDomain, at)
+		if !ok {
+			continue
+		}
+		res.Deployed++
+		for name, list := range lists {
+			outcome := browser.SimulateVisit(browser.VisitConfig{
+				AdRules:     adRules,
+				AntiAdblock: list,
+			}, page, dep)
+			res.Outcomes[name][outcome]++
+		}
+	}
+	return res
+}
+
+// Render prints the outcome distribution per list.
+func (r *CircumventionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Circumvention effectiveness at %s over %d deployed sites\n",
+		r.At.Format("2006-01"), r.Deployed)
+	outcomes := []browser.VisitOutcome{
+		browser.OutcomeCircumvented, browser.OutcomeWallSuppressed,
+		browser.OutcomeUndetected, browser.OutcomeWallShown,
+	}
+	fmt.Fprintf(&b, "%-26s", "list")
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, " %16s", o)
+	}
+	b.WriteByte('\n')
+	names := append([]string{}, ListNames...)
+	names = append(names, "(no anti-adblock list)")
+	for _, name := range names {
+		counts, ok := r.Outcomes[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s", name)
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, " %16d", counts[o])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ProtectedRate returns the fraction of deployed sites where the list
+// spares the user the wall (circumvented, suppressed, or undetected).
+func (r *CircumventionResult) ProtectedRate(list string) float64 {
+	if r.Deployed == 0 {
+		return 0
+	}
+	c := r.Outcomes[list]
+	protected := c[browser.OutcomeCircumvented] +
+		c[browser.OutcomeWallSuppressed] + c[browser.OutcomeUndetected]
+	return float64(protected) / float64(r.Deployed)
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/alexa"
+	"adwars/internal/stats"
+)
+
+// ---- Figure 1: temporal evolution of filter lists ----
+
+// Fig1Point is one sampled month of a list's rule-count breakdown.
+type Fig1Point struct {
+	Month  time.Time
+	Counts map[abp.Class]int
+	Total  int
+}
+
+// Fig1Result is the Figure 1 series for one list.
+type Fig1Result struct {
+	Name   string
+	Points []Fig1Point
+}
+
+// Fig1 samples a list's rule-class composition monthly over its life —
+// the data behind Figures 1(a), 1(b), and 1(c).
+func Fig1(h *abp.History, until time.Time) *Fig1Result {
+	out := &Fig1Result{Name: h.Name}
+	revs := h.Revisions()
+	if len(revs) == 0 {
+		return out
+	}
+	for _, m := range stats.MonthsBetween(revs[0].Time, until) {
+		rev, ok := h.At(m)
+		if !ok {
+			continue
+		}
+		p := Fig1Point{Month: m, Counts: make(map[abp.Class]int)}
+		for _, r := range rev.Rules {
+			if c := r.Class(); c != abp.ClassUnknown {
+				p.Counts[c]++
+				p.Total++
+			}
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// Render prints the Figure 1 series: one row per month, one column per
+// rule class.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — %s: rule counts by class\n", r.Name)
+	fmt.Fprintf(&b, "%-8s %7s", "month", "total")
+	short := []string{"htmlGen", "htmlDom", "plain", "anchor", "tag", "anch+tag"}
+	for _, s := range short {
+		fmt.Fprintf(&b, " %8s", s)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-8s %7d", stats.MonthLabel(p.Month), p.Total)
+		for _, c := range abp.AllClasses {
+			fmt.Fprintf(&b, " %8d", p.Counts[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FinalShares returns the final revision's per-class share of rules.
+func (r *Fig1Result) FinalShares() map[abp.Class]float64 {
+	if len(r.Points) == 0 {
+		return nil
+	}
+	last := r.Points[len(r.Points)-1]
+	out := make(map[abp.Class]float64)
+	for c, n := range last.Counts {
+		out[c] = float64(n) / float64(last.Total)
+	}
+	return out
+}
+
+// ---- Table 1: rank distribution of listed domains ----
+
+// Table1Result maps each list to its listed-domain counts per Alexa rank
+// bucket.
+type Table1Result struct {
+	Buckets []string
+	Counts  map[string]map[string]int // list → bucket → count
+}
+
+// Table1 reproduces Table 1: for each list's latest revision, bucket the
+// listed domains by rank.
+func (l *Lab) Table1() *Table1Result {
+	out := &Table1Result{
+		Buckets: alexa.RankBuckets,
+		Counts:  make(map[string]map[string]int),
+	}
+	for name, h := range l.histories() {
+		rev, ok := h.Latest()
+		if !ok {
+			continue
+		}
+		list := abp.NewList(name, rev.Rules)
+		counts := make(map[string]int)
+		for _, d := range list.Domains() {
+			counts[alexa.RankBucket(l.World.RankOf(d))]++
+		}
+		out.Counts[name] = counts
+	}
+	return out
+}
+
+// Render prints Table 1's rows.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — listed domains by Alexa rank bucket\n")
+	fmt.Fprintf(&b, "%-10s", "Rank")
+	for _, n := range ListNames {
+		fmt.Fprintf(&b, " %20s", n)
+	}
+	b.WriteByte('\n')
+	for _, bucket := range t.Buckets {
+		fmt.Fprintf(&b, "%-10s", bucket)
+		for _, n := range ListNames {
+			fmt.Fprintf(&b, " %20d", t.Counts[n][bucket])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---- Figure 2: category distribution of listed domains ----
+
+// Fig2Result maps each list to listed-domain percentages per category.
+type Fig2Result struct {
+	Categories []alexa.Category
+	Percent    map[string]map[alexa.Category]float64
+}
+
+// Fig2 reproduces Figure 2's categorization of listed domains.
+func (l *Lab) Fig2() *Fig2Result {
+	out := &Fig2Result{
+		Categories: alexa.Categories(),
+		Percent:    make(map[string]map[alexa.Category]float64),
+	}
+	for name, h := range l.histories() {
+		rev, ok := h.Latest()
+		if !ok {
+			continue
+		}
+		list := abp.NewList(name, rev.Rules)
+		domains := list.Domains()
+		counts := make(map[alexa.Category]int)
+		for _, d := range domains {
+			counts[l.World.CategoryOf(d)]++
+		}
+		pct := make(map[alexa.Category]float64)
+		for c, n := range counts {
+			pct[c] = 100 * float64(n) / float64(len(domains))
+		}
+		out.Percent[name] = pct
+	}
+	return out
+}
+
+// Render prints Figure 2's bars as rows.
+func (f *Fig2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — listed-domain categories (%% of list)\n")
+	fmt.Fprintf(&b, "%-20s", "Category")
+	for _, n := range ListNames {
+		fmt.Fprintf(&b, " %20s", n)
+	}
+	b.WriteByte('\n')
+	for _, c := range f.Categories {
+		fmt.Fprintf(&b, "%-20s", c)
+		for _, n := range ListNames {
+			fmt.Fprintf(&b, " %19.1f%%", f.Percent[n][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---- §3.3: exception ratios and domain overlap ----
+
+// OverlapResult carries §3.3's comparative statistics.
+type OverlapResult struct {
+	AAKDomains, CELDomains int
+	Overlap                int
+	AAKExceptionRatio      float64
+	CELExceptionRatio      float64
+	AAKChurnPerRevision    float64
+	CELChurnPerRevision    float64
+}
+
+// Overlap reproduces the §3.3 comparison: domain counts, the set overlap,
+// exception:non-exception ratios, and per-revision churn.
+func (l *Lab) Overlap() *OverlapResult {
+	aakRev, _ := l.Lists.AAK.Latest()
+	celRev, _ := l.Lists.Combined.Latest()
+	aak := abp.NewList("aak", aakRev.Rules)
+	cel := abp.NewList("cel", celRev.Rules)
+
+	aakDomains := aak.Domains()
+	celDomains := cel.Domains()
+	inAAK := make(map[string]bool, len(aakDomains))
+	for _, d := range aakDomains {
+		inAAK[d] = true
+	}
+	overlap := 0
+	for _, d := range celDomains {
+		if inAAK[d] {
+			overlap++
+		}
+	}
+	ratio := func(list *abp.List) float64 {
+		exc, non := list.ExceptionDomainSplit()
+		if len(non) == 0 {
+			return 0
+		}
+		return float64(len(exc)) / float64(len(non))
+	}
+	return &OverlapResult{
+		AAKDomains: len(aakDomains), CELDomains: len(celDomains),
+		Overlap:             overlap,
+		AAKExceptionRatio:   ratio(aak),
+		CELExceptionRatio:   ratio(cel),
+		AAKChurnPerRevision: l.Lists.AAK.ChurnPerRevision(),
+		CELChurnPerRevision: l.Lists.Combined.ChurnPerRevision(),
+	}
+}
+
+// Render prints the §3.3 statistics.
+func (o *OverlapResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§3.3 — comparative list statistics\n")
+	fmt.Fprintf(&b, "AAK domains: %d   CEL domains: %d   overlap: %d\n",
+		o.AAKDomains, o.CELDomains, o.Overlap)
+	fmt.Fprintf(&b, "exception:non-exception — AAK %.1f:1, CEL %.1f:1\n",
+		o.AAKExceptionRatio, o.CELExceptionRatio)
+	fmt.Fprintf(&b, "rules added/modified per revision — AAK %.1f, CEL %.1f\n",
+		o.AAKChurnPerRevision, o.CELChurnPerRevision)
+	return b.String()
+}
+
+// ---- Figure 3: cross-list addition lag over shared domains ----
+
+// Fig3Result is the CDF of (AAK add time − CEL add time) in days over
+// shared domains, plus the first-in-list tallies.
+type Fig3Result struct {
+	DiffsDays          []float64
+	CELFirst, AAKFirst int
+	SameDay            int
+	CDF                *stats.CDF
+}
+
+// Fig3 reproduces Figure 3's lead/lag distribution.
+func (l *Lab) Fig3() *Fig3Result {
+	aakSeen := l.Lists.AAK.DomainFirstSeen()
+	celSeen := l.Lists.Combined.DomainFirstSeen()
+	out := &Fig3Result{}
+	var shared []string
+	for d := range aakSeen {
+		if _, ok := celSeen[d]; ok {
+			shared = append(shared, d)
+		}
+	}
+	sort.Strings(shared)
+	for _, d := range shared {
+		diff := aakSeen[d].Sub(celSeen[d]).Hours() / 24
+		out.DiffsDays = append(out.DiffsDays, diff)
+		switch {
+		case diff > 0.5:
+			out.CELFirst++
+		case diff < -0.5:
+			out.AAKFirst++
+		default:
+			out.SameDay++
+		}
+	}
+	out.CDF = stats.NewCDF(out.DiffsDays)
+	return out
+}
+
+// Render prints Figure 3's CDF at the paper's x-axis ticks.
+func (f *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — cross-list addition lag over %d shared domains\n", len(f.DiffsDays))
+	fmt.Fprintf(&b, "first in CEL: %d, first in AAK: %d, same day: %d\n",
+		f.CELFirst, f.AAKFirst, f.SameDay)
+	fmt.Fprintf(&b, "CDF of (AAK − CEL) days:\n")
+	b.WriteString(f.CDF.Render([]float64{-1080, -900, -720, -540, -360, -180, 0, 180, 360, 540, 720, 900, 1080}))
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"adwars/internal/abp"
+	"adwars/internal/crawler"
+)
+
+// LiveConfig parameterizes the §4.3 live crawl.
+type LiveConfig struct {
+	// TopN is the ranking cut (100,000 in the paper).
+	TopN int
+	// Workers is crawl parallelism.
+	Workers int
+}
+
+// LiveScript is a detected anti-adblock script from the live crawl, used
+// by the §5 out-of-sample model test.
+type LiveScript struct {
+	Domain string
+	Rank   int
+	Source string
+}
+
+// LiveResult aggregates the live crawl (§4.3).
+type LiveResult struct {
+	Total, Reachable int
+	// HTTPTriggered / HTMLTriggered count sites per list.
+	HTTPTriggered map[string]int
+	HTMLTriggered map[string]int
+	// ThirdPartyShare is, per list, the share of HTTP-matched sites whose
+	// matched requests hit third-party hosts (the paper: 97% for AAK).
+	ThirdPartyShare map[string]float64
+	// Scripts are the unique detected anti-adblock scripts (deduplicated
+	// by source) with the detecting site's rank, feeding §5's live test.
+	Scripts []LiveScript
+}
+
+// RunLive crawls the live top-N against the most recent list versions.
+func (l *Lab) RunLive(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
+	if cfg.TopN <= 0 {
+		cfg.TopN = l.World.Cfg.UniverseSize
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 10
+	}
+	domains := l.World.TopDomains(cfg.TopN)
+	results, err := crawler.CrawlLive(ctx, l.World, domains, crawler.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	lists := map[string]*abp.List{}
+	for name, h := range l.histories() {
+		if rev, ok := h.At(l.World.Cfg.LiveDate); ok {
+			lists[name] = abp.NewList(name, rev.Rules)
+		}
+	}
+
+	res := &LiveResult{
+		Total:           len(domains),
+		HTTPTriggered:   map[string]int{},
+		HTMLTriggered:   map[string]int{},
+		ThirdPartyShare: map[string]float64{},
+	}
+	thirdParty := map[string]int{}
+	seenScript := map[string]bool{}
+
+	for _, r := range results {
+		if r.Page == nil {
+			continue
+		}
+		res.Reachable++
+		urls := make([]string, 0, len(r.Page.Requests))
+		for _, q := range r.Page.Requests {
+			urls = append(urls, q.URL)
+		}
+		views := make([]*abp.Element, 0, 16)
+		for _, e := range r.Page.Elements() {
+			views = append(views, e.ToABP())
+		}
+		matchedAny := false
+		for _, name := range ListNames {
+			list := lists[name]
+			if list == nil {
+				continue
+			}
+			blocked := blockedHTTP(list, urls, r.Domain)
+			if len(blocked) > 0 {
+				res.HTTPTriggered[name]++
+				if anyThirdParty(blocked, r.Domain) {
+					thirdParty[name]++
+				}
+				matchedAny = true
+			}
+			if len(list.HiddenElements(r.Domain, views)) > 0 {
+				res.HTMLTriggered[name]++
+			}
+		}
+		if matchedAny {
+			for _, s := range r.Page.Scripts {
+				if s.AntiAdblock && !seenScript[s.Source] {
+					seenScript[s.Source] = true
+					res.Scripts = append(res.Scripts, LiveScript{
+						Domain: r.Domain,
+						Rank:   l.World.RankOf(r.Domain),
+						Source: s.Source,
+					})
+				}
+			}
+		}
+	}
+	for _, name := range ListNames {
+		if res.HTTPTriggered[name] > 0 {
+			res.ThirdPartyShare[name] = float64(thirdParty[name]) / float64(res.HTTPTriggered[name])
+		}
+	}
+	return res, nil
+}
+
+// Render prints the §4.3 headline numbers.
+func (r *LiveResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§4.3 — live crawl of top-%d (reachable %d)\n", r.Total, r.Reachable)
+	for _, n := range ListNames {
+		fmt.Fprintf(&b, "%-22s HTTP-triggered %6d   HTML-triggered %4d   third-party share %.0f%%\n",
+			n, r.HTTPTriggered[n], r.HTMLTriggered[n], 100*r.ThirdPartyShare[n])
+	}
+	fmt.Fprintf(&b, "unique anti-adblock scripts collected: %d\n", len(r.Scripts))
+	return b.String()
+}

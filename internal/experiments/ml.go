@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"adwars/internal/features"
+	"adwars/internal/jsast"
+	"adwars/internal/ml"
+)
+
+// ---- Table 2: example features ----
+
+// Table2Row is one extracted feature with the feature sets it belongs to.
+type Table2Row struct {
+	Feature string
+	Sets    []string
+}
+
+// Table2 extracts features from a BlockAdBlock-style script (Code 5) and
+// reports, for a sample of features, which feature sets contain them —
+// the shape of Table 2.
+func Table2(script string) ([]Table2Row, error) {
+	prog, _, err := jsast.ParseAndUnpack(script)
+	if err != nil {
+		return nil, err
+	}
+	inSet := map[features.Set]map[string]bool{}
+	for _, s := range features.Sets {
+		inSet[s] = features.Extract(prog, s)
+	}
+	var names []string
+	for f := range inSet[features.SetAll] {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	var rows []Table2Row
+	for _, f := range names {
+		var sets []string
+		for _, s := range features.Sets {
+			if inSet[s][f] {
+				sets = append(sets, s.String())
+			}
+		}
+		rows = append(rows, Table2Row{Feature: f, Sets: sets})
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints a digest of Table 2: the geometry-probe and literal
+// features the paper highlights, when present.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — extracted features (total %d)\n", len(rows))
+	highlights := []string{
+		"MemberExpression:", "Literal:abp", "Literal:0", "Literal:hidden",
+		"Identifier:clientHeight", "Identifier:clientWidth",
+		"Identifier:offsetHeight", "Identifier:offsetWidth",
+	}
+	printed := 0
+	for _, r := range rows {
+		show := false
+		for _, h := range highlights {
+			if strings.HasPrefix(r.Feature, h) {
+				show = true
+				break
+			}
+		}
+		if show && printed < 24 {
+			fmt.Fprintf(&b, "%-48s %s\n", r.Feature, strings.Join(r.Sets, ", "))
+			printed++
+		}
+	}
+	return b.String()
+}
+
+// ---- Table 3: classifier accuracy ----
+
+// Table3Row is one (feature set, #features, classifier) configuration's
+// 10-fold cross-validated accuracy.
+type Table3Row struct {
+	Classifier  string
+	FeatureSet  features.Set
+	NumFeatures int
+	TPRate      float64
+	FPRate      float64
+}
+
+// Table3Config parameterizes the Table 3 sweep.
+type Table3Config struct {
+	// TopK are the feature counts per feature set (the paper sweeps
+	// {100, 1K, 5K/10K}).
+	TopK []int
+	// Folds is the cross-validation fold count (10 in the paper).
+	Folds int
+	// Seed fixes fold assignment and SMO randomness.
+	Seed int64
+	// MaxSamples optionally subsamples the corpus to bound runtime
+	// (0 = use everything).
+	MaxSamples int
+}
+
+// DefaultTable3Config mirrors the paper's sweep.
+func DefaultTable3Config(seed int64) Table3Config {
+	return Table3Config{TopK: []int{100, 1000, 10000}, Folds: 10, Seed: seed}
+}
+
+// Corpus is the labeled script corpus of §5.
+type Corpus struct {
+	Positives, Negatives []string
+}
+
+// Imbalance returns negatives per positive.
+func (c *Corpus) Imbalance() float64 {
+	if len(c.Positives) == 0 {
+		return 0
+	}
+	return float64(len(c.Negatives)) / float64(len(c.Positives))
+}
+
+// trim enforces the paper's ~10:1 class imbalance and an optional total
+// cap, deterministically.
+func (c *Corpus) trim(maxSamples int, seed int64) *Corpus {
+	pos := append([]string(nil), c.Positives...)
+	neg := append([]string(nil), c.Negatives...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	if maxSamples > 0 && len(pos)+len(neg) > maxSamples {
+		p := maxSamples / 11
+		if p < 10 {
+			p = 10
+		}
+		if p > len(pos) {
+			p = len(pos)
+		}
+		pos = pos[:p]
+	}
+	if want := 10 * len(pos); len(neg) > want {
+		neg = neg[:want]
+	}
+	return &Corpus{Positives: pos, Negatives: neg}
+}
+
+// buildDatasetRaw extracts features for the corpus under one feature set
+// (no selection). Feature extraction is the expensive step, so callers
+// sweeping several feature budgets extract once and select per budget.
+func buildDatasetRaw(c *Corpus, set features.Set) (*features.Dataset, error) {
+	var sets []map[string]bool
+	var labels []int
+	for _, src := range c.Positives {
+		fs, err := features.ExtractSource(src, set)
+		if err != nil {
+			continue // unparseable scripts drop out, as in the paper
+		}
+		sets = append(sets, fs)
+		labels = append(labels, +1)
+	}
+	for _, src := range c.Negatives {
+		fs, err := features.ExtractSource(src, set)
+		if err != nil {
+			continue
+		}
+		sets = append(sets, fs)
+		labels = append(labels, -1)
+	}
+	return features.Build(sets, labels)
+}
+
+// buildDataset extracts features for the corpus under one feature set and
+// applies the paper's selection pipeline.
+func buildDataset(c *Corpus, set features.Set, topK int) (*features.Dataset, error) {
+	ds, err := buildDatasetRaw(c, set)
+	if err != nil {
+		return nil, err
+	}
+	return ds.SelectPipeline(topK), nil
+}
+
+// Table3 runs the paper's classifier sweep: {all, literal, keyword} ×
+// TopK × {SVM, AdaBoost+SVM} with stratified k-fold cross-validation.
+func Table3(c *Corpus, cfg Table3Config) ([]Table3Row, error) {
+	corpus := c.trim(cfg.MaxSamples, cfg.Seed)
+	if len(corpus.Positives) < cfg.Folds {
+		return nil, fmt.Errorf("experiments: only %d positives for %d folds",
+			len(corpus.Positives), cfg.Folds)
+	}
+	var rows []Table3Row
+	for _, set := range features.Sets {
+		raw, err := buildDatasetRaw(corpus, set)
+		if err != nil {
+			return nil, err
+		}
+		base := raw.FilterVariance(0.01).DeduplicateColumns()
+		for _, k := range cfg.TopK {
+			ds := base.SelectTopChiSquare(k)
+			for _, clf := range []struct {
+				name    string
+				trainer ml.Trainer
+			}{
+				{"AdaBoost + SVM", ml.AdaBoostTrainer(ml.DefaultAdaBoostConfig())},
+				{"SVM", ml.SVMTrainer(ml.DefaultSVMConfig())},
+			} {
+				conf, err := ml.CrossValidate(ds, cfg.Folds, clf.trainer, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table3Row{
+					Classifier:  clf.name,
+					FeatureSet:  set,
+					NumFeatures: ds.NumFeatures(),
+					TPRate:      conf.TPRate(),
+					FPRate:      conf.FPRate(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints Table 3's rows.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3 — classifier accuracy (10-fold CV)\n")
+	fmt.Fprintf(&b, "%-16s %-9s %10s %9s %9s\n",
+		"Classifier", "Features", "#Features", "TP rate", "FP rate")
+	cur := features.Set(-1)
+	for _, r := range rows {
+		if r.FeatureSet != cur {
+			fmt.Fprintf(&b, "-- feature set: %s --\n", r.FeatureSet)
+			cur = r.FeatureSet
+		}
+		fmt.Fprintf(&b, "%-16s %-9s %10d %8.1f%% %8.1f%%\n",
+			r.Classifier, r.FeatureSet, r.NumFeatures,
+			100*r.TPRate, 100*r.FPRate)
+	}
+	return b.String()
+}
+
+// BestRow returns the row with the best TP−FP margin (the paper's
+// headline is AdaBoost+SVM, keyword set, top-1K).
+func BestRow(rows []Table3Row) Table3Row {
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.TPRate-r.FPRate > best.TPRate-best.FPRate {
+			best = r
+		}
+	}
+	return best
+}
+
+// ---- §5 live-web model test ----
+
+// LiveTestResult is the out-of-sample TP rate on live-crawl scripts.
+type LiveTestResult struct {
+	Scripts  int
+	Detected int
+	TPRate   float64
+}
+
+// LiveModelTest trains the headline configuration (AdaBoost+SVM, keyword
+// features, top-1K) on the retrospective corpus and classifies the
+// anti-adblock scripts collected from live sites outside the training
+// population — the paper's 92.5% TP experiment.
+func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, seed int64) (*LiveTestResult, error) {
+	corpus := train.trim(0, seed)
+	ds, err := buildDataset(corpus, features.SetKeyword, 1000)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ml.TrainAdaBoost(ds, ml.DefaultAdaBoostConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	res := &LiveTestResult{}
+	for _, s := range liveScripts {
+		if s.Rank > 0 && s.Rank <= excludeTopN {
+			continue // exclude the training population (top-5K)
+		}
+		fs, err := features.ExtractSource(s.Source, features.SetKeyword)
+		if err != nil {
+			continue
+		}
+		res.Scripts++
+		if model.Predict(ds.Project(fs)) > 0 {
+			res.Detected++
+		}
+	}
+	if res.Scripts > 0 {
+		res.TPRate = float64(res.Detected) / float64(res.Scripts)
+	}
+	return res, nil
+}
+
+// Render prints the live-test headline.
+func (r *LiveTestResult) Render() string {
+	return fmt.Sprintf("§5 live model test — %d/%d live anti-adblock scripts detected (TP rate %.1f%%)\n",
+		r.Detected, r.Scripts, 100*r.TPRate)
+}

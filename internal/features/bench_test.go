@@ -1,0 +1,85 @@
+package features
+
+import (
+	"fmt"
+	"testing"
+
+	"adwars/internal/jsast"
+)
+
+const benchScript = `
+BlockAdBlock.prototype._creatBait = function() {
+  var bait = document.createElement('div');
+  bait.setAttribute('class', 'pub_300x250 textads banner_ad');
+  this._var.bait = window.document.body.appendChild(bait);
+  this._var.bait.offsetHeight;
+  this._var.bait.clientWidth;
+};
+if (window.document.body.getAttribute('abp') !== null) { detected = true; }
+`
+
+// BenchmarkExtract measures feature extraction per feature set.
+func BenchmarkExtract(b *testing.B) {
+	prog, err := jsast.Parse(benchScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, set := range Sets {
+		b.Run(set.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if fs := Extract(prog, set); len(fs) == 0 {
+					b.Fatal("no features")
+				}
+			}
+		})
+	}
+}
+
+func benchFeatureDataset(b *testing.B, n, vocab int) *Dataset {
+	b.Helper()
+	var sets []map[string]bool
+	var labels []int
+	for i := 0; i < n; i++ {
+		m := map[string]bool{}
+		for j := 0; j < 12; j++ {
+			m[fmt.Sprintf("f%04d", (i*7+j*13)%vocab)] = true
+		}
+		sets = append(sets, m)
+		if i%11 == 0 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	ds, err := Build(sets, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkSelectPipeline measures the paper's full selection pipeline
+// (variance filter → dedup → chi-square top-k).
+func BenchmarkSelectPipeline(b *testing.B) {
+	ds := benchFeatureDataset(b, 1000, 3000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ds.SelectPipeline(500); out.NumFeatures() == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkChiSquare measures chi-square scoring alone (the ablation
+// contrast is variance-only filtering, which skips this cost).
+func BenchmarkChiSquare(b *testing.B) {
+	ds := benchFeatureDataset(b, 1000, 3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := ds.ChiSquare(); len(s) == 0 {
+			b.Fatal("no scores")
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package features turns JavaScript ASTs into the binary context:text
+// feature vectors of §5 of the paper and implements the paper's feature
+// selection pipeline: variance filtering, duplicate-column removal, and
+// chi-square ranking.
+//
+// A feature is "Context:Text", where Context is an AST location (the node's
+// own type, its parent's type, or the nearest enclosing statement construct)
+// and Text is the code text appearing there. Three feature sets provide
+// increasing generalization:
+//
+//   - SetAll: every text element (JavaScript keywords, Web API keywords,
+//     identifiers, and literals),
+//   - SetLiteral: literals only,
+//   - SetKeyword: native JavaScript keywords and Web API keywords only —
+//     robust to identifier/literal randomization but susceptible to
+//     polymorphism, exactly as the paper discusses.
+package features

@@ -1,0 +1,191 @@
+package features
+
+import (
+	"adwars/internal/jsast"
+)
+
+// Set selects which text elements become features (§5, Feature Extraction).
+type Set int
+
+const (
+	// SetAll keeps every text element: JS keywords, Web API keywords,
+	// identifiers, and literals.
+	SetAll Set = iota
+	// SetLiteral keeps literal values only.
+	SetLiteral
+	// SetKeyword keeps native JS keywords and Web API keywords only.
+	SetKeyword
+)
+
+// String names the feature set as the paper does.
+func (s Set) String() string {
+	switch s {
+	case SetAll:
+		return "all"
+	case SetLiteral:
+		return "literal"
+	case SetKeyword:
+		return "keyword"
+	default:
+		return "unknown"
+	}
+}
+
+// Sets lists the three feature sets in Table 3 order.
+var Sets = []Set{SetAll, SetLiteral, SetKeyword}
+
+// textKind classifies a text element the way the paper's three feature sets
+// need: identifier, literal, or (JS / Web API) keyword.
+type textKind int
+
+const (
+	kindIdentifier textKind = iota
+	kindLiteral
+	kindKeyword
+)
+
+// keep reports whether a text of the given kind belongs to the feature set.
+func (s Set) keep(k textKind) bool {
+	switch s {
+	case SetAll:
+		return true
+	case SetLiteral:
+		return k == kindLiteral
+	case SetKeyword:
+		return k == kindKeyword
+	default:
+		return false
+	}
+}
+
+// maxTextLen truncates pathological texts (huge string literals) so that a
+// single script cannot blow up the vocabulary.
+const maxTextLen = 64
+
+// Extract returns the binary feature set of a script's AST under the given
+// feature set. Each feature is "Context:Text"; for every text-bearing node
+// up to three contexts are emitted: the node's own type, its parent's type,
+// and the nearest enclosing statement construct (loop, try, catch, if,
+// switch, function — the contexts §5 names).
+func Extract(prog *jsast.Program, set Set) map[string]bool {
+	out := make(map[string]bool)
+	emit := func(context, text string, kind textKind) {
+		if !set.keep(kind) || text == "" {
+			return
+		}
+		if len(text) > maxTextLen {
+			text = text[:maxTextLen]
+		}
+		out[context+":"+text] = true
+	}
+
+	// Stack of enclosing construct type names.
+	var constructs []string
+	var walk func(n, parent jsast.Node)
+	walk = func(n, parent jsast.Node) {
+		parentType := "Program"
+		if parent != nil {
+			parentType = parent.Type()
+		}
+		enclosing := ""
+		if len(constructs) > 0 {
+			enclosing = constructs[len(constructs)-1]
+		}
+
+		emitAll := func(text string, kind textKind) {
+			emit(n.Type(), text, kind)
+			if parentType != n.Type() {
+				emit(parentType, text, kind)
+			}
+			if enclosing != "" && enclosing != parentType && enclosing != n.Type() {
+				emit(enclosing, text, kind)
+			}
+		}
+
+		switch v := n.(type) {
+		case *jsast.Ident:
+			kind := kindIdentifier
+			if IsWebAPIKeyword(v.Name) {
+				kind = kindKeyword
+			}
+			emitAll(v.Name, kind)
+		case *jsast.Literal:
+			emitAll(v.Value, kindLiteral)
+		case *jsast.Declarator:
+			kind := kindIdentifier
+			if IsWebAPIKeyword(v.Name) {
+				kind = kindKeyword
+			}
+			emitAll(v.Name, kind)
+		case *jsast.FunctionDecl:
+			emitAll(v.Name, kindIdentifier)
+			emit(n.Type(), "function", kindKeyword)
+		case *jsast.FunctionExpr:
+			if v.Name != "" {
+				emitAll(v.Name, kindIdentifier)
+			}
+			emit(n.Type(), "function", kindKeyword)
+		case *jsast.Unary:
+			if jsast.IsKeyword(v.Op) { // typeof, void, delete
+				emit(n.Type(), v.Op, kindKeyword)
+			}
+		case *jsast.This:
+			emit(parentType, "this", kindKeyword)
+		case *jsast.VarDecl:
+			emit(parentType, "var", kindKeyword)
+		case *jsast.If:
+			emit(parentType, "if", kindKeyword)
+		case *jsast.For, *jsast.ForIn:
+			emit(parentType, "for", kindKeyword)
+		case *jsast.While, *jsast.DoWhile:
+			emit(parentType, "while", kindKeyword)
+		case *jsast.Try:
+			emit(parentType, "try", kindKeyword)
+		case *jsast.Catch:
+			emit(parentType, "catch", kindKeyword)
+		case *jsast.Switch:
+			emit(parentType, "switch", kindKeyword)
+		case *jsast.Return:
+			emit(parentType, "return", kindKeyword)
+		case *jsast.New:
+			emit(parentType, "new", kindKeyword)
+		case *jsast.Binary:
+			if jsast.IsKeyword(v.Op) { // in, instanceof
+				emit(n.Type(), v.Op, kindKeyword)
+			}
+		}
+
+		if isConstruct(n) {
+			constructs = append(constructs, n.Type())
+			defer func() { constructs = constructs[:len(constructs)-1] }()
+		}
+		for _, c := range jsast.Children(n) {
+			walk(c, n)
+		}
+	}
+	walk(prog, nil)
+	return out
+}
+
+// isConstruct reports whether n opens one of the enclosing contexts §5
+// names: loops, try/catch, if, switch, and function bodies.
+func isConstruct(n jsast.Node) bool {
+	switch n.(type) {
+	case *jsast.For, *jsast.ForIn, *jsast.While, *jsast.DoWhile,
+		*jsast.Try, *jsast.Catch, *jsast.If, *jsast.Switch,
+		*jsast.FunctionDecl, *jsast.FunctionExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// ExtractSource parses (and unpacks) JavaScript source and extracts its
+// features. Scripts that fail to parse yield a nil map and the parse error.
+func ExtractSource(src string, set Set) (map[string]bool, error) {
+	prog, _, err := jsast.ParseAndUnpack(src)
+	if err != nil {
+		return nil, err
+	}
+	return Extract(prog, set), nil
+}

@@ -1,0 +1,441 @@
+package jsast
+
+// Node is implemented by every AST node. Type returns the ESTree-style node
+// type name ("MemberExpression", "IfStatement", …); the feature extractor of
+// §5 uses these names as the "context" part of its context:text features.
+type Node interface {
+	Type() string
+}
+
+// ---- Statements ----
+
+// Program is the root node of a parsed script.
+type Program struct {
+	Body []Node
+}
+
+// FunctionDecl is a function declaration statement.
+type FunctionDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// VarDecl is a 'var' statement with one or more declarators.
+type VarDecl struct {
+	Decls []*Declarator
+}
+
+// Declarator is one name[=init] of a var statement.
+type Declarator struct {
+	Name string
+	Init Node // nil when absent
+}
+
+// Block is a { … } statement list.
+type Block struct {
+	Body []Node
+}
+
+// ExprStmt wraps an expression used as a statement.
+type ExprStmt struct {
+	X Node
+}
+
+// If is an if/else statement.
+type If struct {
+	Cond Node
+	Then Node
+	Else Node // nil when absent
+}
+
+// For is a classic three-clause for loop; any clause may be nil.
+type For struct {
+	Init Node
+	Cond Node
+	Post Node
+	Body Node
+}
+
+// ForIn is a for-in loop.
+type ForIn struct {
+	Left  Node // VarDecl or expression
+	Right Node
+	Body  Node
+}
+
+// While is a while loop.
+type While struct {
+	Cond Node
+	Body Node
+}
+
+// DoWhile is a do-while loop.
+type DoWhile struct {
+	Body Node
+	Cond Node
+}
+
+// Return is a return statement (Arg may be nil).
+type Return struct {
+	Arg Node
+}
+
+// Try is a try/catch/finally statement.
+type Try struct {
+	Body    *Block
+	Catch   *Catch // nil when absent
+	Finally *Block // nil when absent
+}
+
+// Catch is the catch clause of a try statement.
+type Catch struct {
+	Param string
+	Body  *Block
+}
+
+// Throw is a throw statement.
+type Throw struct {
+	Arg Node
+}
+
+// Switch is a switch statement.
+type Switch struct {
+	Disc  Node
+	Cases []*Case
+}
+
+// Case is one case (or default, when Test is nil) of a switch.
+type Case struct {
+	Test Node
+	Body []Node
+}
+
+// Break is a break statement with an optional label.
+type Break struct {
+	Label string
+}
+
+// Continue is a continue statement with an optional label.
+type Continue struct {
+	Label string
+}
+
+// Labeled is a labeled statement.
+type Labeled struct {
+	Label string
+	Body  Node
+}
+
+// Empty is a lone ';'.
+type Empty struct{}
+
+// With is a with statement (parsed for completeness).
+type With struct {
+	Obj  Node
+	Body Node
+}
+
+// Debugger is a debugger statement.
+type Debugger struct{}
+
+// ---- Expressions ----
+
+// Ident is an identifier reference.
+type Ident struct {
+	Name string
+}
+
+// LiteralKind distinguishes literal value categories.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitString LiteralKind = iota
+	LitNumber
+	LitBool
+	LitNull
+	LitUndefined
+	LitRegex
+)
+
+// Literal is a primitive literal. Value holds the decoded string value for
+// strings, the literal text for numbers and regexes, and "true"/"false"/
+// "null"/"undefined" otherwise.
+type Literal struct {
+	Kind  LiteralKind
+	Value string
+}
+
+// This is a 'this' expression.
+type This struct{}
+
+// ArrayLit is an array literal.
+type ArrayLit struct {
+	Elems []Node
+}
+
+// ObjectLit is an object literal.
+type ObjectLit struct {
+	Props []*Property
+}
+
+// Property is one key: value pair of an object literal.
+type Property struct {
+	Key   string
+	Value Node
+}
+
+// FunctionExpr is a (possibly named) function expression.
+type FunctionExpr struct {
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Unary is a prefix unary expression (!, -, +, ~, typeof, void, delete).
+type Unary struct {
+	Op string
+	X  Node
+}
+
+// Update is ++/-- in prefix or postfix position.
+type Update struct {
+	Op     string
+	Prefix bool
+	X      Node
+}
+
+// Binary is an arithmetic/relational binary expression.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+// Logical is && or ||.
+type Logical struct {
+	Op   string
+	L, R Node
+}
+
+// Assign is an assignment (=, +=, …).
+type Assign struct {
+	Op   string
+	L, R Node
+}
+
+// Conditional is the ternary ?: expression.
+type Conditional struct {
+	Cond, Then, Else Node
+}
+
+// Call is a function call.
+type Call struct {
+	Callee Node
+	Args   []Node
+}
+
+// New is a new-expression.
+type New struct {
+	Callee Node
+	Args   []Node
+}
+
+// Member is property access: obj.name or obj[expr].
+type Member struct {
+	Obj      Node
+	Prop     Node // Ident for .name, arbitrary expression when Computed
+	Computed bool
+}
+
+// Sequence is the comma operator.
+type Sequence struct {
+	Exprs []Node
+}
+
+// Type implementations (ESTree names).
+
+func (*Program) Type() string      { return "Program" }
+func (*FunctionDecl) Type() string { return "FunctionDeclaration" }
+func (*VarDecl) Type() string      { return "VariableDeclaration" }
+func (*Declarator) Type() string   { return "VariableDeclarator" }
+func (*Block) Type() string        { return "BlockStatement" }
+func (*ExprStmt) Type() string     { return "ExpressionStatement" }
+func (*If) Type() string           { return "IfStatement" }
+func (*For) Type() string          { return "ForStatement" }
+func (*ForIn) Type() string        { return "ForInStatement" }
+func (*While) Type() string        { return "WhileStatement" }
+func (*DoWhile) Type() string      { return "DoWhileStatement" }
+func (*Return) Type() string       { return "ReturnStatement" }
+func (*Try) Type() string          { return "TryStatement" }
+func (*Catch) Type() string        { return "CatchClause" }
+func (*Throw) Type() string        { return "ThrowStatement" }
+func (*Switch) Type() string       { return "SwitchStatement" }
+func (*Case) Type() string         { return "SwitchCase" }
+func (*Break) Type() string        { return "BreakStatement" }
+func (*Continue) Type() string     { return "ContinueStatement" }
+func (*Labeled) Type() string      { return "LabeledStatement" }
+func (*Empty) Type() string        { return "EmptyStatement" }
+func (*With) Type() string         { return "WithStatement" }
+func (*Debugger) Type() string     { return "DebuggerStatement" }
+func (*Ident) Type() string        { return "Identifier" }
+func (*Literal) Type() string      { return "Literal" }
+func (*This) Type() string         { return "ThisExpression" }
+func (*ArrayLit) Type() string     { return "ArrayExpression" }
+func (*ObjectLit) Type() string    { return "ObjectExpression" }
+func (*Property) Type() string     { return "Property" }
+func (*FunctionExpr) Type() string { return "FunctionExpression" }
+func (*Unary) Type() string        { return "UnaryExpression" }
+func (*Update) Type() string       { return "UpdateExpression" }
+func (*Binary) Type() string       { return "BinaryExpression" }
+func (*Logical) Type() string      { return "LogicalExpression" }
+func (*Assign) Type() string       { return "AssignmentExpression" }
+func (*Conditional) Type() string  { return "ConditionalExpression" }
+func (*Call) Type() string         { return "CallExpression" }
+func (*New) Type() string          { return "NewExpression" }
+func (*Member) Type() string       { return "MemberExpression" }
+func (*Sequence) Type() string     { return "SequenceExpression" }
+
+// Children returns the node's direct child nodes in source order. Nil
+// children are omitted.
+func Children(n Node) []Node {
+	add := func(dst []Node, ns ...Node) []Node {
+		for _, x := range ns {
+			if x != nil && !isNilNode(x) {
+				dst = append(dst, x)
+			}
+		}
+		return dst
+	}
+	var out []Node
+	switch v := n.(type) {
+	case *Program:
+		out = add(out, v.Body...)
+	case *FunctionDecl:
+		out = add(out, v.Body)
+	case *VarDecl:
+		for _, d := range v.Decls {
+			out = add(out, d)
+		}
+	case *Declarator:
+		out = add(out, v.Init)
+	case *Block:
+		out = add(out, v.Body...)
+	case *ExprStmt:
+		out = add(out, v.X)
+	case *If:
+		out = add(out, v.Cond, v.Then, v.Else)
+	case *For:
+		out = add(out, v.Init, v.Cond, v.Post, v.Body)
+	case *ForIn:
+		out = add(out, v.Left, v.Right, v.Body)
+	case *While:
+		out = add(out, v.Cond, v.Body)
+	case *DoWhile:
+		out = add(out, v.Body, v.Cond)
+	case *Return:
+		out = add(out, v.Arg)
+	case *Try:
+		out = add(out, v.Body)
+		if v.Catch != nil {
+			out = add(out, v.Catch)
+		}
+		if v.Finally != nil {
+			out = add(out, v.Finally)
+		}
+	case *Catch:
+		out = add(out, v.Body)
+	case *Throw:
+		out = add(out, v.Arg)
+	case *Switch:
+		out = add(out, v.Disc)
+		for _, c := range v.Cases {
+			out = add(out, c)
+		}
+	case *Case:
+		out = add(out, v.Test)
+		out = add(out, v.Body...)
+	case *Labeled:
+		out = add(out, v.Body)
+	case *With:
+		out = add(out, v.Obj, v.Body)
+	case *ArrayLit:
+		out = add(out, v.Elems...)
+	case *ObjectLit:
+		for _, p := range v.Props {
+			out = add(out, p)
+		}
+	case *Property:
+		out = add(out, v.Value)
+	case *FunctionExpr:
+		out = add(out, v.Body)
+	case *Unary:
+		out = add(out, v.X)
+	case *Update:
+		out = add(out, v.X)
+	case *Binary:
+		out = add(out, v.L, v.R)
+	case *Logical:
+		out = add(out, v.L, v.R)
+	case *Assign:
+		out = add(out, v.L, v.R)
+	case *Conditional:
+		out = add(out, v.Cond, v.Then, v.Else)
+	case *Call:
+		out = add(out, v.Callee)
+		out = add(out, v.Args...)
+	case *New:
+		out = add(out, v.Callee)
+		out = add(out, v.Args...)
+	case *Member:
+		out = add(out, v.Obj, v.Prop)
+	case *Sequence:
+		out = add(out, v.Exprs...)
+	}
+	return out
+}
+
+// isNilNode guards against typed-nil interface values from optional fields.
+func isNilNode(n Node) bool {
+	switch v := n.(type) {
+	case *Block:
+		return v == nil
+	case *Catch:
+		return v == nil
+	default:
+		return false
+	}
+}
+
+// Inspect walks the tree rooted at n in depth-first order, calling f for
+// each node. If f returns false the node's children are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	for _, c := range Children(n) {
+		Inspect(c, f)
+	}
+}
+
+// WalkParents walks the tree calling f with each node and its parent
+// (parent is nil for the root). Children are always visited.
+func WalkParents(n Node, f func(n, parent Node)) {
+	var rec func(n, parent Node)
+	rec = func(n, parent Node) {
+		f(n, parent)
+		for _, c := range Children(n) {
+			rec(c, n)
+		}
+	}
+	if n != nil {
+		rec(n, nil)
+	}
+}
+
+// Count returns the number of nodes in the tree.
+func Count(n Node) int {
+	total := 0
+	Inspect(n, func(Node) bool { total++; return true })
+	return total
+}

@@ -1,0 +1,58 @@
+package jsast
+
+import "testing"
+
+// BenchmarkTokenize measures lexing of the paper's Code 5 snippet.
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(code5)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(code5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures full parsing of Code 5.
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(code5)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(code5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseAndUnpack measures the ablation cost of the unpacking
+// pass on an eval-packed payload.
+func BenchmarkParseAndUnpack(b *testing.B) {
+	src := `eval(` + quoteJS(code4) + `);`
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, n, err := ParseAndUnpack(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 1 {
+			b.Fatal("payload not unpacked")
+		}
+	}
+}
+
+// BenchmarkInspect measures AST traversal.
+func BenchmarkInspect(b *testing.B) {
+	prog, err := Parse(code4 + code5 + code8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		Inspect(prog, func(Node) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty walk")
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package jsast implements static analysis of JavaScript source: a lexer
+// and parser for the ES5 subset that anti-adblock scripts use, an abstract
+// syntax tree with a generic walker, and an unpacker for dynamically
+// generated code (eval of string literals, %-escaped payloads, and Dean
+// Edwards style p.a.c.k.e.r payloads).
+//
+// The paper (§5) fingerprints anti-adblock scripts by syntactic features
+// extracted from ASTs; this package supplies those ASTs. The paper unpacks
+// eval() with the Chrome V8 engine's script.parsed hook; Unpack reproduces
+// the effect statically (see DESIGN.md, substitutions).
+package jsast

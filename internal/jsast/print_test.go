@@ -1,0 +1,147 @@
+package jsast
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// normalize reparses printed output; trees must converge after one print.
+func reprint(t *testing.T, src string) (string, *Program) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	out := Print(prog)
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse of printed output failed: %v\n%s", err, out)
+	}
+	return out, prog2
+}
+
+func TestPrintRoundTripPaperSnippets(t *testing.T) {
+	for name, src := range map[string]string{
+		"code4": code4, "code5": code5, "code8": code8,
+	} {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed, prog2 := reprint(t, src)
+			// The printed form must be a fixed point: printing the
+			// reparsed tree reproduces it.
+			printed2 := Print(prog2)
+			if printed != printed2 {
+				t.Fatalf("print not idempotent:\n--- first\n%s\n--- second\n%s", printed, printed2)
+			}
+			// Structural equivalence of the original and reparsed trees.
+			if !reflect.DeepEqual(strip(prog), strip(prog2)) {
+				t.Fatal("reparsed tree differs from original")
+			}
+		})
+	}
+}
+
+// strip maps a tree to its type/text skeleton for structural comparison.
+func strip(prog *Program) []string {
+	var out []string
+	Inspect(prog, func(n Node) bool {
+		switch v := n.(type) {
+		case *Ident:
+			out = append(out, "I:"+v.Name)
+		case *Literal:
+			out = append(out, "L:"+v.Value)
+		default:
+			out = append(out, n.Type())
+		}
+		return true
+	})
+	return out
+}
+
+func TestPrintPrecedence(t *testing.T) {
+	cases := []string{
+		"x = (a + b) * c;",
+		"y = a + b * c;",
+		"z = (a = b) + 1;",
+		"w = a || b && c;",
+		"v = (a || b) && c;",
+		"u = -(-a);",
+		"s = (a, b);",
+		"r = typeof (a + b);",
+		"q = (a ? b : c) ? d : e;",
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		printed := Print(prog)
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		if !reflect.DeepEqual(strip(prog), strip(prog2)) {
+			t.Errorf("precedence lost: %q → %q", src, strings.TrimSpace(printed))
+		}
+	}
+}
+
+func TestPrintStatements(t *testing.T) {
+	src := `
+label: for (var i = 0, j = 1; i < 10; i++) { if (i > 5) break label; else continue; }
+for (k in o) delete o[k];
+do { tick(); } while (more);
+switch (x) { case 1: a(); break; default: b(); }
+try { r(); } catch (e) { h(e); } finally { f(); }
+with (o) { p = 1; }
+throw new Error("boom");
+debugger;
+;
+var fn = function named(a, b) { return a + b; };
+var obj = {a: 1, "b c": 2, in: 3};
+var arr = [1, 2, [3]];
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if !reflect.DeepEqual(strip(prog), strip(prog2)) {
+		t.Fatalf("structure lost:\n%s", printed)
+	}
+}
+
+func TestPrintStringEscapes(t *testing.T) {
+	src := `var s = "a\"b\\c\nd\te";`
+	_, prog2 := reprint(t, src)
+	found := false
+	Inspect(prog2, func(n Node) bool {
+		if l, ok := n.(*Literal); ok && l.Kind == LitString {
+			if l.Value == "a\"b\\c\nd\te" {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("string escapes lost in round trip")
+	}
+}
+
+func TestPrintRegexAndNumbers(t *testing.T) {
+	src := `var re = /ad[bB]lock/gi; var n = 0xFF; var f = 1.5e3;`
+	printed, _ := reprint(t, src)
+	for _, want := range []string{"/ad[bB]lock/gi", "0xFF", "1.5e3"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("printed output missing %q:\n%s", want, printed)
+		}
+	}
+}

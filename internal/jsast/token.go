@@ -1,0 +1,428 @@
+package jsast
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokRegex
+	TokPunct
+)
+
+// String names the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "eof"
+	case TokIdent:
+		return "ident"
+	case TokKeyword:
+		return "keyword"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokRegex:
+		return "regex"
+	case TokPunct:
+		return "punct"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the token's meaning-bearing text: the identifier or keyword
+	// name, the decoded string value, the number literal text, the regex
+	// source, or the punctuation characters.
+	Text string
+	// Line and Col locate the token (1-based).
+	Line, Col int
+	// NewlineBefore reports whether a line terminator occurred between
+	// the previous token and this one; the parser's automatic semicolon
+	// insertion depends on it.
+	NewlineBefore bool
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+// jsKeywords are the ECMAScript 5 reserved words the parser understands.
+var jsKeywords = map[string]bool{
+	"break": true, "case": true, "catch": true, "continue": true,
+	"debugger": true, "default": true, "delete": true, "do": true,
+	"else": true, "finally": true, "for": true, "function": true,
+	"if": true, "in": true, "instanceof": true, "new": true,
+	"return": true, "switch": true, "this": true, "throw": true,
+	"try": true, "typeof": true, "var": true, "void": true,
+	"while": true, "with": true, "true": true, "false": true,
+	"null": true, "undefined": true,
+}
+
+// IsKeyword reports whether name is a native JavaScript keyword.
+func IsKeyword(name string) bool { return jsKeywords[name] }
+
+// punctuators, longest first per leading byte, for maximal-munch scanning.
+var punctuators = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=",
+	"&&", "||", "++", "--", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+	"&=", "|=", "^=", "=>",
+	"{", "}", "(", ")", "[", "]", ";", ",", "<", ">", "+", "-", "*",
+	"/", "%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
+}
+
+// Lexer turns JavaScript source into tokens. Create with NewLexer.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+
+	// prev is the last non-comment token, used to disambiguate '/'
+	// (division vs regex literal).
+	prev Token
+	// sawNewline tracks line terminators since the previous token.
+	sawNewline bool
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// SyntaxError reports a lexical or parse error with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("js syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+		l.sawNewline = true
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace and // and /* */ comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$' || c >= 0x80
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// regexAllowed reports whether a '/' at the current position starts a regex
+// literal, judged from the previous token (the standard heuristic).
+func (l *Lexer) regexAllowed() bool {
+	switch l.prev.Kind {
+	case TokIdent, TokNumber, TokString, TokRegex:
+		return false
+	case TokKeyword:
+		// After 'this', 'true', etc. a '/' is division.
+		switch l.prev.Text {
+		case "this", "true", "false", "null", "undefined":
+			return false
+		}
+		return true
+	case TokPunct:
+		switch l.prev.Text {
+		case ")", "]", "}", "++", "--":
+			return false
+		}
+		return true
+	default: // start of input
+		return true
+	}
+}
+
+// Next returns the next token. At end of input it returns a TokEOF token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col, NewlineBefore: l.sawNewline}
+	l.sawNewline = false
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		l.prev = tok
+		return tok, nil
+	}
+
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		if jsKeywords[tok.Text] {
+			tok.Kind = TokKeyword
+		} else {
+			tok.Kind = TokIdent
+		}
+	case isDigit(c) || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		text, err := l.scanNumber()
+		if err != nil {
+			return Token{}, err
+		}
+		tok.Kind, tok.Text = TokNumber, text
+	case c == '"' || c == '\'':
+		text, err := l.scanString(c)
+		if err != nil {
+			return Token{}, err
+		}
+		tok.Kind, tok.Text = TokString, text
+	case c == '/' && l.regexAllowed():
+		text, err := l.scanRegex()
+		if err != nil {
+			return Token{}, err
+		}
+		tok.Kind, tok.Text = TokRegex, text
+	default:
+		p := l.matchPunct()
+		if p == "" {
+			return Token{}, l.errorf("unexpected character %q", c)
+		}
+		for range p {
+			l.advance()
+		}
+		tok.Kind, tok.Text = TokPunct, p
+	}
+	l.prev = tok
+	return tok, nil
+}
+
+func (l *Lexer) matchPunct() string {
+	rest := l.src[l.pos:]
+	for _, p := range punctuators {
+		if len(rest) >= len(p) && rest[:len(p)] == p {
+			return p
+		}
+	}
+	return ""
+}
+
+func (l *Lexer) scanNumber() (string, error) {
+	start := l.pos
+	if l.peekByte() == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.advance()
+		}
+		return l.src[start:l.pos], nil
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.advance()
+	}
+	if l.peekByte() == '.' {
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance()
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		l.advance()
+		if c := l.peekByte(); c == '+' || c == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peekByte()) {
+			return "", l.errorf("malformed exponent")
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance()
+		}
+	}
+	return l.src[start:l.pos], nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// scanString consumes a quoted string and returns its decoded value.
+func (l *Lexer) scanString(quote byte) (string, error) {
+	l.advance() // opening quote
+	var out []byte
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errorf("unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case quote:
+			return string(out), nil
+		case '\n':
+			return "", l.errorf("newline in string literal")
+		case '\\':
+			if l.pos >= len(l.src) {
+				return "", l.errorf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case 'r':
+				out = append(out, '\r')
+			case 'b':
+				out = append(out, '\b')
+			case 'f':
+				out = append(out, '\f')
+			case 'v':
+				out = append(out, '\v')
+			case '0':
+				out = append(out, 0)
+			case 'x':
+				if l.pos+1 < len(l.src) && isHexDigit(l.src[l.pos]) && isHexDigit(l.src[l.pos+1]) {
+					v := hexVal(l.advance())<<4 | hexVal(l.advance())
+					out = append(out, byte(v))
+				} else {
+					out = append(out, 'x')
+				}
+			case 'u':
+				if l.pos+3 < len(l.src) && isHexDigit(l.src[l.pos]) && isHexDigit(l.src[l.pos+1]) &&
+					isHexDigit(l.src[l.pos+2]) && isHexDigit(l.src[l.pos+3]) {
+					v := hexVal(l.advance())<<12 | hexVal(l.advance())<<8 |
+						hexVal(l.advance())<<4 | hexVal(l.advance())
+					out = append(out, []byte(string(rune(v)))...)
+				} else {
+					out = append(out, 'u')
+				}
+			case '\n':
+				// line continuation: nothing appended
+			default:
+				out = append(out, e)
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// scanRegex consumes a /regex/flags literal and returns its full source.
+func (l *Lexer) scanRegex() (string, error) {
+	start := l.pos
+	l.advance() // '/'
+	inClass := false
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errorf("unterminated regex literal")
+		}
+		c := l.advance()
+		switch c {
+		case '\\':
+			if l.pos < len(l.src) {
+				l.advance()
+			}
+		case '[':
+			inClass = true
+		case ']':
+			inClass = false
+		case '\n':
+			return "", l.errorf("newline in regex literal")
+		case '/':
+			if !inClass {
+				for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+					l.advance()
+				}
+				return l.src[start:l.pos], nil
+			}
+		}
+	}
+}
+
+// Tokenize scans all of src, returning the token stream (without the
+// trailing EOF token).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

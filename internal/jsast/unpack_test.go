@@ -1,0 +1,193 @@
+package jsast
+
+import "testing"
+
+func TestUnpackStringLiteralEval(t *testing.T) {
+	src := `eval("var hiddenAdblockCheck = 1;");`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("unpacked = %d, want 1", n)
+	}
+	if !hasIdent(prog, "hiddenAdblockCheck") {
+		t.Fatal("unpacked statement missing from program body")
+	}
+}
+
+func TestUnpackConcatenation(t *testing.T) {
+	src := `eval("var ad" + "block" + "Flag = true;");`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !hasIdent(prog, "adblockFlag") {
+		t.Fatalf("unpacked=%d hasIdent=%v", n, hasIdent(prog, "adblockFlag"))
+	}
+}
+
+func TestUnpackUnescape(t *testing.T) {
+	// "var x = offsetHeight;" percent-encoded.
+	src := `eval(unescape("%76%61%72%20%78%20%3D%20offsetHeight%3B"));`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !hasIdent(prog, "offsetHeight") {
+		t.Fatalf("unpacked=%d", n)
+	}
+}
+
+func TestUnpackFromCharCode(t *testing.T) {
+	// "var q=1" = 118 97 114 32 113 61 49
+	src := `eval(String.fromCharCode(118, 97, 114, 32, 113, 61, 49));`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !hasIdent(prog, "q") {
+		t.Fatalf("unpacked=%d", n)
+	}
+}
+
+func TestUnpackNestedEval(t *testing.T) {
+	src := `eval("eval(\"var nested = 2;\");");`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("unpacked = %d, want 2", n)
+	}
+	if !hasIdent(prog, "nested") {
+		t.Fatal("nested payload not recovered")
+	}
+}
+
+func TestUnpackPacker(t *testing.T) {
+	// eval(function(p,a,c,k,e,d){...}('0 1=2;',10,3,'var|bait|detected'.split('|'),0,{}))
+	src := `eval(function(p,a,c,k,e,d){e=function(c){return c};while(c--){if(k[c]){p=p.replace(new RegExp('\\b'+e(c)+'\\b','g'),k[c])}}return p}('0 1=2;',10,3,'var|bait|detected'.split('|'),0,{}));`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("unpacked = %d, want 1", n)
+	}
+	if !hasIdent(prog, "bait") {
+		t.Fatal("packer payload 'var bait=detected;' not recovered")
+	}
+}
+
+func TestUnpackPackerBase62(t *testing.T) {
+	// Token 'A' decodes to index 36 in base 62; build a word list that
+	// exercises it: indexes 0..36, with only a few words defined.
+	words := make([]string, 37)
+	words[0] = "var"
+	words[1] = "marker62"
+	payload := "0 1;"
+	wordStr := ""
+	for i, w := range words {
+		if i > 0 {
+			wordStr += "|"
+		}
+		wordStr += w
+	}
+	src := `eval(function(p,a,c,k,e,d){}('` + payload + `',62,37,'` + wordStr + `'.split('|'),0,{}));`
+	prog, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !hasIdent(prog, "marker62") {
+		t.Fatalf("unpacked=%d", n)
+	}
+}
+
+func TestUnpackIgnoresDynamicEval(t *testing.T) {
+	src := `eval(userInput);` // cannot be decoded statically
+	_, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unpacked = %d, want 0", n)
+	}
+}
+
+func TestUnpackIgnoresMalformedPayload(t *testing.T) {
+	src := `eval("this is not ((( valid js");`
+	_, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unpacked = %d, want 0", n)
+	}
+}
+
+func TestUnpackDepthBound(t *testing.T) {
+	// Build eval nesting deeper than maxUnpackDepth; must terminate.
+	src := `var deepest = 1;`
+	for i := 0; i < maxUnpackDepth+3; i++ {
+		src = `eval(` + quoteJS(src) + `);`
+	}
+	_, n, err := ParseAndUnpack(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > maxUnpackDepth {
+		t.Fatalf("unpacked %d levels, bound is %d", n, maxUnpackDepth)
+	}
+}
+
+func TestPercentDecode(t *testing.T) {
+	cases := map[string]string{
+		"%41%42":  "AB",
+		"%u0041x": "Ax",
+		"plain":   "plain",
+		"%zz":     "%zz",
+		"100%25":  "100%",
+		"%u00e9":  "é",
+		"trail%":  "trail%",
+	}
+	for in, want := range cases {
+		if got := percentDecode(in); got != want {
+			t.Errorf("percentDecode(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func hasIdent(prog *Program, name string) bool {
+	found := false
+	Inspect(prog, func(n Node) bool {
+		switch v := n.(type) {
+		case *Ident:
+			if v.Name == name {
+				found = true
+			}
+		case *Declarator:
+			if v.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// quoteJS wraps s in double quotes with JS escaping for quotes/backslashes.
+func quoteJS(s string) string {
+	out := `"`
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			out += `\` + string(s[i])
+		case '\n':
+			out += `\n`
+		default:
+			out += string(s[i])
+		}
+	}
+	return out + `"`
+}

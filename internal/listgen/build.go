@@ -1,0 +1,316 @@
+package listgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/antiadblock"
+)
+
+// vendorRule is one generic rule covering a vendor's detector everywhere.
+type vendorRule struct {
+	vendor string
+	rule   string
+	added  time.Time
+}
+
+// aakVendorRules are AAK's vendor-generic rules: the mechanism behind its
+// broad coverage (§4.2: >98% of AAK-matched websites use third-party
+// vendor scripts). Addition dates trail each vendor's market entry by the
+// crowdsourcing lag.
+var aakVendorRules = []vendorRule{
+	{"PageFair", "||pagefair.com^$third-party", time.Date(2014, 4, 1, 0, 0, 0, 0, time.UTC)},
+	{"BlockAdBlock", "||blockadblock.com^$third-party", time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)},
+	{"BlockAdBlock", "/blockadblock.js$script", time.Date(2014, 11, 1, 0, 0, 0, 0, time.UTC)},
+	{"Custom", "/js/site-adblock.js$script", time.Date(2015, 7, 1, 0, 0, 0, 0, time.UTC)},
+	{"Outbrain", "||outbrain.com/utils/adblock/detector.js$script", time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)},
+	{"NPTTech", "||npttech.com/advertising.js", time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)},
+	{"Optimizely", "||optimizely.com/js/adblock-probe.js$script", time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)},
+	{"Histats", "||histats.com/js15_as.js$script", time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)},
+	{"IAB", "/js/iab-adblock-check.js$script", time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC)},
+}
+
+// celBroadRules are the Combined EasyList's broadly-defined rules (§3.3:
+// "a few broadly defined filter rules and … many more exception rules").
+// They only cover first-party custom detectors, which is why CEL's
+// triggered-site counts stay far below AAK's (Figure 6a, §4.3).
+var celBroadRules = []vendorRule{
+	{"Custom", "/js/site-adblock.js$script", time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)},
+	{"Custom", "/adblock-detector*.js$script", time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC)},
+}
+
+// AAKVendorRuleTime returns when AAK's generic rule for a vendor was
+// added (zero time when it has none). Figure 7 uses it.
+func AAKVendorRuleTime(vendor string) time.Time {
+	var first time.Time
+	for _, vr := range aakVendorRules {
+		if vr.vendor == vendor && (first.IsZero() || vr.added.Before(first)) {
+			first = vr.added
+		}
+	}
+	return first
+}
+
+// CELBroadRuleTime returns when CEL's broad rule covering a vendor was
+// added (zero when none).
+func CELBroadRuleTime(vendor string) time.Time {
+	var first time.Time
+	for _, vr := range celBroadRules {
+		if vr.vendor == vendor && (first.IsZero() || vr.added.Before(first)) {
+			first = vr.added
+		}
+	}
+	return first
+}
+
+// ---- rule text generation ----
+
+// blockRulesAAK renders AAK's high-precision site rules for a deployment:
+// mostly HTML hide rules and domain-anchored HTTP rules (Figure 1a's mix).
+func blockRulesAAK(d *antiadblock.Deployment, rng *rand.Rand) []string {
+	var rules []string
+	primary := rng.Float64()
+	switch {
+	case primary < 0.45: // HTML element rule with domain
+		rules = append(rules, d.SiteDomain+"###"+d.NoticeID)
+	case primary < 0.70: // HTTP rule with domain anchor
+		rules = append(rules, "||"+d.SiteDomain+d.BaitPath)
+	case primary < 0.92: // HTTP rule with anchor and tag (Code 10 style)
+		rules = append(rules, "||"+vendorHostPath(d)+"$domain="+d.SiteDomain)
+	case primary < 0.96: // HTTP rule with domain tag only
+		rules = append(rules, d.BaitPath+"$script,domain="+d.SiteDomain)
+	case primary < 0.985: // plain HTTP rule
+		rules = append(rules, fmt.Sprintf("/abdetect%03d*.js$script", rng.Intn(1000)))
+	default: // generic HTML rule (unique id so it cannot over-match)
+		rules = append(rules, fmt.Sprintf("###aabgeneric%04d", rng.Intn(10000)))
+	}
+	// Some domains get a second, complementary rule (~1.3 rules/domain).
+	if rng.Float64() < 0.3 {
+		if rules[0][0] == '|' || rules[0][0] == '/' {
+			rules = append(rules, d.SiteDomain+"###"+d.NoticeID)
+		} else {
+			rules = append(rules, "||"+d.SiteDomain+d.BaitPath)
+		}
+	}
+	return rules
+}
+
+// blockRulesCEL renders the Combined EasyList's site rules: almost all
+// HTTP (Figure 1c), anchor-dominated. A share of rules is stale — written
+// from old reports against paths the site no longer uses — which keeps
+// CEL's on-crawl trigger counts low even for listed domains.
+func blockRulesCEL(d *antiadblock.Deployment, rng *rand.Rand) (elRules, awrlRules []string) {
+	stale := rng.Float64() < 0.72
+	path := d.BaitPath
+	if stale {
+		path = fmt.Sprintf("/legacy/abcheck%03d.js", rng.Intn(1000))
+	}
+	r := rng.Float64()
+	switch {
+	case r < 0.62: // anchor
+		elRules = append(elRules, "||"+d.SiteDomain+path)
+	case r < 0.86: // anchor + tag
+		elRules = append(elRules, "||"+vendorHostPath(d)+"$domain="+d.SiteDomain)
+	case r < 0.90: // tag only
+		elRules = append(elRules, path+"$script,domain="+d.SiteDomain)
+	case r < 0.94: // plain
+		elRules = append(elRules, fmt.Sprintf("/abwall%03d*.js$script", rng.Intn(1000)))
+	default: // HTML rule → AWRL territory
+		awrlRules = append(awrlRules, d.SiteDomain+"###"+d.NoticeID)
+	}
+	return elRules, awrlRules
+}
+
+// vendorHostPath renders "host/path" for a deployment's detector script.
+func vendorHostPath(d *antiadblock.Deployment) string {
+	v := d.Vendor
+	if v.ThirdParty() {
+		return v.Domain + v.ScriptPath
+	}
+	return d.SiteDomain + v.ScriptPath
+}
+
+// ---- history assembly ----
+
+// buildHistory turns timestamped rule events into a revision history with
+// the given revision times. Events are cumulative (lists rarely delete);
+// events after the final revision are dropped, which models AAK's
+// abandonment after November 2016.
+func buildHistory(name string, events []event, revisions []time.Time) *abp.History {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	parsed := make([]*abp.Rule, 0, len(events))
+	for _, e := range events {
+		r, err := abp.Parse(e.rule)
+		if err != nil {
+			// Generated rules must parse; a failure here is a listgen
+			// bug, not input error.
+			panic(fmt.Sprintf("listgen: generated rule %q: %v", e.rule, err))
+		}
+		parsed = append(parsed, r)
+	}
+	h := abp.NewHistory(name)
+	i := 0
+	for _, rt := range revisions {
+		for i < len(events) && !events[i].t.After(rt) {
+			i++
+		}
+		if i == 0 {
+			continue // list not born yet / empty
+		}
+		h.Append(rt, parsed[:i:i])
+	}
+	return h
+}
+
+// revisionTimes generates update instants from start to end at the given
+// cadence, switching to the slow cadence after switchAt (zero = never).
+func revisionTimes(start, end time.Time, fast, slow time.Duration, switchAt time.Time) []time.Time {
+	var out []time.Time
+	t := start
+	for !t.After(end) {
+		out = append(out, t)
+		step := fast
+		if !switchAt.IsZero() && !t.Before(switchAt) {
+			step = slow
+		}
+		t = t.Add(step)
+	}
+	return out
+}
+
+// buildAAK assembles the Anti-Adblock Killer List: vendor-generic rules,
+// high-precision site rules, exception fixes; revisions every ~4 days
+// until November 2015, monthly after (the Figure 1a stair step), with the
+// final revision in November 2016.
+func (g *generator) buildAAK() *abp.History {
+	rng := g.rng("aak-rules")
+	var events []event
+	for _, vr := range aakVendorRules {
+		events = append(events, event{vr.added, vr.rule})
+	}
+	for _, l := range g.listings {
+		if !l.inAAK {
+			continue
+		}
+		t := clampTime(l.aakTime, AAKStart, AAKLastUpdate)
+		for _, rule := range blockRulesAAK(l.dep, rng) {
+			events = append(events, event{t, rule})
+		}
+	}
+	events = append(events, g.aakExc...)
+	revs := revisionTimes(AAKStart, AAKLastUpdate,
+		4*24*time.Hour, 30*24*time.Hour,
+		time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC))
+	return buildHistory("Anti-Adblock Killer", events, revs)
+}
+
+// buildEasyListAA assembles the anti-adblock sections of EasyList:
+// founder rules from 2011, a few broad rules, HTTP-heavy site rules, and
+// the bulk of exception fixes; near-daily updates throughout.
+func (g *generator) buildEasyListAA() *abp.History {
+	rng := g.rng("el-rules")
+	var events []event
+	// Founder rules: the 2011 anti-adblock section seeds.
+	for i := 0; i < scaled(12, g.scale()); i++ {
+		events = append(events, event{
+			EasyListAAStart,
+			fmt.Sprintf("||earlyblocker%02d.com/detect.js$script", i),
+		})
+	}
+	for _, vr := range celBroadRules {
+		events = append(events, event{vr.added, vr.rule})
+	}
+	var awrlFromListings []event
+	for _, l := range g.listings {
+		if !l.inCEL {
+			continue
+		}
+		el, awrl := blockRulesCEL(l.dep, rng)
+		for _, rule := range el {
+			events = append(events, event{l.celTime, rule})
+		}
+		for _, rule := range awrl {
+			if l.celTime.Before(AWRLStart) {
+				// Before AWRL existed, warning-hiding rules landed in
+				// EasyList itself.
+				events = append(events, event{l.celTime, rule})
+			} else {
+				awrlFromListings = append(awrlFromListings, event{l.celTime, rule})
+			}
+		}
+	}
+	g.awrlListingEvents = awrlFromListings
+	events = append(events, g.celExc...)
+	revs := revisionTimes(EasyListAAStart, HistoryEnd, 2*24*time.Hour, 0, time.Time{})
+	return buildHistory("EasyList Anti-Adblock", events, revs)
+}
+
+// buildAWRL assembles the Adblock Warning Removal List: warning-hiding
+// HTML rules (domain-scoped and generic), a minority of HTTP rules for
+// warning-asset CDNs, and the April 2016 French-section batch (the Figure
+// 1b spike).
+func (g *generator) buildAWRL() *abp.History {
+	rng := g.rng("awrl-rules")
+	events := append([]event(nil), g.awrlListingEvents...)
+	span := HistoryEnd.Sub(AWRLStart)
+	// Generic warning selectors accumulate slowly.
+	genericSel := []string{
+		"adblock-wall", "adb-overlay", "adblock-msg", "abp-notice",
+		"blocker-warning", "whitelist-plea", "adblockinfo", "sorrybanner",
+	}
+	nGeneric := scaled(30, g.scale())
+	for i := 0; i < nGeneric; i++ {
+		t := AWRLStart.Add(time.Duration(rng.Float64() * float64(span)))
+		if rng.Float64() < 0.7 {
+			events = append(events, event{t, "##." + genericSel[rng.Intn(len(genericSel))] + fmt.Sprintf("-%d", i)})
+		} else {
+			events = append(events, event{t, "###" + genericSel[rng.Intn(len(genericSel))] + fmt.Sprintf("%d", i)})
+		}
+	}
+	// Domain-scoped warning hides for deployments AWRL picks up itself.
+	// Curators overwhelmingly target notices they can see in the page —
+	// static overlays — so those get priority.
+	nOwn := scaled(55, g.scale())
+	own := 0
+	for pass := 0; pass < 2 && own < nOwn; pass++ {
+		for _, l := range g.listings {
+			if own >= nOwn {
+				break
+			}
+			if !l.inCEL || l.celTime.Before(AWRLStart) {
+				continue
+			}
+			static := g.w.StaticNotice(l.dep.SiteDomain)
+			if (pass == 0) != static {
+				continue // pass 0: static notices; pass 1: the rest
+			}
+			events = append(events, event{l.celTime, l.dep.SiteDomain + "###" + l.dep.NoticeID})
+			own++
+		}
+	}
+	// HTTP rules for warning-asset hosts.
+	nHTTP := scaled(35, g.scale())
+	for i := 0; i < nHTTP; i++ {
+		t := AWRLStart.Add(time.Duration(rng.Float64() * float64(span)))
+		switch rng.Intn(4) {
+		case 0:
+			events = append(events, event{t, fmt.Sprintf("||abmsgcdn%02d.com^", i)})
+		case 1:
+			events = append(events, event{t, fmt.Sprintf("||abmsgcdn%02d.com^$script,domain=site%02d.com", i, i)})
+		case 2:
+			events = append(events, event{t, fmt.Sprintf("/adblock-warning%02d*.js", i)})
+		default:
+			events = append(events, event{t, fmt.Sprintf("@@||warningfix%02d.com/notice.js", i)})
+		}
+	}
+	// The April 2016 French section.
+	french := time.Date(2016, 4, 10, 0, 0, 0, 0, time.UTC)
+	for _, d := range g.frenchDomains {
+		events = append(events, event{french, d + "###message-bloqueur"})
+	}
+	revs := revisionTimes(AWRLStart, HistoryEnd, 5*24*time.Hour, 0, time.Time{})
+	return buildHistory("Adblock Warning Removal List", events, revs)
+}

@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adwars/internal/features"
+)
+
+// AdaBoostConfig holds ensemble hyperparameters.
+type AdaBoostConfig struct {
+	// Rounds is the maximum number of boosting rounds T.
+	Rounds int
+	// SVM configures every component classifier.
+	SVM SVMConfig
+}
+
+// DefaultAdaBoostConfig mirrors the paper's classifier: AdaBoost with
+// RBF-kernel SVM component classifiers.
+func DefaultAdaBoostConfig() AdaBoostConfig {
+	cfg := DefaultSVMConfig()
+	// Component classifiers should be weak-ish: a wide RBF and small C
+	// (per Li, Wang & Sung) leaves room for boosting to help.
+	cfg.Kernel = RBF{Gamma: 0.02}
+	cfg.C = 0.5
+	return AdaBoostConfig{Rounds: 10, SVM: cfg}
+}
+
+// AdaBoost is a trained ensemble f(x) = sign(Σ αₜhₜ(x)).
+type AdaBoost struct {
+	models []*SVM
+	alphas []float64
+}
+
+// Rounds returns the number of boosting rounds actually trained.
+func (a *AdaBoost) Rounds() int { return len(a.models) }
+
+// Decision returns the weighted vote Σ αₜhₜ(s).
+func (a *AdaBoost) Decision(s features.Sample) float64 {
+	v := 0.0
+	for t, m := range a.models {
+		v += a.alphas[t] * float64(m.Predict(s))
+	}
+	return v
+}
+
+// Predict implements Classifier.
+func (a *AdaBoost) Predict(s features.Sample) int {
+	if a.Decision(s) >= 0 {
+		return +1
+	}
+	return -1
+}
+
+// TrainAdaBoost trains AdaBoost.M1 with SVM component classifiers. Each
+// round trains a weighted SVM, computes its weighted training error ε, and
+// re-weights samples by exp(∓αₜ) with αₜ = ½ln((1−ε)/ε). Boosting stops
+// early when a component is perfect (ε≈0) or no better than chance
+// (ε≥0.5), per the standard algorithm.
+func TrainAdaBoost(ds *features.Dataset, cfg AdaBoostConfig, rng *rand.Rand) (*AdaBoost, error) {
+	n := ds.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("ml: rounds must be positive")
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	ens := &AdaBoost{}
+	for t := 0; t < cfg.Rounds; t++ {
+		m, err := TrainSVM(ds, w, cfg.SVM, rng)
+		if err != nil {
+			return nil, fmt.Errorf("ml: round %d: %w", t, err)
+		}
+		preds := make([]int, n)
+		eps := 0.0
+		for i, s := range ds.Samples {
+			preds[i] = m.Predict(s)
+			if preds[i] != ds.Labels[i] {
+				eps += w[i]
+			}
+		}
+		if eps >= 0.5 {
+			// Component no better than chance; keep earlier rounds. If
+			// this is the first round, keep it anyway so the ensemble is
+			// usable.
+			if len(ens.models) == 0 {
+				ens.models = append(ens.models, m)
+				ens.alphas = append(ens.alphas, 1)
+			}
+			break
+		}
+		if eps < 1e-10 {
+			// Perfect component: dominate the vote and stop.
+			ens.models = append(ens.models, m)
+			ens.alphas = append(ens.alphas, 10)
+			break
+		}
+		alpha := 0.5 * math.Log((1-eps)/eps)
+		ens.models = append(ens.models, m)
+		ens.alphas = append(ens.alphas, alpha)
+
+		// Re-weight and renormalize.
+		sum := 0.0
+		for i := range w {
+			if preds[i] != ds.Labels[i] {
+				w[i] *= math.Exp(alpha)
+			} else {
+				w[i] *= math.Exp(-alpha)
+			}
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	return ens, nil
+}

@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"adwars/internal/features"
+)
+
+func TestAdaBoostBeatsOrMatchesSVMOnImbalanced(t *testing.T) {
+	ds := synthDataset(t, 30, 300, 11) // ~10:1 imbalance like the paper
+	svm, err := TrainSVM(ds, nil, DefaultSVMConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boost, err := TrainAdaBoost(ds, DefaultAdaBoostConfig(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSVM := Evaluate(svm, ds)
+	cBoost := Evaluate(boost, ds)
+	if cBoost.TPRate()+1e-9 < cSVM.TPRate()-0.05 {
+		t.Fatalf("AdaBoost TP %.3f clearly below SVM TP %.3f", cBoost.TPRate(), cSVM.TPRate())
+	}
+	if cBoost.TPRate() < 0.9 {
+		t.Fatalf("AdaBoost training TP rate %.3f too low", cBoost.TPRate())
+	}
+}
+
+func TestAdaBoostRoundsBounded(t *testing.T) {
+	ds := synthDataset(t, 20, 60, 12)
+	cfg := DefaultAdaBoostConfig()
+	cfg.Rounds = 5
+	b, err := TrainAdaBoost(ds, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds() < 1 || b.Rounds() > 5 {
+		t.Fatalf("rounds = %d, want 1..5", b.Rounds())
+	}
+}
+
+func TestAdaBoostConfigValidation(t *testing.T) {
+	ds := synthDataset(t, 5, 15, 13)
+	cfg := DefaultAdaBoostConfig()
+	cfg.Rounds = 0
+	if _, err := TrainAdaBoost(ds, cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("rounds=0 must error")
+	}
+	empty := &features.Dataset{}
+	if _, err := TrainAdaBoost(empty, DefaultAdaBoostConfig(), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty dataset must error")
+	}
+}
+
+func TestAdaBoostDeterministic(t *testing.T) {
+	ds := synthDataset(t, 15, 45, 14)
+	b1, err := TrainAdaBoost(ds, DefaultAdaBoostConfig(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := TrainAdaBoost(ds, DefaultAdaBoostConfig(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ds.Samples {
+		if b1.Predict(s) != b2.Predict(s) {
+			t.Fatalf("sample %d: nondeterministic", i)
+		}
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 90, FN: 10, FP: 5, TN: 95}
+	if got := c.TPRate(); got != 0.9 {
+		t.Errorf("TPRate = %v", got)
+	}
+	if got := c.FPRate(); got != 0.05 {
+		t.Errorf("FPRate = %v", got)
+	}
+	if got := c.Accuracy(); got != 0.925 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); got < 0.94 || got > 0.95 {
+		t.Errorf("Precision = %v", got)
+	}
+	var zero Confusion
+	if zero.TPRate() != 0 || zero.FPRate() != 0 || zero.Accuracy() != 0 || zero.Precision() != 0 {
+		t.Error("zero confusion must not divide by zero")
+	}
+}
+
+func TestConfusionObserveAndAdd(t *testing.T) {
+	var c Confusion
+	c.Observe(1, 1)
+	c.Observe(1, -1)
+	c.Observe(-1, 1)
+	c.Observe(-1, -1)
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	var sum Confusion
+	sum.Add(c)
+	sum.Add(c)
+	if sum.TP != 2 || sum.TN != 2 {
+		t.Fatalf("sum = %+v", sum)
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := synthDataset(t, 30, 90, 15)
+	c, err := CrossValidate(ds, 5, SVMTrainer(DefaultSVMConfig()), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c.TP + c.FN + c.FP + c.TN
+	if total != ds.Len() {
+		t.Fatalf("CV covered %d samples, want %d", total, ds.Len())
+	}
+	if c.TPRate() < 0.8 {
+		t.Fatalf("CV TP rate %.3f too low on separable data", c.TPRate())
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	ds := synthDataset(t, 20, 60, 16)
+	c1, err := CrossValidate(ds, 4, SVMTrainer(DefaultSVMConfig()), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CrossValidate(ds, 4, SVMTrainer(DefaultSVMConfig()), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("CV not deterministic: %v vs %v", c1, c2)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	ds := synthDataset(t, 5, 15, 17)
+	if _, err := CrossValidate(ds, 1, SVMTrainer(DefaultSVMConfig()), 1); err == nil {
+		t.Error("k=1 must error")
+	}
+	tiny := ds.Subset([]int{0, 1})
+	if _, err := CrossValidate(tiny, 10, SVMTrainer(DefaultSVMConfig()), 1); err == nil {
+		t.Error("k greater than samples must error")
+	}
+}
+
+func TestStratifiedFoldsPreserveImbalance(t *testing.T) {
+	ds := synthDataset(t, 20, 200, 18)
+	folds := stratifiedFolds(ds, 10, rand.New(rand.NewSource(1)))
+	for f, idx := range folds {
+		pos := 0
+		for _, i := range idx {
+			if ds.Labels[i] > 0 {
+				pos++
+			}
+		}
+		if pos != 2 {
+			t.Errorf("fold %d has %d positives, want 2", f, pos)
+		}
+	}
+}

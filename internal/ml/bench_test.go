@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"adwars/internal/features"
+)
+
+func benchDataset(b *testing.B, nPos, nNeg int) *features.Dataset {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pool := make([]string, 60)
+	for i := range pool {
+		pool[i] = string(rune('a'+i%26)) + string(rune('0'+i%10))
+	}
+	var sets []map[string]bool
+	var labels []int
+	mk := func(offset int) map[string]bool {
+		m := map[string]bool{}
+		for j := 0; j < 6; j++ {
+			m[pool[(offset+rng.Intn(20))%len(pool)]] = true
+		}
+		return m
+	}
+	for i := 0; i < nPos; i++ {
+		sets = append(sets, mk(0))
+		labels = append(labels, 1)
+	}
+	for i := 0; i < nNeg; i++ {
+		sets = append(sets, mk(30))
+		labels = append(labels, -1)
+	}
+	ds, err := features.Build(sets, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkTrainSVM measures SMO training on a 10:1 imbalanced set.
+func BenchmarkTrainSVM(b *testing.B) {
+	ds := benchDataset(b, 30, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainSVM(ds, nil, DefaultSVMConfig(), rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainAdaBoost measures the full ensemble (the ablation cost of
+// boosting over a single SVM).
+func BenchmarkTrainAdaBoost(b *testing.B) {
+	ds := benchDataset(b, 30, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainAdaBoost(ds, DefaultAdaBoostConfig(), rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict measures single-sample classification latency (the
+// online adblocker deployment of §5 scans scripts on the fly).
+func BenchmarkPredict(b *testing.B) {
+	ds := benchDataset(b, 30, 300)
+	m, err := TrainSVM(ds, nil, DefaultSVMConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ds.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(s)
+	}
+}
+
+// BenchmarkRBFKernel measures one kernel evaluation.
+func BenchmarkRBFKernel(b *testing.B) {
+	k := RBF{Gamma: 0.05}
+	a := features.Sample{1, 5, 9, 30, 55, 70, 81, 93}
+	c := features.Sample{2, 5, 9, 31, 54, 70, 82, 93}
+	for i := 0; i < b.N; i++ {
+		k.Eval(a, c)
+	}
+}

@@ -1,0 +1,10 @@
+// Package ml implements the machine learning stack of §5 of the paper
+// using only the standard library: a support vector machine with an RBF
+// kernel trained by sequential minimal optimization (SMO), an AdaBoost.M1
+// ensemble with SVM component classifiers (following Li, Wang & Sung,
+// "AdaBoost with SVM-based component classifiers"), stratified k-fold
+// cross-validation, and TP/FP-rate metrics.
+//
+// Samples are the sparse binary feature vectors of package features, so the
+// RBF kernel reduces to exp(-γ(|a|+|b|-2|a∩b|)).
+package ml

@@ -1,0 +1,70 @@
+package ml
+
+import (
+	"math"
+
+	"adwars/internal/features"
+)
+
+// Kernel computes a positive semi-definite similarity between two sparse
+// binary samples.
+type Kernel interface {
+	Eval(a, b features.Sample) float64
+}
+
+// RBF is the radial basis function kernel exp(-γ‖a−b‖²). On binary vectors
+// ‖a−b‖² = |a| + |b| − 2|a∩b|, so evaluation is a sorted-list merge.
+type RBF struct {
+	// Gamma is the kernel width parameter γ (> 0).
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b features.Sample) float64 {
+	dist := float64(len(a) + len(b) - 2*a.IntersectionSize(b))
+	return math.Exp(-k.Gamma * dist)
+}
+
+// Linear is the dot-product kernel; on binary vectors it is |a∩b|. Used as
+// an ablation baseline against RBF.
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b features.Sample) float64 {
+	return float64(a.IntersectionSize(b))
+}
+
+// gramCacheLimit bounds the sample count for which a full Gram matrix is
+// precomputed; larger training sets fall back to on-demand evaluation.
+const gramCacheLimit = 4096
+
+// gram caches kernel values for a fixed sample set.
+type gram struct {
+	kernel Kernel
+	x      []features.Sample
+	full   []float64 // n×n row-major, nil when n > gramCacheLimit
+	n      int
+}
+
+func newGram(kernel Kernel, x []features.Sample) *gram {
+	g := &gram{kernel: kernel, x: x, n: len(x)}
+	if g.n > 0 && g.n <= gramCacheLimit {
+		g.full = make([]float64, g.n*g.n)
+		for i := 0; i < g.n; i++ {
+			g.full[i*g.n+i] = kernel.Eval(x[i], x[i])
+			for j := i + 1; j < g.n; j++ {
+				v := kernel.Eval(x[i], x[j])
+				g.full[i*g.n+j] = v
+				g.full[j*g.n+i] = v
+			}
+		}
+	}
+	return g
+}
+
+func (g *gram) at(i, j int) float64 {
+	if g.full != nil {
+		return g.full[i*g.n+j]
+	}
+	return g.kernel.Eval(g.x[i], g.x[j])
+}

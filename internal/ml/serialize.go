@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"adwars/internal/features"
+)
+
+// Serialized model formats. The paper's online deployment ships the
+// trained model inside adblockers; these types give it a stable JSON wire
+// form (support vectors, coefficients, ensemble weights).
+
+type svmJSON struct {
+	KernelType string    `json:"kernel"`
+	Gamma      float64   `json:"gamma,omitempty"`
+	Bias       float64   `json:"bias"`
+	Coefs      []float64 `json:"coefs"`
+	Vectors    [][]int32 `json:"vectors"`
+}
+
+type adaBoostJSON struct {
+	Alphas []float64  `json:"alphas"`
+	Models []*svmJSON `json:"models"`
+}
+
+func (m *SVM) toJSON() *svmJSON {
+	out := &svmJSON{Bias: m.bias, Coefs: m.coefs}
+	switch k := m.kernel.(type) {
+	case RBF:
+		out.KernelType = "rbf"
+		out.Gamma = k.Gamma
+	case Linear:
+		out.KernelType = "linear"
+	default:
+		out.KernelType = "rbf"
+		out.Gamma = 0.05
+	}
+	for _, v := range m.vectors {
+		out.Vectors = append(out.Vectors, []int32(v))
+	}
+	return out
+}
+
+func svmFromJSON(j *svmJSON) (*SVM, error) {
+	m := &SVM{bias: j.Bias, coefs: j.Coefs}
+	switch j.KernelType {
+	case "rbf":
+		m.kernel = RBF{Gamma: j.Gamma}
+	case "linear":
+		m.kernel = Linear{}
+	default:
+		return nil, fmt.Errorf("ml: unknown kernel %q", j.KernelType)
+	}
+	if len(j.Coefs) != len(j.Vectors) {
+		return nil, fmt.Errorf("ml: %d coefs for %d support vectors", len(j.Coefs), len(j.Vectors))
+	}
+	for _, v := range j.Vectors {
+		m.vectors = append(m.vectors, features.Sample(v))
+	}
+	return m, nil
+}
+
+// MarshalJSON implements json.Marshaler for trained SVMs.
+func (m *SVM) MarshalJSON() ([]byte, error) { return json.Marshal(m.toJSON()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *SVM) UnmarshalJSON(data []byte) error {
+	var j svmJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	restored, err := svmFromJSON(&j)
+	if err != nil {
+		return err
+	}
+	*m = *restored
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler for trained ensembles.
+func (a *AdaBoost) MarshalJSON() ([]byte, error) {
+	out := adaBoostJSON{Alphas: a.alphas}
+	for _, m := range a.models {
+		out.Models = append(out.Models, m.toJSON())
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *AdaBoost) UnmarshalJSON(data []byte) error {
+	var j adaBoostJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Alphas) != len(j.Models) {
+		return fmt.Errorf("ml: %d alphas for %d models", len(j.Alphas), len(j.Models))
+	}
+	restored := &AdaBoost{alphas: j.Alphas}
+	for _, mj := range j.Models {
+		m, err := svmFromJSON(mj)
+		if err != nil {
+			return err
+		}
+		restored.models = append(restored.models, m)
+	}
+	*a = *restored
+	return nil
+}

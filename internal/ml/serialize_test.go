@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestSVMSerializationRoundTrip(t *testing.T) {
+	ds := synthDataset(t, 20, 60, 31)
+	m, err := TrainSVM(ds, nil, DefaultSVMConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SVM
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ds.Samples {
+		if m.Predict(s) != back.Predict(s) {
+			t.Fatalf("sample %d: prediction changed after round trip", i)
+		}
+		if d1, d2 := m.Decision(s), back.Decision(s); d1 != d2 {
+			t.Fatalf("sample %d: decision %v != %v", i, d1, d2)
+		}
+	}
+}
+
+func TestAdaBoostSerializationRoundTrip(t *testing.T) {
+	ds := synthDataset(t, 20, 60, 32)
+	m, err := TrainAdaBoost(ds, DefaultAdaBoostConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AdaBoost
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rounds() != m.Rounds() {
+		t.Fatalf("rounds %d != %d", back.Rounds(), m.Rounds())
+	}
+	for i, s := range ds.Samples {
+		if m.Predict(s) != back.Predict(s) {
+			t.Fatalf("sample %d: prediction changed after round trip", i)
+		}
+	}
+}
+
+func TestLinearKernelSerialization(t *testing.T) {
+	ds := synthDataset(t, 10, 30, 33)
+	cfg := DefaultSVMConfig()
+	cfg.Kernel = Linear{}
+	m, err := TrainSVM(ds, nil, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SVM
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.kernel.(Linear); !ok {
+		t.Fatalf("kernel type lost: %T", back.kernel)
+	}
+}
+
+func TestSerializationErrors(t *testing.T) {
+	var m SVM
+	if err := json.Unmarshal([]byte(`{"kernel":"warp-drive"}`), &m); err == nil {
+		t.Error("unknown kernel must error")
+	}
+	if err := json.Unmarshal([]byte(`{"kernel":"rbf","coefs":[1],"vectors":[]}`), &m); err == nil {
+		t.Error("coef/vector mismatch must error")
+	}
+	var a AdaBoost
+	if err := json.Unmarshal([]byte(`{"alphas":[1,2],"models":[]}`), &a); err == nil {
+		t.Error("alpha/model mismatch must error")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &a); err == nil {
+		t.Error("bad JSON must error")
+	}
+}

@@ -1,0 +1,218 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adwars/internal/features"
+)
+
+// Classifier predicts the label (+1 or −1) of a sparse binary sample.
+type Classifier interface {
+	Predict(s features.Sample) int
+}
+
+// SVMConfig holds SVM hyperparameters. The zero value is not usable; use
+// DefaultSVMConfig as a starting point.
+type SVMConfig struct {
+	// Kernel is the kernel function (default RBF).
+	Kernel Kernel
+	// C is the soft-margin penalty.
+	C float64
+	// Tol is the KKT violation tolerance.
+	Tol float64
+	// MaxPasses is the number of full passes without alpha changes that
+	// ends SMO.
+	MaxPasses int
+	// MaxIter hard-bounds total optimization sweeps.
+	MaxIter int
+}
+
+// DefaultSVMConfig mirrors the paper's setup: RBF kernel, moderate C.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{
+		Kernel:    RBF{Gamma: 0.05},
+		C:         1.0,
+		Tol:       1e-3,
+		MaxPasses: 3,
+		MaxIter:   200,
+	}
+}
+
+// SVM is a trained support vector machine. Only support vectors (α > 0)
+// are retained for prediction.
+type SVM struct {
+	kernel  Kernel
+	vectors []features.Sample
+	coefs   []float64 // αᵢyᵢ of each support vector
+	bias    float64
+}
+
+// NumSupportVectors returns the number of retained support vectors.
+func (m *SVM) NumSupportVectors() int { return len(m.vectors) }
+
+// Decision returns the signed decision value Σ αᵢyᵢK(xᵢ,s) + b.
+func (m *SVM) Decision(s features.Sample) float64 {
+	v := m.bias
+	for i, sv := range m.vectors {
+		v += m.coefs[i] * m.kernel.Eval(sv, s)
+	}
+	return v
+}
+
+// Predict implements Classifier.
+func (m *SVM) Predict(s features.Sample) int {
+	if m.Decision(s) >= 0 {
+		return +1
+	}
+	return -1
+}
+
+// TrainSVM trains a soft-margin SVM on the dataset with simplified SMO
+// (Platt's algorithm with random second-choice heuristic). weights, when
+// non-nil, scales each sample's penalty Cᵢ = C·wᵢ·n — the mechanism
+// AdaBoost uses to focus component classifiers on hard samples. rng drives
+// the pair selection and must be non-nil for reproducibility.
+func TrainSVM(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.Rand) (*SVM, error) {
+	n := ds.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	if weights != nil && len(weights) != n {
+		return nil, fmt.Errorf("ml: %d weights for %d samples", len(weights), n)
+	}
+	if cfg.Kernel == nil {
+		cfg.Kernel = RBF{Gamma: 0.05}
+	}
+	hasPos, hasNeg := false, false
+	for _, l := range ds.Labels {
+		if l > 0 {
+			hasPos = true
+		} else {
+			hasNeg = true
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, fmt.Errorf("ml: training set needs both classes")
+	}
+
+	y := make([]float64, n)
+	for i, l := range ds.Labels {
+		if l > 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	// Per-sample C.
+	cs := make([]float64, n)
+	for i := range cs {
+		cs[i] = cfg.C
+		if weights != nil {
+			cs[i] = cfg.C * weights[i] * float64(n)
+			if cs[i] < 1e-8 {
+				cs[i] = 1e-8
+			}
+		}
+	}
+
+	g := newGram(cfg.Kernel, ds.Samples)
+	alpha := make([]float64, n)
+	b := 0.0
+
+	decision := func(i int) float64 {
+		v := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				v += alpha[j] * y[j] * g.at(j, i)
+			}
+		}
+		return v
+	}
+
+	passes, iter := 0, 0
+	for passes < cfg.MaxPasses && iter < cfg.MaxIter {
+		iter++
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := decision(i) - y[i]
+			if !((y[i]*ei < -cfg.Tol && alpha[i] < cs[i]) || (y[i]*ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := decision(j) - y[j]
+
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cs[j], cs[i]+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cs[i])
+				hi = math.Min(cs[j], ai+aj)
+			}
+			if lo >= hi {
+				continue
+			}
+			eta := 2*g.at(i, j) - g.at(i, i) - g.at(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+
+			b1 := b - ei - y[i]*(aiNew-ai)*g.at(i, i) - y[j]*(ajNew-aj)*g.at(i, j)
+			b2 := b - ej - y[i]*(aiNew-ai)*g.at(i, j) - y[j]*(ajNew-aj)*g.at(j, j)
+			switch {
+			case aiNew > 0 && aiNew < cs[i]:
+				b = b1
+			case ajNew > 0 && ajNew < cs[j]:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			alpha[i], alpha[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	m := &SVM{kernel: cfg.Kernel, bias: b}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-8 {
+			m.vectors = append(m.vectors, ds.Samples[i])
+			m.coefs = append(m.coefs, alpha[i]*y[i])
+		}
+	}
+	if len(m.vectors) == 0 {
+		// Degenerate optimization outcome: fall back to the class prior.
+		pos := 0
+		for _, l := range ds.Labels {
+			if l > 0 {
+				pos++
+			}
+		}
+		if 2*pos >= n {
+			m.bias = 1
+		} else {
+			m.bias = -1
+		}
+	}
+	return m, nil
+}

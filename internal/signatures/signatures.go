@@ -1,0 +1,118 @@
+// Package signatures implements the signature-based anti-adblock script
+// detection the paper contrasts its ML approach with (§2.2: Storey et al.
+// remove anti-adblock scripts "using manually crafted regular
+// expressions"). Signatures are precise on the script builds they were
+// written against but brittle against identifier randomization and
+// repackaging — the ablation experiments quantify exactly that gap.
+package signatures
+
+import (
+	"regexp"
+	"sort"
+)
+
+// Signature is one hand-written detection pattern.
+type Signature struct {
+	// Name identifies the targeted product/technique.
+	Name string
+	// Pattern matches the script source.
+	Pattern *regexp.Regexp
+}
+
+// DefaultSignatures mirrors the community signature sets of 2017: exact
+// product markers (BlockAdBlock, PageFair beacons) and characteristic
+// code fragments of the two bait techniques.
+func DefaultSignatures() []Signature {
+	mk := func(name, pat string) Signature {
+		return Signature{Name: name, Pattern: regexp.MustCompile(pat)}
+	}
+	return []Signature{
+		// Product markers.
+		mk("blockadblock-proto", `BlockAdBlock|blockadblock`),
+		mk("pagefair-beacon", `pagefair|adblock_detection`),
+		mk("npttech-bait", `npttech\.com/advertising\.js`),
+		// The canonical BlockAdBlock method names.
+		mk("creatbait-method", `_creatBait|_checkBait`),
+		// The classic full geometry-probe chain, in canonical order.
+		mk("probe-chain", `offsetParent;[\s\S]{0,40}offsetHeight;[\s\S]{0,40}offsetLeft;`),
+		// The canonical bait-class string from community copies.
+		mk("bait-classes", `pub_300x250 textads banner_ad|adsbox adsbygoogle`),
+		// The abp attribute probe with the stock variable name.
+		mk("abp-attr", `getAttribute\(['"]abp['"]\)`),
+		// The IAB sample's cookie flag.
+		mk("adblocker-cookie", `__adblocker=`),
+		// The canRunAds bait variable of Code 8.
+		mk("canrunads", `canRunAds`),
+	}
+}
+
+// Detector matches scripts against a signature set.
+type Detector struct {
+	sigs []Signature
+}
+
+// New builds a detector; nil signatures mean DefaultSignatures.
+func New(sigs []Signature) *Detector {
+	if sigs == nil {
+		sigs = DefaultSignatures()
+	}
+	return &Detector{sigs: sigs}
+}
+
+// Match returns the names of signatures matching the script, sorted.
+func (d *Detector) Match(src string) []string {
+	var out []string
+	for _, s := range d.sigs {
+		if s.Pattern.MatchString(src) {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsAntiAdblock reports whether any signature matches.
+func (d *Detector) IsAntiAdblock(src string) bool {
+	for _, s := range d.sigs {
+		if s.Pattern.MatchString(src) {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate runs the detector over a labeled corpus and returns TP/FP
+// counts comparable to the ML classifier's confusion matrix.
+func (d *Detector) Evaluate(positives, negatives []string) (tp, fn, fp, tn int) {
+	for _, src := range positives {
+		if d.IsAntiAdblock(src) {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for _, src := range negatives {
+		if d.IsAntiAdblock(src) {
+			fp++
+		} else {
+			tn++
+		}
+	}
+	return tp, fn, fp, tn
+}
+
+// TPRate returns tp/(tp+fn) for Evaluate outputs.
+func TPRate(tp, fn int) float64 {
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// FPRate returns fp/(fp+tn) for Evaluate outputs.
+func FPRate(fp, tn int) float64 {
+	if fp+tn == 0 {
+		return 0
+	}
+	return float64(fp) / float64(fp+tn)
+}

@@ -1,0 +1,86 @@
+package signatures
+
+import (
+	"math/rand"
+	"testing"
+
+	"adwars/internal/antiadblock"
+)
+
+func TestSignaturesHitReferenceScript(t *testing.T) {
+	d := New(nil)
+	if !d.IsAntiAdblock(antiadblock.ReferenceBlockAdBlock) {
+		t.Fatal("reference BlockAdBlock must match")
+	}
+	names := d.Match(antiadblock.ReferenceBlockAdBlock)
+	if len(names) < 2 {
+		t.Fatalf("expected multiple signatures, got %v", names)
+	}
+}
+
+func TestSignaturesMissRandomizedBuilds(t *testing.T) {
+	// The paper's motivation for ML over signatures: randomized builds
+	// evade hand-written patterns a meaningful fraction of the time.
+	d := New(nil)
+	rng := rand.New(rand.NewSource(9))
+	missed := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		src := antiadblock.HTMLBaitScript("x", rng, antiadblock.GenOptions{})
+		if !d.IsAntiAdblock(src) {
+			missed++
+		}
+	}
+	if missed == 0 {
+		t.Error("signatures should miss some randomized builds")
+	}
+	if missed == n {
+		t.Error("signatures should still catch canonical fragments sometimes")
+	}
+}
+
+func TestSignaturesCleanOnBenign(t *testing.T) {
+	d := New(nil)
+	rng := rand.New(rand.NewSource(10))
+	fp := 0
+	const n = 150
+	for i := 0; i < n; i++ {
+		// Exclude theme bundles: they genuinely contain detector code.
+		kind := antiadblock.BenignKind(i % int(antiadblock.BenignThemeBundle))
+		if !d.IsAntiAdblock(antiadblock.BenignScript(kind, rng, antiadblock.GenOptions{})) {
+			continue
+		}
+		fp++
+	}
+	if frac := float64(fp) / n; frac > 0.05 {
+		t.Errorf("signature FP rate on benign scripts = %.2f, should be tiny", frac)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d := New(nil)
+	rng := rand.New(rand.NewSource(11))
+	var pos, neg []string
+	for i := 0; i < 60; i++ {
+		v := antiadblock.Catalog[i%len(antiadblock.Catalog)]
+		pos = append(pos, antiadblock.VendorScript(v, "http://x.com/ads.js", "n", rng, antiadblock.GenOptions{}))
+		neg = append(neg, antiadblock.RandomBenignScript(rng, antiadblock.GenOptions{}))
+	}
+	tp, fn, fp, tn := d.Evaluate(pos, neg)
+	if tp+fn != len(pos) || fp+tn != len(neg) {
+		t.Fatal("evaluate counts wrong")
+	}
+	if TPRate(tp, fn) < 0.3 {
+		t.Errorf("signature TP rate %.2f suspiciously low", TPRate(tp, fn))
+	}
+	if TPRate(0, 0) != 0 || FPRate(0, 0) != 0 {
+		t.Error("zero division guard missing")
+	}
+}
+
+func TestCustomSignatureSet(t *testing.T) {
+	d := New([]Signature{})
+	if d.IsAntiAdblock("anything") {
+		t.Fatal("empty signature set must match nothing")
+	}
+}

@@ -1,0 +1,148 @@
+package wayback
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryAvailabilityArchived(t *testing.T) {
+	a, domains := testArchive(300)
+	m := time.Date(2015, 4, 1, 0, 0, 0, 0, time.UTC)
+	found := false
+	for _, d := range domains {
+		ref, avail := a.Available(d, m)
+		if avail != Archived {
+			continue
+		}
+		body, err := a.QueryAvailability(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closest, err := ParseAvailability(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closest == nil {
+			t.Fatalf("archived domain %s returned empty response", d)
+		}
+		ts, err := closest.Time()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ts.Equal(ref.Timestamp) {
+			t.Fatalf("API timestamp %v != Available timestamp %v", ts, ref.Timestamp)
+		}
+		if !strings.HasPrefix(closest.URL, "http://web.archive.org/web/") {
+			t.Fatalf("closest URL not rewritten: %q", closest.URL)
+		}
+		if !WithinSkew(m, ts) {
+			t.Fatal("archived snapshot should be within skew")
+		}
+		// RefFor must reconstruct the same partial flag.
+		if got := a.RefFor(d, ts); got.Partial != ref.Partial {
+			t.Fatalf("RefFor partial %v != Available partial %v", got.Partial, ref.Partial)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no archived domain in sample")
+	}
+}
+
+func TestQueryAvailabilityEmptyForMissing(t *testing.T) {
+	a, domains := testArchive(2000)
+	m := time.Date(2012, 2, 1, 0, 0, 0, 0, time.UTC)
+	checked := 0
+	for _, d := range domains {
+		_, avail := a.Available(d, m)
+		if avail != NotArchived && avail != Excluded {
+			continue
+		}
+		body, err := a.QueryAvailability(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closest, err := ParseAvailability(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closest != nil {
+			t.Fatalf("%s (%v) should return the empty response", d, avail)
+		}
+		// The empty response is still well-formed JSON with the url.
+		var raw map[string]interface{}
+		if err := json.Unmarshal(body, &raw); err != nil || raw["url"] == nil {
+			t.Fatalf("malformed empty response: %s", body)
+		}
+		checked++
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no missing domains found")
+	}
+}
+
+func TestQueryAvailabilityOutdatedBeyondSkew(t *testing.T) {
+	a, domains := testArchive(2000)
+	m := time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+	checked := 0
+	for _, d := range domains {
+		_, avail := a.Available(d, m)
+		if avail != Outdated {
+			continue
+		}
+		body, err := a.QueryAvailability(d, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closest, err := ParseAvailability(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closest == nil {
+			t.Fatalf("outdated domain %s should still return a snapshot", d)
+		}
+		ts, err := closest.Time()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if WithinSkew(m, ts) {
+			t.Fatalf("outdated snapshot %v is within skew of %v", ts, m)
+		}
+		checked++
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no outdated domains found")
+	}
+}
+
+func TestParseAvailabilityErrors(t *testing.T) {
+	if _, err := ParseAvailability([]byte("nope")); err == nil {
+		t.Fatal("invalid JSON must error")
+	}
+	c := &ClosestSnapshot{Timestamp: "banana"}
+	if _, err := c.Time(); err == nil {
+		t.Fatal("invalid timestamp must error")
+	}
+}
+
+func TestWithinSkew(t *testing.T) {
+	base := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+	if !WithinSkew(base, base.AddDate(0, 5, 0)) {
+		t.Error("5 months should be within skew")
+	}
+	if WithinSkew(base, base.AddDate(0, 8, 0)) {
+		t.Error("8 months should exceed skew")
+	}
+	if !WithinSkew(base, base.AddDate(0, -5, 0)) {
+		t.Error("skew must be symmetric")
+	}
+}

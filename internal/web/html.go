@@ -1,0 +1,300 @@
+package web
+
+import (
+	"sort"
+	"strings"
+)
+
+// voidElements never have closing tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements contain raw text until their closing tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// RenderHTML serializes the page to an HTML document, the form in which
+// page content is archived (the paper stores the crawled page as an HTML
+// file alongside its HAR log).
+func RenderHTML(p *Page) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n")
+	if p.Root != nil {
+		renderElement(&b, p.Root)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func renderElement(b *strings.Builder, e *Element) {
+	b.WriteByte('<')
+	b.WriteString(e.Tag)
+	if e.ID != "" {
+		b.WriteString(` id="`)
+		b.WriteString(escapeAttr(e.ID))
+		b.WriteByte('"')
+	}
+	if len(e.Classes) > 0 {
+		b.WriteString(` class="`)
+		b.WriteString(escapeAttr(strings.Join(e.Classes, " ")))
+		b.WriteByte('"')
+	}
+	if len(e.Style) > 0 {
+		b.WriteString(` style="`)
+		b.WriteString(escapeAttr(e.styleString()))
+		b.WriteByte('"')
+	}
+	// Render attributes in sorted order for deterministic output.
+	if len(e.Attrs) > 0 {
+		names := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			b.WriteByte(' ')
+			b.WriteString(k)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(e.Attrs[k]))
+			b.WriteByte('"')
+		}
+	}
+	b.WriteByte('>')
+	if voidElements[e.Tag] {
+		return
+	}
+	if rawTextElements[e.Tag] {
+		b.WriteString(e.Text) // raw content, not escaped
+	} else if e.Text != "" {
+		b.WriteString(escapeText(e.Text))
+	}
+	for _, c := range e.Children {
+		renderElement(b, c)
+	}
+	b.WriteString("</")
+	b.WriteString(e.Tag)
+	b.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+func escapeAttr(s string) string {
+	return strings.ReplaceAll(escapeText(s), `"`, "&quot;")
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	r := strings.NewReplacer(
+		"&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&amp;", "&")
+	return r.Replace(s)
+}
+
+// ParseHTML parses an HTML document back into an element tree. The parser
+// is tolerant, like a browser: unknown constructs are skipped, unclosed
+// tags are closed implicitly, and stray close tags are ignored. It returns
+// the root element (nil for input without any tags).
+func ParseHTML(src string) *Element {
+	p := htmlParser{src: src}
+	return p.parse()
+}
+
+type htmlParser struct {
+	src string
+	pos int
+}
+
+func (p *htmlParser) parse() *Element {
+	root := &Element{Tag: "#root"}
+	stack := []*Element{root}
+	top := func() *Element { return stack[len(stack)-1] }
+
+	for p.pos < len(p.src) {
+		lt := strings.IndexByte(p.src[p.pos:], '<')
+		if lt < 0 {
+			top().Text += unescape(strings.TrimSpace(p.src[p.pos:]))
+			break
+		}
+		if lt > 0 {
+			text := strings.TrimSpace(p.src[p.pos : p.pos+lt])
+			if text != "" {
+				top().Text += unescape(text)
+			}
+			p.pos += lt
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			end := strings.Index(p.src[p.pos:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+			} else {
+				p.pos += end + 3
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!"), strings.HasPrefix(p.src[p.pos:], "<?"):
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				p.pos = len(p.src)
+			} else {
+				p.pos += end + 1
+			}
+		case strings.HasPrefix(p.src[p.pos:], "</"):
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				p.pos = len(p.src)
+				break
+			}
+			name := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+			p.pos += end + 1
+			// Pop to the matching open tag, if any.
+			for i := len(stack) - 1; i > 0; i-- {
+				if stack[i].Tag == name {
+					stack = stack[:i]
+					break
+				}
+			}
+		default:
+			el, ok := p.openTag()
+			if !ok {
+				p.pos++ // stray '<'
+				continue
+			}
+			top().Children = append(top().Children, el)
+			if rawTextElements[el.Tag] {
+				el.Text = p.rawTextUntilClose(el.Tag)
+			} else if !voidElements[el.Tag] {
+				stack = append(stack, el)
+			}
+		}
+	}
+
+	// A well-formed document has exactly one top-level element (<html>).
+	switch len(root.Children) {
+	case 0:
+		return nil
+	case 1:
+		return root.Children[0]
+	default:
+		root.Tag = "html"
+		return root
+	}
+}
+
+// openTag parses "<tag attr=... >" starting at p.pos ('<'). Returns false
+// when the text is not a valid open tag.
+func (p *htmlParser) openTag() (*Element, bool) {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return nil, false
+	}
+	body := p.src[p.pos+1 : p.pos+end]
+	body = strings.TrimSuffix(body, "/") // self-closing
+	name, rest := splitTagName(body)
+	if name == "" {
+		return nil, false
+	}
+	p.pos += end + 1
+	el := &Element{Tag: strings.ToLower(name)}
+	for {
+		var k, v string
+		k, v, rest = nextAttr(rest)
+		if k == "" {
+			break
+		}
+		applyAttr(el, k, v)
+	}
+	return el, true
+}
+
+func splitTagName(body string) (name, rest string) {
+	i := 0
+	for i < len(body) && isTagNameByte(body[i]) {
+		i++
+	}
+	if i == 0 {
+		return "", ""
+	}
+	return body[:i], strings.TrimSpace(body[i:])
+}
+
+func isTagNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-'
+}
+
+// nextAttr pulls one attribute off the tag body.
+func nextAttr(s string) (name, value, rest string) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", "", ""
+	}
+	i := 0
+	for i < len(s) && s[i] != '=' && s[i] != ' ' && s[i] != '\t' && s[i] != '\n' {
+		i++
+	}
+	name = strings.ToLower(s[:i])
+	s = strings.TrimSpace(s[i:])
+	if !strings.HasPrefix(s, "=") {
+		return name, "", s
+	}
+	s = strings.TrimSpace(s[1:])
+	if s == "" {
+		return name, "", ""
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		q := s[0]
+		endQ := strings.IndexByte(s[1:], q)
+		if endQ < 0 {
+			return name, unescape(s[1:]), ""
+		}
+		return name, unescape(s[1 : 1+endQ]), s[endQ+2:]
+	}
+	j := 0
+	for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+		j++
+	}
+	return name, unescape(s[:j]), s[j:]
+}
+
+func applyAttr(el *Element, name, value string) {
+	switch name {
+	case "id":
+		el.ID = value
+	case "class":
+		el.Classes = strings.Fields(value)
+	case "style":
+		for _, decl := range strings.Split(value, ";") {
+			if i := strings.IndexByte(decl, ':'); i > 0 {
+				el.SetStyle(strings.TrimSpace(decl[:i]), strings.TrimSpace(decl[i+1:]))
+			}
+		}
+	default:
+		el.SetAttr(name, value)
+	}
+}
+
+// rawTextUntilClose consumes raw content up to "</tag" and past its '>'.
+func (p *htmlParser) rawTextUntilClose(tag string) string {
+	lower := strings.ToLower(p.src[p.pos:])
+	idx := strings.Index(lower, "</"+tag)
+	if idx < 0 {
+		text := p.src[p.pos:]
+		p.pos = len(p.src)
+		return text
+	}
+	text := p.src[p.pos : p.pos+idx]
+	rest := p.src[p.pos+idx:]
+	gt := strings.IndexByte(rest, '>')
+	if gt < 0 {
+		p.pos = len(p.src)
+	} else {
+		p.pos += idx + gt + 1
+	}
+	return text
+}
