@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race verify fault-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: compile, vet, plain tests, then the
+# race detector over the whole tree (the crawl engine is heavily
+# concurrent — breaker, journal, and metrics are all shared state).
+verify: build vet test race
+
+# fault-check exercises the headline robustness claim end to end: the
+# retrospective CLI at a 10% transient fault rate must emit byte-identical
+# figures to a zero-fault run.
+fault-check:
+	$(GO) run ./cmd/adwars-wayback -scale 50 -stride 6 > /tmp/adwars-clean.txt 2>/dev/null
+	$(GO) run ./cmd/adwars-wayback -scale 50 -stride 6 -fault-rate 0.1 > /tmp/adwars-faulty.txt 2>/dev/null
+	diff /tmp/adwars-clean.txt /tmp/adwars-faulty.txt
+	@echo "fault-check: figures identical under 10% faults"

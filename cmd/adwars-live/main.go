@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"adwars/internal/crawler"
 	"adwars/internal/experiments"
 	"adwars/internal/simworld"
 )
@@ -31,9 +32,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
 	lab := experiments.NewLab(cfg)
 
-	res, err := lab.RunLive(context.Background(), experiments.LiveConfig{Workers: *workers})
+	var metrics crawler.Metrics
+	res, err := lab.RunLive(context.Background(), experiments.LiveConfig{Workers: *workers, Metrics: &metrics})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res.Render())
+	fmt.Fprintf(os.Stderr, "crawl: %s\n", metrics.Snapshot())
 }

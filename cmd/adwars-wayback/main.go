@@ -3,9 +3,18 @@
 // filter list versions. It prints Figure 5 (missing snapshots), Figure 6
 // (rule triggers over time), and Figure 7 (detection delay CDFs).
 //
+// The crawl engine is fault-tolerant: -fault-rate injects deterministic
+// transient archive failures (rate limiting, timeouts, truncated bodies,
+// outages) which retry/backoff and the circuit breaker absorb — the
+// figures are identical to a zero-fault run with the same seed. With
+// -checkpoint, completed site-months are journaled; a killed run restarted
+// with -resume picks up where it stopped without refetching.
+//
 // Usage:
 //
 //	adwars-wayback [-scale N] [-seed S] [-stride M] [-workers W]
+//	               [-fault-rate P] [-max-retries R]
+//	               [-checkpoint FILE] [-resume]
 package main
 
 import (
@@ -15,8 +24,10 @@ import (
 	"log"
 	"os"
 
+	"adwars/internal/crawler"
 	"adwars/internal/experiments"
 	"adwars/internal/simworld"
+	"adwars/internal/wayback"
 )
 
 func main() {
@@ -24,7 +35,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	stride := flag.Int("stride", 1, "crawl every Mth month")
 	workers := flag.Int("workers", 10, "parallel crawler instances")
+	faultRate := flag.Float64("fault-rate", 0, "per-attempt transient archive failure probability (0 disables fault injection)")
+	maxRetries := flag.Int("max-retries", 0, "attempts per archive request (0 = default)")
+	checkpoint := flag.String("checkpoint", "", "journal completed site-months to this file")
+	resume := flag.Bool("resume", false, "restore journaled site-months from -checkpoint instead of refetching")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	cfg := simworld.DefaultConfig(*seed)
 	if *scale > 1 {
@@ -33,11 +52,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
 	lab := experiments.NewLab(cfg)
 
-	fmt.Fprintf(os.Stderr, "crawling %d months...\n", len(lab.RetroMonths(*stride)))
-	retro, err := lab.RunRetrospective(context.Background(), experiments.RetroConfig{
-		Months:  lab.RetroMonths(*stride),
-		Workers: *workers,
-	})
+	var metrics crawler.Metrics
+	retroCfg := experiments.RetroConfig{
+		Months:         lab.RetroMonths(*stride),
+		Workers:        *workers,
+		Retry:          crawler.RetryPolicy{MaxAttempts: *maxRetries},
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		Metrics:        &metrics,
+	}
+	if *faultRate > 0 {
+		retroCfg.Faults = wayback.DefaultFaultConfig(*faultRate, *seed)
+	}
+
+	fmt.Fprintf(os.Stderr, "crawling %d months...\n", len(retroCfg.Months))
+	retro, err := lab.RunRetrospective(context.Background(), retroCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,4 +75,5 @@ func main() {
 	fmt.Println(lab.Fig7(0).Render())
 	fmt.Printf("corpus: %d anti-adblock scripts, %d benign scripts\n",
 		len(retro.CorpusPos), len(retro.CorpusNeg))
+	fmt.Fprintf(os.Stderr, "crawl: %s\n", metrics.Snapshot())
 }

@@ -1,0 +1,111 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpenHalfOpenClose(t *testing.T) {
+	var m Metrics
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, ProbeAfterSheds: 2}, &m)
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("new breaker must be closed and admitting")
+	}
+	// Failures below the threshold keep it closed; a success resets the
+	// streak.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatal("success must reset the failure streak")
+	}
+	// Cross the threshold → open.
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	if m.BreakerOpens.Load() != 1 {
+		t.Fatalf("opens = %d", m.BreakerOpens.Load())
+	}
+	// Open: sheds until ProbeAfterSheds, then admits one probe.
+	if b.Allow() {
+		t.Fatal("open breaker must shed")
+	}
+	if !b.Allow() {
+		t.Fatal("second gate hit must admit the half-open probe")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	// While the probe is in flight, other callers are shed.
+	if b.Allow() {
+		t.Fatal("half-open must admit only one probe")
+	}
+	// Failed probe → open again.
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open after failed probe", b.State())
+	}
+	if m.BreakerOpens.Load() != 2 {
+		t.Fatalf("opens = %d, want 2", m.BreakerOpens.Load())
+	}
+	// Next probe succeeds → closed, and the gate admits freely again.
+	b.Allow()
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed after successful probe", b.State())
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must admit")
+		}
+	}
+	if m.BreakerSheds.Load() == 0 {
+		t.Fatal("sheds not counted")
+	}
+}
+
+func TestBreakerAdaptivePenalty(t *testing.T) {
+	b := NewBreaker(BreakerConfig{PenaltyBase: 100 * time.Millisecond, PenaltyMax: time.Second}, nil)
+	if b.Penalty() != 0 {
+		t.Fatal("fresh breaker must not pace")
+	}
+	b.OnRateLimit(0)
+	if b.Penalty() != 100*time.Millisecond {
+		t.Fatalf("penalty = %v, want base", b.Penalty())
+	}
+	b.OnRateLimit(0)
+	if b.Penalty() != 200*time.Millisecond {
+		t.Fatalf("penalty = %v, want doubled", b.Penalty())
+	}
+	// A larger Retry-After hint wins.
+	b.OnRateLimit(700 * time.Millisecond)
+	if b.Penalty() != 700*time.Millisecond {
+		t.Fatalf("penalty = %v, want hint", b.Penalty())
+	}
+	// The cap bites.
+	b.OnRateLimit(0)
+	b.OnRateLimit(0)
+	if b.Penalty() != time.Second {
+		t.Fatalf("penalty = %v, want cap", b.Penalty())
+	}
+	// Successes decay it back to zero.
+	for i := 0; i < 20 && b.Penalty() > 0; i++ {
+		b.Success()
+	}
+	if b.Penalty() != 0 {
+		t.Fatalf("penalty = %v after decay, want 0", b.Penalty())
+	}
+}
+
+func TestBreakerNilMetrics(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, ProbeAfterSheds: 1}, nil)
+	b.Failure()
+	b.Allow()
+	b.Success() // must not panic without metrics
+}

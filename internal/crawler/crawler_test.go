@@ -3,6 +3,8 @@ package crawler
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -167,5 +169,227 @@ func TestMarkPartialsCutoff(t *testing.T) {
 	}
 	if m.Results[0].Status != StatusOK || m.Results[1].Status != StatusOK {
 		t.Fatal("normal HARs must stay OK")
+	}
+}
+
+// buildFaultyWorld is buildWorld with transient fault injection enabled.
+func buildFaultyWorld(n int, rate float64) (*wayback.Archive, stubSource, []string) {
+	src := stubSource{}
+	domains := make([]string, n)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("crawlee%04d.com", i)
+		p := web.NewPage(domains[i], domains[i])
+		p.AddRequest("http://cdn."+domains[i]+"/app.js", abp.TypeScript)
+		p.AddRequest("http://cdn."+domains[i]+"/style.css", abp.TypeStylesheet)
+		p.AddRequest("http://img."+domains[i]+"/hero.png", abp.TypeImage)
+		src[domains[i]] = p
+	}
+	cfg := wayback.DefaultConfig(7)
+	cfg.Robots, cfg.Admin, cfg.Undefined = 10, 2, 3
+	cfg.Faults = wayback.DefaultFaultConfig(rate, 7)
+	return wayback.New(src, domains, cfg), src, domains
+}
+
+// TestCrawlMonthFaultEquivalence is the headline correctness claim at the
+// crawler level: a 10% transient-failure archive yields exactly the same
+// per-site statuses as a clean archive — zero StatusError attributable to
+// transients — because the retry budget absorbs every injected fault.
+func TestCrawlMonthFaultEquivalence(t *testing.T) {
+	clean, _, domains := buildWorld(400)
+	faulty, _, _ := buildFaultyWorld(400, 0.10)
+	m := time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC)
+	want, err := CrawlMonth(context.Background(), clean, domains, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics Metrics
+	got, err := CrawlMonth(context.Background(), faulty, domains, m, Config{Workers: 10, Metrics: &metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		if got.Results[i].Status != want.Results[i].Status {
+			t.Fatalf("%s: faulty %v != clean %v (err: %v)", domains[i],
+				got.Results[i].Status, want.Results[i].Status, got.Results[i].Err)
+		}
+	}
+	if got.Counts[StatusError] != 0 {
+		t.Fatalf("transient faults leaked into StatusError: %d", got.Counts[StatusError])
+	}
+	snap := metrics.Snapshot()
+	if snap.TransientFailures == 0 || snap.Retries == 0 {
+		t.Fatalf("faults were not exercised: %s", snap)
+	}
+	if snap.RetriesExhausted != 0 {
+		t.Fatalf("retry budget exhausted %d times", snap.RetriesExhausted)
+	}
+	if faulty.Faults().InjectedTotal() == 0 {
+		t.Fatal("injector idle")
+	}
+}
+
+// TestCrawlMonthOutageBreaker drives a full-archive outage through the
+// shared breaker: the crawl must still complete with zero errors, and the
+// breaker must have opened (shed load) along the way.
+func TestCrawlMonthOutageBreaker(t *testing.T) {
+	src := stubSource{}
+	domains := make([]string, 300)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("crawlee%04d.com", i)
+		p := web.NewPage(domains[i], domains[i])
+		p.AddRequest("http://cdn."+domains[i]+"/app.js", abp.TypeScript)
+		src[domains[i]] = p
+	}
+	cfg := wayback.DefaultConfig(7)
+	cfg.Faults = wayback.FaultConfig{OutageRate: 1, OutageDepth: 5, Seed: 7}
+	a := wayback.New(src, domains, cfg)
+
+	// One worker and a low threshold make the breaker walk deterministic:
+	// each request fails 5 times in a row, far past the threshold.
+	var metrics Metrics
+	br := NewBreaker(BreakerConfig{FailureThreshold: 3, ProbeAfterSheds: 2}, &metrics)
+	res, err := CrawlMonth(context.Background(), a, domains,
+		time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC),
+		Config{Workers: 1, Metrics: &metrics, Breaker: br})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[StatusError] != 0 {
+		t.Fatalf("outage leaked into StatusError: %d", res.Counts[StatusError])
+	}
+	snap := metrics.Snapshot()
+	if snap.BreakerOpens == 0 {
+		t.Fatalf("breaker never opened during a full outage: %s", snap)
+	}
+	if snap.BreakerSheds == 0 {
+		t.Fatalf("breaker shed no load during a full outage: %s", snap)
+	}
+}
+
+// TestCrawlMonthPartialOnCancel verifies cancellation no longer discards
+// completed work: the partial MonthResult comes back alongside ctx.Err().
+func TestCrawlMonthPartialOnCancel(t *testing.T) {
+	a, _, domains := buildWorld(300)
+	ctx, cancel := context.WithCancel(context.Background())
+	month := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	cfg := Config{Workers: 4}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	res, err := CrawlMonth(ctx, a, domains, month, cfg)
+	if err == nil {
+		// The crawl may win the race; retry with immediate cancellation
+		// to at least pin the contract below.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		res, err = CrawlMonth(ctx2, a, domains, month, cfg)
+	}
+	if err == nil {
+		t.Skip("crawl completed before cancellation on this machine")
+	}
+	if res == nil {
+		t.Fatal("cancelled crawl must return the partial MonthResult, not nil")
+	}
+	if len(res.Results) != len(domains) {
+		t.Fatalf("partial result has %d slots, want %d", len(res.Results), len(domains))
+	}
+	total := 0
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != len(domains) {
+		t.Fatalf("partial counts sum to %d", total)
+	}
+	for _, r := range res.Results {
+		if r.Status == StatusPending && r.Snapshot != nil {
+			t.Fatal("pending result carries a snapshot")
+		}
+	}
+}
+
+// TestCrawlMonthResumeAfterCancel kills a faulty crawl mid-month via a
+// sleeper hook, then resumes from the journal and checks the final result
+// matches an uninterrupted run — without refetching journaled sites.
+func TestCrawlMonthResumeAfterCancel(t *testing.T) {
+	month := time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC)
+	cleanArch, _, domains := buildFaultyWorld(300, 0.15)
+	want, err := CrawlMonth(context.Background(), cleanArch, domains, month, Config{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt: cancel after enough backoff pauses that a chunk of the
+	// month is done but not all of it.
+	arch, _, _ := buildFaultyWorld(300, 0.15)
+	ctx, cancel := context.WithCancel(context.Background())
+	var pauses atomic.Int64
+	killer := func(c context.Context, d time.Duration) error {
+		if pauses.Add(1) == 10 {
+			cancel()
+		}
+		return NoSleep(c, d)
+	}
+	partial, err := CrawlMonth(ctx, arch, domains, month, Config{Workers: 6, Journal: j, Sleep: killer})
+	j.Close()
+	if err == nil {
+		t.Fatal("interrupted crawl should have been cancelled (fault rate too low?)")
+	}
+	if partial == nil || partial.Counts[StatusPending] == 0 {
+		t.Fatal("cancellation should leave pending sites")
+	}
+	completedFirst := len(domains) - partial.Counts[StatusPending]
+	if completedFirst == 0 {
+		t.Fatal("cancellation left no completed work to resume from")
+	}
+
+	// Resume: journaled sites must be restored, not refetched.
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	arch2, _, _ := buildFaultyWorld(300, 0.15)
+	var metrics Metrics
+	got, err := CrawlMonth(context.Background(), arch2, domains, month,
+		Config{Workers: 6, Journal: j2, Metrics: &metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Snapshot().Resumed == 0 {
+		t.Fatal("no site-months restored from the journal")
+	}
+	if int(metrics.Snapshot().Resumed) < completedFirst {
+		t.Fatalf("resumed %d < %d journaled", metrics.Snapshot().Resumed, completedFirst)
+	}
+	for i := range want.Results {
+		if got.Results[i].Status != want.Results[i].Status {
+			t.Fatalf("%s: resumed %v != uninterrupted %v", domains[i],
+				got.Results[i].Status, want.Results[i].Status)
+		}
+	}
+}
+
+// TestCrawlLivePartialOnCancel pins the live-crawl half of the contract.
+func TestCrawlLivePartialOnCancel(t *testing.T) {
+	_, src, domains := buildWorld(100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CrawlLive(ctx, src, domains, DefaultConfig())
+	if err == nil {
+		t.Fatal("cancelled live crawl must surface ctx.Err()")
+	}
+	if res == nil || len(res) != len(domains) {
+		t.Fatal("cancelled live crawl must return the partial slice")
+	}
+	for _, r := range res {
+		if !r.Crawled && r.Page != nil {
+			t.Fatal("uncrawled result carries a page")
+		}
 	}
 }

@@ -1,0 +1,194 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// crawlRaw crawls one month without a journal and returns the raw per-site
+// results (pre-partial-rule), for comparison against restored records.
+func journalTestMonth() time.Time {
+	return time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	a, _, domains := buildWorld(200)
+	month := journalTestMonth()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CrawlMonth(context.Background(), a, domains, month, Config{Workers: 4, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != len(domains) {
+		t.Fatalf("journal holds %d records, want %d", j2.Len(), len(domains))
+	}
+	done := j2.Completed(month)
+	for i, w := range want.Results {
+		r, ok := done[w.Domain]
+		if !ok {
+			t.Fatalf("%s missing from journal", w.Domain)
+		}
+		// The journal stores raw pre-partial statuses; every journaled
+		// partial is OK-with-snapshot on disk.
+		wantStatus := w.Status
+		if wantStatus == StatusPartial {
+			wantStatus = StatusOK
+		}
+		if r.Status != wantStatus {
+			t.Fatalf("%s status %v, want %v", w.Domain, r.Status, wantStatus)
+		}
+		if wantStatus == StatusOK {
+			if r.Snapshot == nil {
+				t.Fatalf("%s restored without snapshot", w.Domain)
+			}
+			if w.Status == StatusOK {
+				if r.Snapshot.HTML != w.Snapshot.HTML {
+					t.Fatalf("%s HTML mismatch", w.Domain)
+				}
+				// HAR must round-trip byte-identically: the partial-HAR
+				// cutoff depends on Size().
+				if r.Snapshot.HAR.Size() != w.Snapshot.HAR.Size() {
+					t.Fatalf("%s HAR size %d != %d", w.Domain, r.Snapshot.HAR.Size(), w.Snapshot.HAR.Size())
+				}
+			}
+		}
+		_ = i
+	}
+	if j2.Completed(month.AddDate(0, 1, 0)) != nil {
+		t.Fatal("unknown month must have no completions")
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	month := journalTestMonth()
+	for _, r := range []SiteResult{
+		{Domain: "a.com", Status: StatusNotArchived},
+		{Domain: "b.com", Status: StatusOutdated},
+		{Domain: "c.com", Status: StatusError, Err: errors.New("boom")},
+	} {
+		if err := j.Record(month, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Simulate a crash mid-write: append half a record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"month":"2015-02","domain":"d.com","sta`)
+	f.Close()
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	done := j2.Completed(month)
+	if len(done) != 3 {
+		t.Fatalf("restored %d records, want 3 (torn tail dropped)", len(done))
+	}
+	if done["c.com"].Err == nil || done["c.com"].Err.Error() != "boom" {
+		t.Fatalf("error cause lost: %v", done["c.com"].Err)
+	}
+	// Appending after a torn-tail resume must land on a fresh line so a
+	// later reload sees the new record too.
+	if err := j2.Record(month, SiteResult{Domain: "e.com", Status: StatusExcluded}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Completed(month)["e.com"].Status != StatusExcluded {
+		t.Fatal("post-resume record not indexed")
+	}
+	j2.Close()
+	j3, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := len(j3.Completed(month)); got != 4 {
+		t.Fatalf("reload after torn-tail append restored %d records, want 4", got)
+	}
+}
+
+func TestJournalStampRefusesForeignWorld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Stamp("seed=42 topn=100"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent for the same world.
+	if err := j.Stamp("seed=42 topn=100"); err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalTestMonth(), SiteResult{Domain: "a.com", Status: StatusNotArchived})
+	j.Close()
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Stamp("seed=43 topn=100"); err == nil {
+		t.Fatal("resume with a different world fingerprint must be refused")
+	}
+	if err := j2.Stamp("seed=42 topn=100"); err != nil {
+		t.Fatalf("matching fingerprint refused: %v", err)
+	}
+	// The header line must not leak into the results.
+	if j2.Len() != 1 || j2.Completed(journalTestMonth())["a.com"].Status != StatusNotArchived {
+		t.Fatalf("records corrupted by stamp header: len=%d", j2.Len())
+	}
+}
+
+func TestJournalFreshOpenTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := OpenJournal(path, false)
+	j.Record(journalTestMonth(), SiteResult{Domain: "a.com", Status: StatusNotArchived})
+	j.Close()
+	j2, err := OpenJournal(path, false) // resume=false: start clean
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 0 {
+		t.Fatalf("non-resume open kept %d records", j2.Len())
+	}
+}
+
+func TestJournalSkipsPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := OpenJournal(path, false)
+	defer j.Close()
+	if err := j.Record(journalTestMonth(), SiteResult{Domain: "a.com", Status: StatusPending}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatal("pending results must not be journaled")
+	}
+}

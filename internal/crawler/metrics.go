@@ -16,12 +16,34 @@ type Metrics struct {
 	PagesMissing atomic.Int64
 	// PartialSnapshots counts snapshots discarded by the size rule.
 	PartialSnapshots atomic.Int64
-	// Errors counts fetch failures.
+	// Errors counts permanent fetch failures (including exhausted retry
+	// budgets).
 	Errors atomic.Int64
 	// HARBytes accumulates serialized HAR sizes of fetched snapshots.
 	HARBytes atomic.Int64
 	// BusyNanos accumulates worker time spent crawling.
 	BusyNanos atomic.Int64
+
+	// TransientFailures counts transient archive failures observed
+	// (rate limiting, timeouts, truncated bodies, outages).
+	TransientFailures atomic.Int64
+	// Retries counts re-attempts after transient failures.
+	Retries atomic.Int64
+	// RateLimited counts 429-style responses among the transients.
+	RateLimited atomic.Int64
+	// RetriesExhausted counts requests whose attempt budget ran out —
+	// the only way a transient failure becomes a StatusError.
+	RetriesExhausted atomic.Int64
+	// BreakerOpens counts circuit breaker open transitions.
+	BreakerOpens atomic.Int64
+	// BreakerSheds counts requests rejected at the open breaker gate.
+	BreakerSheds atomic.Int64
+	// BackoffNanos accumulates backoff/pacing time (accounted even under
+	// the non-sleeping virtual sleeper).
+	BackoffNanos atomic.Int64
+	// Resumed counts site-months restored from the checkpoint journal
+	// instead of refetched.
+	Resumed atomic.Int64
 }
 
 // observeMonth folds one month's results into the metrics.
@@ -31,6 +53,8 @@ func (m *Metrics) observeMonth(res *MonthResult, took time.Duration) {
 	}
 	for _, r := range res.Results {
 		switch r.Status {
+		case StatusPending:
+			// Cancelled before completion: not an outcome.
 		case StatusOK:
 			m.PagesFetched.Add(1)
 			m.HARBytes.Add(int64(r.Snapshot.HAR.Size()))
@@ -45,15 +69,40 @@ func (m *Metrics) observeMonth(res *MonthResult, took time.Duration) {
 	m.BusyNanos.Add(int64(took))
 }
 
+// observeLive folds live crawl results into the metrics.
+func (m *Metrics) observeLive(res []LiveResult) {
+	if m == nil {
+		return
+	}
+	for _, r := range res {
+		switch {
+		case !r.Crawled:
+			// Cancelled before the visit.
+		case r.Page != nil:
+			m.PagesFetched.Add(1)
+		default:
+			m.PagesMissing.Add(1)
+		}
+	}
+}
+
 // Snapshot returns a point-in-time copy of the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		PagesFetched:     m.PagesFetched.Load(),
-		PagesMissing:     m.PagesMissing.Load(),
-		PartialSnapshots: m.PartialSnapshots.Load(),
-		Errors:           m.Errors.Load(),
-		HARBytes:         m.HARBytes.Load(),
-		Busy:             time.Duration(m.BusyNanos.Load()),
+		PagesFetched:      m.PagesFetched.Load(),
+		PagesMissing:      m.PagesMissing.Load(),
+		PartialSnapshots:  m.PartialSnapshots.Load(),
+		Errors:            m.Errors.Load(),
+		HARBytes:          m.HARBytes.Load(),
+		Busy:              time.Duration(m.BusyNanos.Load()),
+		TransientFailures: m.TransientFailures.Load(),
+		Retries:           m.Retries.Load(),
+		RateLimited:       m.RateLimited.Load(),
+		RetriesExhausted:  m.RetriesExhausted.Load(),
+		BreakerOpens:      m.BreakerOpens.Load(),
+		BreakerSheds:      m.BreakerSheds.Load(),
+		Backoff:           time.Duration(m.BackoffNanos.Load()),
+		Resumed:           m.Resumed.Load(),
 	}
 }
 
@@ -65,11 +114,26 @@ type MetricsSnapshot struct {
 	Errors           int64
 	HARBytes         int64
 	Busy             time.Duration
+
+	TransientFailures int64
+	Retries           int64
+	RateLimited       int64
+	RetriesExhausted  int64
+	BreakerOpens      int64
+	BreakerSheds      int64
+	Backoff           time.Duration
+	Resumed           int64
 }
 
 // String renders the counters for progress logs.
 func (s MetricsSnapshot) String() string {
-	return fmt.Sprintf("fetched=%d missing=%d partial=%d errors=%d har=%dKiB busy=%s",
+	out := fmt.Sprintf("fetched=%d missing=%d partial=%d errors=%d har=%dKiB busy=%s",
 		s.PagesFetched, s.PagesMissing, s.PartialSnapshots, s.Errors,
 		s.HARBytes/1024, s.Busy.Round(time.Millisecond))
+	if s.TransientFailures > 0 || s.Retries > 0 || s.Resumed > 0 {
+		out += fmt.Sprintf(" transient=%d retries=%d ratelimited=%d exhausted=%d breaker=%d(open)/%d(shed) backoff=%s resumed=%d",
+			s.TransientFailures, s.Retries, s.RateLimited, s.RetriesExhausted,
+			s.BreakerOpens, s.BreakerSheds, s.Backoff.Round(time.Millisecond), s.Resumed)
+	}
+	return out
 }

@@ -1,0 +1,90 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	d := DefaultRetryPolicy()
+	if p != d {
+		t.Fatalf("withDefaults() = %+v, want %+v", p, d)
+	}
+	// Partial overrides survive.
+	p = RetryPolicy{MaxAttempts: 3}.withDefaults()
+	if p.MaxAttempts != 3 || p.BaseDelay != d.BaseDelay {
+		t.Fatalf("partial override broken: %+v", p)
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	p := DefaultRetryPolicy()
+	for retry := 1; retry <= 8; retry++ {
+		d1 := p.Delay("example.com", retry, 42)
+		d2 := p.Delay("example.com", retry, 42)
+		if d1 != d2 {
+			t.Fatalf("retry %d: %v != %v under same seed", retry, d1, d2)
+		}
+	}
+	// Different seeds and different domains jitter differently somewhere
+	// in the schedule.
+	varies := func(other func(int) time.Duration) bool {
+		for retry := 1; retry <= 8; retry++ {
+			if p.Delay("example.com", retry, 42) != other(retry) {
+				return true
+			}
+		}
+		return false
+	}
+	if !varies(func(r int) time.Duration { return p.Delay("example.com", r, 43) }) {
+		t.Error("seed does not influence jitter")
+	}
+	if !varies(func(r int) time.Duration { return p.Delay("other.com", r, 42) }) {
+		t.Error("domain does not influence jitter")
+	}
+}
+
+func TestBackoffScheduleShape(t *testing.T) {
+	p := DefaultRetryPolicy()
+	for retry := 1; retry <= 20; retry++ {
+		d := p.Delay("example.com", retry, 1)
+		lo := time.Duration(float64(p.BaseDelay) * (1 - p.Jitter/2))
+		if d < lo {
+			t.Fatalf("retry %d: delay %v below jitter floor %v", retry, d, lo)
+		}
+		if d > p.MaxDelay {
+			t.Fatalf("retry %d: delay %v exceeds cap %v", retry, d, p.MaxDelay)
+		}
+	}
+	// Exponential growth: the ceiling of retry n+1 exceeds retry n's
+	// floor by the multiplier until the cap bites.
+	d1 := p.Delay("example.com", 1, 1)
+	d5 := p.Delay("example.com", 5, 1)
+	if d5 <= d1 {
+		t.Fatalf("no growth: retry1=%v retry5=%v", d1, d5)
+	}
+}
+
+func TestSleepFuncs(t *testing.T) {
+	ctx := context.Background()
+	if err := NoSleep(ctx, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := RealSleep(ctx, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("RealSleep returned early")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := NoSleep(cancelled, 0); err == nil {
+		t.Fatal("NoSleep must observe cancellation")
+	}
+	if err := RealSleep(cancelled, time.Hour); err == nil {
+		t.Fatal("RealSleep must observe cancellation")
+	}
+}

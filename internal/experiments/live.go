@@ -15,6 +15,8 @@ type LiveConfig struct {
 	TopN int
 	// Workers is crawl parallelism.
 	Workers int
+	// Metrics, when non-nil, accumulates crawl counters.
+	Metrics *crawler.Metrics
 }
 
 // LiveScript is a detected anti-adblock script from the live crawl, used
@@ -48,7 +50,7 @@ func (l *Lab) RunLive(ctx context.Context, cfg LiveConfig) (*LiveResult, error) 
 		cfg.Workers = 10
 	}
 	domains := l.World.TopDomains(cfg.TopN)
-	results, err := crawler.CrawlLive(ctx, l.World, domains, crawler.Config{Workers: cfg.Workers})
+	results, err := crawler.CrawlLive(ctx, l.World, domains, crawler.Config{Workers: cfg.Workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}

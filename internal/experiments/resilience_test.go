@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"adwars/internal/crawler"
+	"adwars/internal/simworld"
+	"adwars/internal/wayback"
+)
+
+// resilienceLab builds a small private lab (top-100 crawl) so fault and
+// checkpoint runs don't disturb the shared test lab.
+func resilienceLab() *Lab { return NewLab(simworld.Scaled(3, 50)) }
+
+// TestRetroFaultEquivalence is the PR's headline acceptance claim at full
+// pipeline scope: a 10% transient fault rate must not change a single
+// Figure 5 or Figure 6 number, because the crawl engine retries every
+// injected fault to completion.
+func TestRetroFaultEquivalence(t *testing.T) {
+	l := resilienceLab()
+	months := l.RetroMonths(6)
+	clean, err := l.RunRetrospective(context.Background(), RetroConfig{Months: months})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var metrics crawler.Metrics
+	faulty, err := l.RunRetrospective(context.Background(), RetroConfig{
+		Months:  months,
+		Faults:  wayback.DefaultFaultConfig(0.10, 0), // Seed 0: inherit lab seed
+		Metrics: &metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := faulty.RenderFig5(), clean.RenderFig5(); got != want {
+		t.Errorf("Figure 5 diverged under faults:\nclean:\n%s\nfaulty:\n%s", want, got)
+	}
+	if got, want := faulty.RenderFig6(), clean.RenderFig6(); got != want {
+		t.Errorf("Figure 6 diverged under faults:\nclean:\n%s\nfaulty:\n%s", want, got)
+	}
+	snap := metrics.Snapshot()
+	if snap.TransientFailures == 0 || snap.Retries == 0 {
+		t.Fatalf("fault injection idle: %s", snap)
+	}
+	if snap.RetriesExhausted != 0 {
+		t.Fatalf("%d requests exhausted the retry budget (equivalence broken)", snap.RetriesExhausted)
+	}
+	// The corpora feed §5; they must survive faults unchanged too.
+	if len(faulty.CorpusPos) != len(clean.CorpusPos) || len(faulty.CorpusNeg) != len(clean.CorpusNeg) {
+		t.Errorf("corpus sizes diverged: pos %d/%d neg %d/%d",
+			len(faulty.CorpusPos), len(clean.CorpusPos),
+			len(faulty.CorpusNeg), len(clean.CorpusNeg))
+	}
+}
+
+// TestRetroCheckpointResume interrupts the study after a prefix of months,
+// then resumes from the journal: the final figures must be byte-identical
+// to an uninterrupted run, with the journaled site-months restored rather
+// than refetched.
+func TestRetroCheckpointResume(t *testing.T) {
+	faults := wayback.DefaultFaultConfig(0.10, 0)
+	l := resilienceLab()
+	months := l.RetroMonths(6)
+	want, err := l.RunRetrospective(context.Background(), RetroConfig{
+		Months: months, Faults: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "retro.jsonl")
+	// "Killed" first run: only the first 4 months complete.
+	if _, err := l.RunRetrospective(context.Background(), RetroConfig{
+		Months: months[:4], Faults: faults, CheckpointPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var metrics crawler.Metrics
+	got, err := l.RunRetrospective(context.Background(), RetroConfig{
+		Months: months, Faults: faults,
+		CheckpointPath: path, Resume: true, Metrics: &metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if metrics.Snapshot().Resumed == 0 {
+		t.Fatal("resume refetched everything instead of restoring the journal")
+	}
+	if g, w := got.RenderFig5(), want.RenderFig5(); g != w {
+		t.Errorf("Figure 5 diverged after resume:\nwant:\n%s\ngot:\n%s", w, g)
+	}
+	if g, w := got.RenderFig6(), want.RenderFig6(); g != w {
+		t.Errorf("Figure 6 diverged after resume:\nwant:\n%s\ngot:\n%s", w, g)
+	}
+}

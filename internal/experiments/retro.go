@@ -23,6 +23,23 @@ type RetroConfig struct {
 	Months []time.Time
 	// Workers is crawl parallelism (the paper used 10 browsers).
 	Workers int
+	// Faults injects deterministic transient archive failures (rate
+	// limiting, timeouts, truncated bodies, outages). The zero value
+	// disables injection; with it enabled, the crawl engine's retry path
+	// absorbs every transient, so Figure 5/6 output is identical to a
+	// zero-fault run with the same seed.
+	Faults wayback.FaultConfig
+	// Retry overrides the crawler's retry/backoff policy (zero fields
+	// take defaults).
+	Retry crawler.RetryPolicy
+	// CheckpointPath, when set, journals completed site-months to this
+	// file so an interrupted run can restart without refetching.
+	CheckpointPath string
+	// Resume restores journaled site-months from CheckpointPath instead
+	// of starting clean.
+	Resume bool
+	// Metrics, when non-nil, accumulates crawl counters for reporting.
+	Metrics *crawler.Metrics
 }
 
 // MonthCoverage is one month's measurement outcome.
@@ -75,7 +92,34 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 	archCfg.Robots = int(153 * frac)
 	archCfg.Admin = int(26 * frac)
 	archCfg.Undefined = int(54 * frac)
+	archCfg.Faults = cfg.Faults
 	arch := wayback.New(l.World, domains, archCfg)
+
+	var journal *crawler.Journal
+	if cfg.CheckpointPath != "" {
+		var err error
+		journal, err = crawler.OpenJournal(cfg.CheckpointPath, cfg.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+		}
+		defer journal.Close()
+		// Refuse journals from a different world: their artifacts would
+		// silently change the figures.
+		fp := fmt.Sprintf("seed=%d topn=%d", l.Seed, cfg.TopN)
+		if err := journal.Stamp(fp); err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+		}
+	}
+	// One breaker across all months: archive health is global, not
+	// per-month.
+	crawlCfg := crawler.Config{
+		Workers: cfg.Workers,
+		Metrics: cfg.Metrics,
+		Retry:   cfg.Retry,
+		Breaker: crawler.NewBreaker(crawler.DefaultBreakerConfig(), cfg.Metrics),
+		Journal: journal,
+		Seed:    l.Seed,
+	}
 
 	res := &RetroResult{
 		FirstMatch:        map[string]map[string]time.Time{},
@@ -88,7 +132,7 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 	negSeen := map[string]bool{}
 
 	for _, month := range cfg.Months {
-		mr, err := crawler.CrawlMonth(ctx, arch, domains, month, crawler.Config{Workers: cfg.Workers})
+		mr, err := crawler.CrawlMonth(ctx, arch, domains, month, crawlCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: crawl %s: %w", stats.MonthLabel(month), err)
 		}

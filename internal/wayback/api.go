@@ -2,6 +2,7 @@ package wayback
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -40,11 +41,38 @@ func (c *ClosestSnapshot) Time() (time.Time, error) {
 }
 
 // QueryAvailability serves an availability API request for a domain's
-// homepage near the wanted date, returning the JSON response body.
+// homepage near the wanted date (attempt 0 of QueryAvailabilityAttempt).
+func (a *Archive) QueryAvailability(domain string, want time.Time) ([]byte, error) {
+	return a.QueryAvailabilityAttempt(domain, want, 0)
+}
+
+// QueryAvailabilityAttempt serves an availability API request, exposing the
+// zero-based retry index to the fault injector. Rate-limit, timeout, and
+// outage faults surface as *TransientError; truncated-body faults instead
+// return a corrupt JSON prefix with a nil error, exactly what a client
+// reading a cut-short HTTP body sees — the caller discovers the fault when
+// ParseAvailability fails, and should retry.
+//
 // Not-archived pages (and permanently excluded domains) produce the empty
 // response; "outdated" archive states produce a closest snapshot months
 // away from the request, which the client-side staleness rule discards.
-func (a *Archive) QueryAvailability(domain string, want time.Time) ([]byte, error) {
+func (a *Archive) QueryAvailabilityAttempt(domain string, want time.Time, attempt int) ([]byte, error) {
+	if ferr := a.faults.Check("avail", domain, monthKey(want), attempt); ferr != nil {
+		var te *TransientError
+		if errors.As(ferr, &te) && te.Kind == FaultTruncated {
+			body, err := a.queryAvailability(domain, want)
+			if err != nil {
+				return nil, err
+			}
+			// A JSON object cut short of its closing brace never parses.
+			return body[:len(body)*2/3], nil
+		}
+		return nil, ferr
+	}
+	return a.queryAvailability(domain, want)
+}
+
+func (a *Archive) queryAvailability(domain string, want time.Time) ([]byte, error) {
 	resp := AvailabilityResponse{URL: "http://" + domain + "/"}
 	ref, avail := a.Available(domain, want)
 	switch avail {
@@ -85,18 +113,18 @@ func ParseAvailability(data []byte) (*ClosestSnapshot, error) {
 	return resp.ArchivedSnapshots.Closest, nil
 }
 
-// MaxSnapshotSkew is the client-side staleness rule: the paper discards
+// MaxSkewMonths is the client-side staleness rule: the paper discards
 // snapshots more than six months from the requested date.
-const MaxSnapshotSkew = 6 * 31 * 24 * time.Hour
+const MaxSkewMonths = 6
 
 // WithinSkew reports whether a snapshot time is close enough to the
-// requested date to use.
+// requested date to use. The bound is six calendar months either side
+// (AddDate semantics), not the fixed-duration 6×31-day approximation a
+// naive implementation would use — the two disagree for snapshots landing
+// 181–186 days out.
 func WithinSkew(requested, snapshot time.Time) bool {
-	d := snapshot.Sub(requested)
-	if d < 0 {
-		d = -d
-	}
-	return d <= MaxSnapshotSkew
+	return !snapshot.Before(requested.AddDate(0, -MaxSkewMonths, 0)) &&
+		!snapshot.After(requested.AddDate(0, MaxSkewMonths, 0))
 }
 
 // RefFor reconstructs the snapshot reference for a domain and snapshot

@@ -146,3 +146,39 @@ func TestWithinSkew(t *testing.T) {
 		t.Error("skew must be symmetric")
 	}
 }
+
+// TestWithinSkewCalendarBoundary pins the calendar-correct six-month rule
+// against the old 6×31-day duration approximation: six calendar months is
+// 181–184 days depending on the start month, so dates 185–186 days out
+// were wrongly accepted by the approximation.
+func TestWithinSkewCalendarBoundary(t *testing.T) {
+	base := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+	exact := base.AddDate(0, 6, 0) // 2015-03-01, 181 days out
+	if !WithinSkew(base, exact) {
+		t.Error("exactly six calendar months must be within skew")
+	}
+	if !WithinSkew(base, base.AddDate(0, -6, 0)) {
+		t.Error("exactly six calendar months back must be within skew")
+	}
+	if WithinSkew(base, exact.AddDate(0, 0, 1)) {
+		t.Error("six months and a day must exceed skew")
+	}
+	if WithinSkew(base, base.AddDate(0, -6, -1)) {
+		t.Error("six months and a day back must exceed skew")
+	}
+	// 184 days out: under the 186-day approximation this passed; the
+	// calendar rule must reject it.
+	in184 := base.Add(184 * 24 * time.Hour)
+	if d := in184.Sub(base).Hours() / 24; d > 186 {
+		t.Fatalf("test setup wrong: %v days", d)
+	}
+	if WithinSkew(base, in184) {
+		t.Error("184 days (> 6 calendar months from Sep 1) must exceed skew")
+	}
+	// Leap-month sanity: Aug 31 + 6 months clamps per AddDate semantics;
+	// the rule must stay symmetric around whatever AddDate yields.
+	aug31 := time.Date(2014, 8, 31, 0, 0, 0, 0, time.UTC)
+	if !WithinSkew(aug31, aug31.AddDate(0, 6, 0)) {
+		t.Error("AddDate-clamped six-month bound must be within skew")
+	}
+}

@@ -111,6 +111,9 @@ type Config struct {
 	// EscapeURLFraction is the fraction of resource URLs archived as
 	// Wayback escape URLs (stored without the archive prefix).
 	EscapeURLFraction float64
+	// Faults configures transient failure injection (rate limiting,
+	// timeouts, truncated bodies, outages). The zero value disables it.
+	Faults FaultConfig
 	// Seed drives every deterministic choice.
 	Seed int64
 }
@@ -132,12 +135,20 @@ type Archive struct {
 	cfg        Config
 	src        SiteSource
 	exclusions map[string]Exclusion
+	faults     *FaultInjector // nil when fault injection is disabled
 }
 
 // New builds an archive over the given domains. Exclusions are assigned
 // deterministically from the seed.
 func New(src SiteSource, domains []string, cfg Config) *Archive {
 	a := &Archive{cfg: cfg, src: src, exclusions: make(map[string]Exclusion)}
+	if cfg.Faults.enabled() {
+		fc := cfg.Faults
+		if fc.Seed == 0 {
+			fc.Seed = cfg.Seed
+		}
+		a.faults = NewFaultInjector(fc)
+	}
 	// Assign exclusions by hash rank: the domains with the smallest
 	// exclusion-hash get excluded, split across the three reasons.
 	type ranked struct {
@@ -258,10 +269,30 @@ type Snapshot struct {
 	Page *web.Page
 }
 
-// Fetch retrieves an archived snapshot. Partial snapshots (anti-bot error
-// pages) come back with a truncated HAR whose size falls under the 10%
-// cutoff the crawler applies.
+// Fetch retrieves an archived snapshot (attempt 0 of FetchAttempt).
+// Partial snapshots (anti-bot error pages) come back with a truncated HAR
+// whose size falls under the 10% cutoff the crawler applies.
 func (a *Archive) Fetch(ref SnapshotRef) (*Snapshot, error) {
+	return a.FetchAttempt(ref, 0)
+}
+
+// FetchAttempt retrieves an archived snapshot, exposing the zero-based
+// retry index to the fault injector. Injected failures — including HAR
+// bodies truncated mid-transfer, which the client detects as unparseable —
+// surface as *TransientError; retrying with increasing attempt numbers is
+// guaranteed to reach the real snapshot within the injector's consecutive-
+// failure bound.
+func (a *Archive) FetchAttempt(ref SnapshotRef, attempt int) (*Snapshot, error) {
+	if err := a.faults.Check("fetch", ref.Domain, monthKey(ref.Timestamp), attempt); err != nil {
+		return nil, err
+	}
+	return a.fetch(ref)
+}
+
+// Faults exposes the archive's fault injector (nil when disabled).
+func (a *Archive) Faults() *FaultInjector { return a.faults }
+
+func (a *Archive) fetch(ref SnapshotRef) (*Snapshot, error) {
 	page, ok := a.src.PageAt(ref.Domain, ref.Timestamp)
 	if !ok {
 		return nil, fmt.Errorf("wayback: no source content for %s at %s",
