@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fault-check
+.PHONY: build test vet race verify fault-check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,29 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the full pre-merge gate: compile, vet, plain tests, then the
-# race detector over the whole tree (the crawl engine is heavily
-# concurrent — breaker, journal, and metrics are all shared state).
-verify: build vet test race
+# verify is the full pre-merge gate: compile, vet, plain tests, the race
+# detector over the whole tree (the crawl engine is heavily concurrent —
+# breaker, journal, and metrics are all shared state), then a 1-iteration
+# smoke run of the replay benchmarks so a broken bench pipeline fails the
+# gate instead of the nightly.
+verify: build vet test race bench-smoke
+
+# bench records the rule-engine and replay performance profile in
+# BENCH_replay.json: match and list-compile microbenchmarks from
+# internal/abp plus the full-replay benchmarks from the repo root. The
+# report's replay_speedup_indexed_vs_linear field is the acceptance
+# criterion for the indexed match path (≥ 3x over the linear scan).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplay' -benchmem . > /tmp/adwars-bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkList(Compile|Match)|BenchmarkMatchingHTTPRules|BenchmarkGlobPathological|BenchmarkElementHiding' -benchmem ./internal/abp >> /tmp/adwars-bench.txt
+	$(GO) run ./cmd/benchjson -out BENCH_replay.json < /tmp/adwars-bench.txt
+	@cat BENCH_replay.json
+
+# bench-smoke runs each replay benchmark exactly once and checks the JSON
+# pipeline end to end (no timings recorded — the 1x numbers are noise).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkReplay(Indexed|LinearScan)$$' -benchtime 1x . | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-smoke.json
+	@echo "bench-smoke: pipeline ok"
 
 # fault-check exercises the headline robustness claim end to end: the
 # retrospective CLI at a 10% transient fault rate must emit byte-identical

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	adwars-live [-scale N] [-seed S] [-workers W]
+//	adwars-live [-scale N] [-seed S] [-workers W] [-shards K]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	scale := flag.Int("scale", 10, "world shrink factor (1 = paper scale)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	workers := flag.Int("workers", 10, "parallel crawler instances")
+	shards := flag.Int("shards", 0, "replay fan-out for per-site rule matching (0 = workers)")
 	flag.Parse()
 
 	cfg := simworld.DefaultConfig(*seed)
@@ -33,7 +34,7 @@ func main() {
 	lab := experiments.NewLab(cfg)
 
 	var metrics crawler.Metrics
-	res, err := lab.RunLive(context.Background(), experiments.LiveConfig{Workers: *workers, Metrics: &metrics})
+	res, err := lab.RunLive(context.Background(), experiments.LiveConfig{Workers: *workers, Shards: *shards, Metrics: &metrics})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON report. It is the back half of
+// `make bench`: the benchmark run pipes through it and BENCH_replay.json
+// lands in the repo root with ns/op and allocs for the match, list-compile,
+// and full-replay paths, plus the headline indexed-vs-linear replay
+// speedup.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_replay.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the Benchmark prefix and the -GOMAXPROCS
+	// suffix stripped ("BenchmarkReplayIndexed-8" → "ReplayIndexed").
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the preceding pkg: line).
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// ReplaySpeedupIndexedVsLinear is ns/op(ReplayLinearScan) divided by
+	// ns/op(ReplayIndexed) — the acceptance criterion for the indexed
+	// replay (must be ≥ 3 on a full benchmark run).
+	ReplaySpeedupIndexedVsLinear float64 `json:"replay_speedup_indexed_vs_linear,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rep := &Report{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Pkg = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var indexed, linear float64
+	for _, b := range rep.Benchmarks {
+		switch b.Name {
+		case "ReplayIndexed":
+			indexed = b.NsPerOp
+		case "ReplayLinearScan":
+			linear = b.NsPerOp
+		}
+	}
+	if indexed > 0 && linear > 0 {
+		rep.ReplaySpeedupIndexedVsLinear = linear / indexed
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  123  4567 ns/op  89 B/op  10 allocs/op
+//
+// Lines that do not carry an ns/op measurement (e.g. "BenchmarkX ... FAIL")
+// are skipped.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, seenNs
+}

@@ -2,6 +2,7 @@ package abp
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -63,6 +64,62 @@ func BenchmarkListMatchLinear(b *testing.B) {
 			if r.IsHTTP() && r.MatchRequest(q) {
 				break
 			}
+		}
+	}
+}
+
+// BenchmarkListCompile measures NewList over a 2000-rule set: parsing is
+// excluded, so this is index construction plus matcher precompilation —
+// the cost the per-revision cache pays once per revision.
+func BenchmarkListCompile(b *testing.B) {
+	rules := benchRules(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l := NewList("bench", rules); l.Len() == 0 {
+			b.Fatal("empty list")
+		}
+	}
+}
+
+// BenchmarkMatchingHTTPRulesIndexed measures the all-matches lookup through
+// the keyword index (the replay's per-request path).
+func BenchmarkMatchingHTTPRulesIndexed(b *testing.B) {
+	list := NewList("bench", benchRules(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := benchURLs[i%len(benchURLs)]
+		list.MatchingHTTPRules(Request{URL: u, Type: TypeScript, PageDomain: "page.com"})
+	}
+}
+
+// BenchmarkMatchingHTTPRulesLinear is its full-scan ablation baseline.
+func BenchmarkMatchingHTTPRulesLinear(b *testing.B) {
+	list := NewList("bench", benchRules(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := benchURLs[i%len(benchURLs)]
+		list.MatchingHTTPRulesLinear(Request{URL: u, Type: TypeScript, PageDomain: "page.com"})
+	}
+}
+
+// BenchmarkGlobPathological pins the wildcard fix: a star-heavy pattern
+// against a long non-matching URL was exponential under the recursive
+// matcher and is linear-ish under the two-pointer glob.
+func BenchmarkGlobPathological(b *testing.B) {
+	r, err := Parse("/a*a*a*a*a*a*a*a*a*b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := "http://x.com/" + strings.Repeat("a", 512) + "c"
+	q := Request{URL: u, Type: TypeScript, PageDomain: "x.com"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.MatchRequest(q) {
+			b.Fatal("pathological pattern must not match")
 		}
 	}
 }

@@ -2,6 +2,7 @@ package abp
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -21,6 +22,13 @@ type History struct {
 	Name string
 
 	revisions []Revision
+
+	// compiled caches one *List per revision index, so replaying 60 months
+	// against a history compiles each revision once instead of once per
+	// month. Guarded by mu; safe for concurrent ListAt callers (the sharded
+	// replay hits the same revision from many workers).
+	mu       sync.Mutex
+	compiled map[int]*List
 }
 
 // NewHistory creates an empty history for the named list.
@@ -46,23 +54,55 @@ func (h *History) Len() int { return len(h.revisions) }
 // At returns the revision in force at time t: the latest revision published
 // at or before t. It returns false when the list did not exist yet.
 func (h *History) At(t time.Time) (Revision, bool) {
+	i := h.indexAt(t)
+	if i < 0 {
+		return Revision{}, false
+	}
+	return h.revisions[i], true
+}
+
+// indexAt returns the index of the revision in force at t, or -1.
+func (h *History) indexAt(t time.Time) int {
 	i := sort.Search(len(h.revisions), func(i int) bool {
 		return h.revisions[i].Time.After(t)
 	})
-	if i == 0 {
-		return Revision{}, false
-	}
-	return h.revisions[i-1], true
+	return i - 1
 }
 
-// ListAt compiles the list as it existed at time t, or nil if it did not
-// exist yet.
+// ListAt returns the compiled list as it existed at time t, or nil if it
+// did not exist yet. Compilation is cached per revision and the cache is
+// safe for concurrent callers; the returned List is shared, which is fine
+// because compiled lists are immutable.
 func (h *History) ListAt(t time.Time) *List {
-	rev, ok := h.At(t)
-	if !ok {
+	i := h.indexAt(t)
+	if i < 0 {
 		return nil
 	}
-	return NewList(h.Name, rev.Rules)
+	return h.listFor(i)
+}
+
+// LatestList returns the compiled most recent revision (nil for an empty
+// history), sharing the same per-revision cache as ListAt.
+func (h *History) LatestList() *List {
+	if len(h.revisions) == 0 {
+		return nil
+	}
+	return h.listFor(len(h.revisions) - 1)
+}
+
+// listFor compiles revision i exactly once.
+func (h *History) listFor(i int) *List {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if l, ok := h.compiled[i]; ok {
+		return l
+	}
+	if h.compiled == nil {
+		h.compiled = make(map[int]*List)
+	}
+	l := NewList(h.Name, h.revisions[i].Rules)
+	h.compiled[i] = l
+	return l
 }
 
 // Latest returns the most recent revision; ok is false for empty histories.

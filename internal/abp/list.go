@@ -2,7 +2,6 @@ package abp
 
 import (
 	"sort"
-	"strings"
 )
 
 // Decision is the outcome of matching a request against a List.
@@ -30,8 +29,10 @@ func (d Decision) String() string {
 }
 
 // List is a compiled filter list: rules split by kind, with a keyword index
-// over HTTP rules so that matching a URL inspects only a few candidates.
-// Build lists with NewList; a List is safe for concurrent readers.
+// over HTTP rules and a selector-id index over element hiding rules so that
+// matching inspects only a few candidates. Build lists with NewList; every
+// rule matcher is precompiled there, so a List is safe for concurrent
+// readers — nothing is written after NewList returns.
 type List struct {
 	// Name identifies the list (e.g. "Anti-Adblock Killer").
 	Name string
@@ -41,10 +42,18 @@ type List struct {
 	exceptIdx  *keywordIndex
 	elemHide   []*Rule
 	elemExcept []*Rule
+
+	// hideIdx buckets elemHide by required selector id.
+	hideIdx hideIndex
+	// hideToggles are the @@…$elemhide / $generichide exception rules,
+	// pre-filtered so ElemHideDisabled does not rescan the whole list.
+	hideToggles []*Rule
 }
 
 // NewList compiles a set of parsed rules into a matchable list. Comment and
-// invalid rules are ignored.
+// invalid rules are ignored. Every rule's URL matcher is precompiled here
+// (idempotent for rules built by Parse), which is what makes the returned
+// List read-only and therefore safe for concurrent matchers.
 func NewList(name string, rules []*Rule) *List {
 	l := &List{
 		Name:      name,
@@ -53,18 +62,27 @@ func NewList(name string, rules []*Rule) *List {
 	}
 	for _, r := range rules {
 		switch r.Kind {
-		case KindHTTPBlock:
-			l.blockIdx.add(r)
-		case KindHTTPException:
-			l.exceptIdx.add(r)
-		case KindElemHide:
-			l.elemHide = append(l.elemHide, r)
-		case KindElemHideException:
-			l.elemExcept = append(l.elemExcept, r)
+		case KindHTTPBlock, KindHTTPException, KindElemHide, KindElemHideException:
 		default:
 			continue
 		}
+		r.Precompile()
+		ord := len(l.rules)
 		l.rules = append(l.rules, r)
+		switch r.Kind {
+		case KindHTTPBlock:
+			l.blockIdx.add(r, ord)
+		case KindHTTPException:
+			l.exceptIdx.add(r, ord)
+			if r.DisableElemHide || r.DisableGenericHide {
+				l.hideToggles = append(l.hideToggles, r)
+			}
+		case KindElemHide:
+			l.hideIdx.add(r, len(l.elemHide))
+			l.elemHide = append(l.elemHide, r)
+		case KindElemHideException:
+			l.elemExcept = append(l.elemExcept, r)
+		}
 	}
 	return l
 }
@@ -87,22 +105,66 @@ func (l *List) Rules() []*Rule { return l.rules }
 // override blocking rules, mirroring adblocker semantics. The rule that
 // determined the decision is returned (nil for NoMatch).
 func (l *List) MatchRequest(q Request) (Decision, *Rule) {
-	if r := l.exceptIdx.match(q); r != nil {
+	c := newMatchCtx(q)
+	if r := l.exceptIdx.match(&c); r != nil {
 		return Allowed, r
 	}
-	if r := l.blockIdx.match(q); r != nil {
+	if r := l.blockIdx.match(&c); r != nil {
 		return Blocked, r
+	}
+	return NoMatch, nil
+}
+
+// MatchRequestLinear is MatchRequest without the keyword index: every HTTP
+// rule is tried in insertion order. It exists as the ablation baseline for
+// benchmarks and the differential tests that prove the index changes
+// nothing; production paths use MatchRequest.
+func (l *List) MatchRequestLinear(q Request) (Decision, *Rule) {
+	c := newMatchCtx(q)
+	for _, r := range l.rules {
+		if r.Kind == KindHTTPException && r.matchCtx(&c) {
+			return Allowed, r
+		}
+	}
+	for _, r := range l.rules {
+		if r.Kind == KindHTTPBlock && r.matchCtx(&c) {
+			return Blocked, r
+		}
 	}
 	return NoMatch, nil
 }
 
 // MatchingHTTPRules returns every HTTP rule (blocking and exception) that
 // matches the request, in insertion order. The coverage measurement uses
-// this to record which rules triggered on a crawl.
+// this to record which rules triggered on a crawl. The lookup goes through
+// the keyword index in all-matches mode: each rule lives in exactly one
+// bucket, so collecting the matching buckets and sorting by insertion
+// ordinal reproduces the linear scan's output exactly (see
+// MatchingHTTPRulesLinear and the differential tests).
 func (l *List) MatchingHTTPRules(q Request) []*Rule {
+	c := newMatchCtx(q)
+	var hits []indexedRule
+	hits = l.exceptIdx.appendMatches(&c, hits)
+	hits = l.blockIdx.appendMatches(&c, hits)
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].ord < hits[j].ord })
+	out := make([]*Rule, len(hits))
+	for i, h := range hits {
+		out[i] = h.r
+	}
+	return out
+}
+
+// MatchingHTTPRulesLinear is the index-free reference implementation of
+// MatchingHTTPRules, kept as the ablation baseline for benchmarks and the
+// differential tests.
+func (l *List) MatchingHTTPRulesLinear(q Request) []*Rule {
+	c := newMatchCtx(q)
 	var out []*Rule
 	for _, r := range l.rules {
-		if r.IsHTTP() && r.MatchRequest(q) {
+		if r.IsHTTP() && r.matchCtx(&c) {
 			out = append(out, r)
 		}
 	}
@@ -113,16 +175,17 @@ func (l *List) MatchingHTTPRules(q Request) []*Rule {
 // element hiding off for pages on the domain; genericOnly additionally
 // reports $generichide (only domain-less hiding rules disabled).
 func (l *List) ElemHideDisabled(pageDomain string) (all, genericOnly bool) {
+	if len(l.hideToggles) == 0 {
+		return false, false
+	}
 	q := Request{
 		URL:        "http://" + pageDomain + "/",
 		Type:       TypeDocument,
 		PageDomain: pageDomain,
 	}
-	for _, r := range l.rules {
-		if r.Kind != KindHTTPException || (!r.DisableElemHide && !r.DisableGenericHide) {
-			continue
-		}
-		if r.MatchRequest(q) {
+	c := newMatchCtx(q)
+	for _, r := range l.hideToggles {
+		if r.matchCtx(&c) {
 			if r.DisableElemHide {
 				all = true
 			}
@@ -144,17 +207,15 @@ func (l *List) HiddenElements(pageDomain string, elems []*Element) map[int]*Rule
 		return map[int]*Rule{}
 	}
 	hidden := make(map[int]*Rule)
+	if len(l.elemHide) == 0 || len(elems) == 0 {
+		return hidden
+	}
+	// The domain scope of a hiding rule depends only on (rule, pageDomain):
+	// resolve each rule's applicability at most once per call instead of
+	// once per (rule, element) pair.
+	applies := domainMemo{domain: pageDomain}
 	for i, e := range elems {
-		var hideRule *Rule
-		for _, r := range l.elemHide {
-			if genericOff && !r.HasDomainTag() {
-				continue
-			}
-			if r.appliesOn(pageDomain) && r.Selector.Match(e) {
-				hideRule = r
-				break
-			}
-		}
+		hideRule := l.hideIdx.firstMatch(l.elemHide, e, genericOff, &applies)
 		if hideRule == nil {
 			continue
 		}
@@ -170,6 +231,80 @@ func (l *List) HiddenElements(pageDomain string, elems []*Element) map[int]*Rule
 		}
 	}
 	return hidden
+}
+
+// domainMemo caches appliesOn verdicts per rule ordinal for one page.
+type domainMemo struct {
+	domain string
+	known  []int8 // 0 unknown, 1 applies, -1 does not
+}
+
+func (m *domainMemo) appliesOn(rules []*Rule, ord int) bool {
+	if m.known == nil {
+		m.known = make([]int8, len(rules))
+	}
+	switch m.known[ord] {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if rules[ord].appliesOn(m.domain) {
+		m.known[ord] = 1
+		return true
+	}
+	m.known[ord] = -1
+	return false
+}
+
+// hideIndex buckets element hiding rules by the id their selector demands.
+// A selector with a required #id can only match elements carrying exactly
+// that id, so per element only its id bucket plus the id-less bucket need
+// scanning. Ordinals into the elemHide slice keep first-match-in-insertion-
+// order semantics when the two buckets are merged.
+type hideIndex struct {
+	byID map[string][]int
+	noID []int
+}
+
+func (h *hideIndex) add(r *Rule, ord int) {
+	if id := r.Selector.IndexKey(); id != "" {
+		if h.byID == nil {
+			h.byID = make(map[string][]int)
+		}
+		h.byID[id] = append(h.byID[id], ord)
+		return
+	}
+	h.noID = append(h.noID, ord)
+}
+
+// firstMatch returns the first hiding rule (in insertion order) matching
+// the element, honoring $generichide and domain scoping.
+func (h *hideIndex) firstMatch(rules []*Rule, e *Element, genericOff bool, applies *domainMemo) *Rule {
+	var withID []int
+	if e.ID != "" {
+		withID = h.byID[e.ID]
+	}
+	// Merge the two ordinal streams in ascending order.
+	i, j := 0, 0
+	for i < len(withID) || j < len(h.noID) {
+		var ord int
+		if j >= len(h.noID) || (i < len(withID) && withID[i] < h.noID[j]) {
+			ord = withID[i]
+			i++
+		} else {
+			ord = h.noID[j]
+			j++
+		}
+		r := rules[ord]
+		if genericOff && !r.HasDomainTag() {
+			continue
+		}
+		if applies.appliesOn(rules, ord) && r.Selector.Match(e) {
+			return r
+		}
+	}
+	return nil
 }
 
 // appliesOn reports whether an element hiding rule is active on a page
@@ -248,49 +383,112 @@ func (l *List) ExceptionDomainSplit() (exception, nonException []string) {
 	return exception, nonException
 }
 
-// keywordIndex buckets HTTP rules by a literal keyword drawn from their
-// pattern. Rules without a usable keyword go into a generic bucket that is
-// always scanned. The same scheme real adblockers use to keep per-request
-// work small.
+// indexedRule pairs a rule with its insertion ordinal in the List, so
+// all-matches index lookups can restore insertion order.
+type indexedRule struct {
+	r   *Rule
+	ord int
+}
+
+// keywordIndex buckets HTTP rules by the token-safe keyword drawn from
+// their pattern (Rule.Keyword). A lookup tokenizes the request URL once and
+// hash-probes each token's bucket, so per-request cost tracks the URL's
+// token count rather than the list's keyword count. Rules without a usable
+// keyword go into a generic bucket that is always scanned. Each rule lives
+// in exactly one bucket and URL tokens are deduplicated, so no bucket is
+// visited twice.
 type keywordIndex struct {
-	byKeyword map[string][]*Rule
-	generic   []*Rule
-	keywords  []string // sorted, for deterministic scans
+	byKeyword map[string][]indexedRule
+	generic   []indexedRule
 }
 
 func newKeywordIndex() *keywordIndex {
-	return &keywordIndex{byKeyword: make(map[string][]*Rule)}
+	return &keywordIndex{byKeyword: make(map[string][]indexedRule)}
 }
 
-func (idx *keywordIndex) add(r *Rule) {
+func (idx *keywordIndex) add(r *Rule, ord int) {
 	kw := r.Keyword()
 	if kw == "" {
-		idx.generic = append(idx.generic, r)
+		idx.generic = append(idx.generic, indexedRule{r, ord})
 		return
 	}
-	if _, ok := idx.byKeyword[kw]; !ok {
-		idx.keywords = append(idx.keywords, kw)
-		sort.Strings(idx.keywords)
-	}
-	idx.byKeyword[kw] = append(idx.byKeyword[kw], r)
+	idx.byKeyword[kw] = append(idx.byKeyword[kw], indexedRule{r, ord})
 }
 
-func (idx *keywordIndex) match(q Request) *Rule {
-	u := strings.ToLower(q.URL)
-	for _, kw := range idx.keywords {
-		if !strings.Contains(u, kw) {
-			continue
-		}
-		for _, r := range idx.byKeyword[kw] {
-			if r.MatchRequest(q) {
-				return r
+// match returns the first matching rule in token-scan order (which rule
+// wins is irrelevant to the Decision; any match settles it). The URL's
+// token runs are walked inline rather than materialized: a duplicate token
+// merely re-probes a bucket whose rules already failed, so no
+// deduplication (and no allocation) is needed on this path.
+func (idx *keywordIndex) match(c *matchCtx) *Rule {
+	if len(idx.byKeyword) > 0 {
+		s := c.lowered
+		for i := 0; i < len(s); {
+			if !keywordChar(s[i]) {
+				i++
+				continue
 			}
+			j := i + 1
+			for j < len(s) && keywordChar(s[j]) {
+				j++
+			}
+			if j-i >= 3 {
+				for _, ir := range idx.byKeyword[s[i:j]] {
+					if ir.r.matchCtx(c) {
+						return ir.r
+					}
+				}
+			}
+			i = j
 		}
 	}
-	for _, r := range idx.generic {
-		if r.MatchRequest(q) {
-			return r
+	for _, ir := range idx.generic {
+		if ir.r.matchCtx(c) {
+			return ir.r
 		}
 	}
 	return nil
+}
+
+// appendMatches collects every matching rule into out (all-matches mode).
+// Buckets are disjoint, but a token that occurs twice in the URL probes its
+// bucket twice, so matches are deduplicated by ordinal against this call's
+// own output (the matching set is tiny); callers sort by ordinal to restore
+// insertion order.
+func (idx *keywordIndex) appendMatches(c *matchCtx, out []indexedRule) []indexedRule {
+	base := len(out)
+	if len(idx.byKeyword) > 0 {
+		s := c.lowered
+		for i := 0; i < len(s); {
+			if !keywordChar(s[i]) {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(s) && keywordChar(s[j]) {
+				j++
+			}
+			if j-i >= 3 {
+			bucket:
+				for _, ir := range idx.byKeyword[s[i:j]] {
+					if !ir.r.matchCtx(c) {
+						continue
+					}
+					for _, seen := range out[base:] {
+						if seen.ord == ir.ord {
+							continue bucket
+						}
+					}
+					out = append(out, ir)
+				}
+			}
+			i = j
+		}
+	}
+	for _, ir := range idx.generic {
+		if ir.r.matchCtx(c) {
+			out = append(out, ir)
+		}
+	}
+	return out
 }

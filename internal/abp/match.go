@@ -27,8 +27,9 @@ func (q Request) IsThirdParty() bool {
 	return !domainWithin(h, q.PageDomain)
 }
 
-// HostOf extracts the lower-cased host (without port or credentials) from an
-// absolute URL. It returns "" when the URL has no authority component.
+// HostOf extracts the lower-cased host (without port, credentials, or IPv6
+// brackets) from an absolute URL. It returns "" when the URL has no
+// authority component, and "" for an unterminated IPv6 literal.
 func HostOf(rawurl string) string {
 	s := rawurl
 	if i := strings.Index(s, "://"); i >= 0 {
@@ -44,6 +45,15 @@ func HostOf(rawurl string) string {
 	if i := strings.LastIndexByte(s, '@'); i >= 0 {
 		s = s[i+1:]
 	}
+	if strings.HasPrefix(s, "[") {
+		// IPv6 literal: the host is the bracketed section; a port can only
+		// follow the closing bracket, so the first ':' must not cut it.
+		end := strings.IndexByte(s, ']')
+		if end < 0 {
+			return ""
+		}
+		return strings.ToLower(s[1:end])
+	}
 	if i := strings.IndexByte(s, ':'); i >= 0 {
 		s = s[:i]
 	}
@@ -56,32 +66,74 @@ func domainWithin(host, domain string) bool {
 	return host == domain || strings.HasSuffix(host, "."+domain)
 }
 
+// matchCtx caches the per-request derived values — the lower-cased URL, the
+// request host, the third-party verdict — that every candidate rule of a
+// List lookup would otherwise recompute. It is built once per request and
+// threaded through the keyword index; it never escapes a single call.
+type matchCtx struct {
+	q       Request
+	lowered string // strings.ToLower(q.URL)
+
+	host     string
+	hasHost  bool
+	third    bool
+	hasThird bool
+}
+
+// newMatchCtx normalizes the request and pre-lowers its URL.
+func newMatchCtx(q Request) matchCtx {
+	if q.Type == "" {
+		q.Type = TypeOther
+	}
+	return matchCtx{q: q, lowered: strings.ToLower(q.URL)}
+}
+
+func (c *matchCtx) hostOf() string {
+	if !c.hasHost {
+		c.host = HostOf(c.q.URL)
+		c.hasHost = true
+	}
+	return c.host
+}
+
+func (c *matchCtx) isThirdParty() bool {
+	if !c.hasThird {
+		h := c.hostOf()
+		c.third = h != "" && c.q.PageDomain != "" && !domainWithin(h, c.q.PageDomain)
+		c.hasThird = true
+	}
+	return c.third
+}
+
 // MatchRequest reports whether the HTTP rule matches the request. It
 // evaluates the $ options (type, third-party, domain) and then the URL
 // pattern with its anchors. Element hiding rules never match requests.
 func (r *Rule) MatchRequest(q Request) bool {
+	c := newMatchCtx(q)
+	return r.matchCtx(&c)
+}
+
+// matchCtx is MatchRequest with the per-request work hoisted into c, so a
+// List lookup shares it across every candidate rule.
+func (r *Rule) matchCtx(c *matchCtx) bool {
 	if !r.IsHTTP() {
 		return false
 	}
-	if q.Type == "" {
-		q.Type = TypeOther
-	}
-	if len(r.Types) > 0 && !containsType(r.Types, q.Type) {
+	if len(r.Types) > 0 && !containsType(r.Types, c.q.Type) {
 		return false
 	}
-	if containsType(r.NotTypes, q.Type) {
+	if containsType(r.NotTypes, c.q.Type) {
 		return false
 	}
 	if r.ThirdParty != 0 {
-		tp := q.IsThirdParty()
-		if (r.ThirdParty > 0) != tp {
+		if (r.ThirdParty > 0) != c.isThirdParty() {
 			return false
 		}
 	}
 	if len(r.Domains) > 0 {
 		ok := false
 		for _, d := range r.Domains {
-			if domainWithin(q.PageDomain, d) {
+			if domainWithin(c.q.PageDomain, d) {
 				ok = true
 				break
 			}
@@ -91,11 +143,11 @@ func (r *Rule) MatchRequest(q Request) bool {
 		}
 	}
 	for _, d := range r.NotDomains {
-		if domainWithin(q.PageDomain, d) {
+		if domainWithin(c.q.PageDomain, d) {
 			return false
 		}
 	}
-	return r.matchURL(q.URL)
+	return r.matchURLCtx(c)
 }
 
 func containsType(ts []RequestType, t RequestType) bool {
@@ -107,42 +159,65 @@ func containsType(ts []RequestType, t RequestType) bool {
 	return false
 }
 
-// urlMatcher holds the pre-lowered pattern for repeated matching.
+// urlMatcher holds the pre-lowered pattern for repeated matching. Matchers
+// are built eagerly by Parse and NewList (see Rule.Precompile) so that a
+// compiled List is truly read-only for concurrent matchers.
 type urlMatcher struct {
 	pattern   string
 	matchCase bool
 }
 
-func (r *Rule) compile() *urlMatcher {
-	if r.matcher == nil {
-		p := r.Pattern
-		if !r.MatchCase {
-			p = strings.ToLower(p)
-		}
-		r.matcher = &urlMatcher{pattern: p, matchCase: r.MatchCase}
+// buildMatcher derives the matcher from the rule's pattern and options.
+func (r *Rule) buildMatcher() *urlMatcher {
+	p := r.Pattern
+	if !r.MatchCase {
+		p = strings.ToLower(p)
 	}
-	return r.matcher
+	return &urlMatcher{pattern: p, matchCase: r.MatchCase}
 }
 
-// matchURL applies the rule's URL pattern (with anchors) to an absolute URL.
-func (r *Rule) matchURL(rawurl string) bool {
-	m := r.compile()
-	u := rawurl
+// Precompile builds the rule's URL matcher eagerly. Parse calls it for
+// every HTTP rule it returns and NewList calls it for every rule it
+// indexes, so by the time a List is handed to concurrent readers no matcher
+// state is ever written again. It is idempotent and cheap for non-HTTP
+// rules.
+func (r *Rule) Precompile() {
+	if !r.IsHTTP() {
+		return
+	}
+	if r.matcher.Load() == nil {
+		r.matcher.Store(r.buildMatcher())
+	}
+}
+
+// matcherRef returns the compiled matcher, building it on the fly for rules
+// constructed by hand rather than through Parse/NewList. The fallback store
+// is atomic, so even un-precompiled rules are safe (if slower) to match
+// concurrently.
+func (r *Rule) matcherRef() *urlMatcher {
+	if m := r.matcher.Load(); m != nil {
+		return m
+	}
+	m := r.buildMatcher()
+	r.matcher.Store(m)
+	return m
+}
+
+// matchURLCtx applies the rule's URL pattern (with anchors) to the request
+// URL, reusing the context's pre-lowered copy for case-insensitive rules.
+func (r *Rule) matchURLCtx(c *matchCtx) bool {
+	m := r.matcherRef()
+	u := c.q.URL
 	if !m.matchCase {
-		u = strings.ToLower(u)
+		u = c.lowered
 	}
 	switch {
 	case r.DomainAnchor:
 		return matchDomainAnchored(m.pattern, u, r.EndAnchor)
 	case r.StartAnchor:
-		return matchHere(m.pattern, u, r.EndAnchor)
+		return globMatch(m.pattern, u, r.EndAnchor, false)
 	default:
-		for i := 0; i <= len(u); i++ {
-			if matchHere(m.pattern, u[i:], r.EndAnchor) {
-				return true
-			}
-		}
-		return false
+		return globMatch(m.pattern, u, r.EndAnchor, true)
 	}
 }
 
@@ -161,11 +236,11 @@ func matchDomainAnchored(pat, u string, endAnchor bool) bool {
 	if i := strings.IndexAny(u[hostStart:], "/?#"); i >= 0 {
 		hostEnd = hostStart + i
 	}
-	if matchHere(pat, u[hostStart:], endAnchor) {
+	if globMatch(pat, u[hostStart:], endAnchor, false) {
 		return true
 	}
 	for i := hostStart; i < hostEnd; i++ {
-		if u[i] == '.' && matchHere(pat, u[i+1:], endAnchor) {
+		if u[i] == '.' && globMatch(pat, u[i+1:], endAnchor, false) {
 			return true
 		}
 	}
@@ -184,75 +259,108 @@ func isSeparator(c byte) bool {
 	return true
 }
 
-// matchHere matches pat against a prefix of s (the whole of s when endAnchor
-// is set). '*' matches any run of characters; '^' matches one separator
-// character or the end of the URL.
-func matchHere(pat, s string, endAnchor bool) bool {
-	for len(pat) > 0 {
-		switch pat[0] {
-		case '*':
-			// Collapse consecutive stars, then try every split point.
-			rest := strings.TrimLeft(pat, "*")
-			if rest == "" {
-				return true // trailing '*' absorbs the remainder
+// globMatch matches pat against a prefix of s (the whole of s when
+// endAnchor is set). '*' matches any run of characters; '^' matches one
+// separator character or, zero-width, the end of the URL. With floating
+// set, the pattern may begin at any offset of s (a virtual leading '*').
+//
+// The matcher is an iterative two-pointer scan: it advances greedily and on
+// a mismatch backtracks to just after the most recent '*', restarting that
+// star's span one byte further. Remembering only the latest star is
+// sufficient because extending an earlier star can always be re-expressed
+// as extending the latest one, so the walk is O(len(pat)·len(s)) in the
+// worst case instead of the exponential recursion it replaces (consecutive
+// stars collapse for free: each one just moves the resume point).
+func globMatch(pat, s string, endAnchor, floating bool) bool {
+	pi, si := 0, 0
+	// starPi is the pattern index just after the last '*' seen; starSi the
+	// next input offset to retry it from. floating seeds a virtual star
+	// before the pattern, which is exactly "try every start offset".
+	starPi, starSi := -1, 0
+	if floating {
+		starPi, starSi = 0, 0
+	}
+	for {
+		if pi == len(pat) {
+			if !endAnchor || si == len(s) {
+				return true
 			}
-			for k := 0; k <= len(s); k++ {
-				if matchHere(rest, s[k:], endAnchor) {
-					return true
+			// Anchored to the end with input left over: only a wider star
+			// span can consume the remainder.
+		} else {
+			switch c := pat[pi]; c {
+			case '*':
+				pi++
+				starPi, starSi = pi, si
+				continue
+			case '^':
+				if si < len(s) && isSeparator(s[si]) {
+					pi++
+					si++
+					continue
+				}
+				if si == len(s) {
+					// '^' may match the end of the URL (zero-width).
+					pi++
+					continue
+				}
+			default:
+				if si < len(s) && s[si] == c {
+					pi++
+					si++
+					continue
 				}
 			}
-			return false
-		case '^':
-			if len(s) > 0 && isSeparator(s[0]) {
-				pat, s = pat[1:], s[1:]
-				continue
-			}
-			if len(s) == 0 {
-				// '^' may match the end of the URL.
-				pat = pat[1:]
-				continue
-			}
-			return false
-		default:
-			if len(s) > 0 && s[0] == pat[0] {
-				pat, s = pat[1:], s[1:]
-				continue
-			}
+		}
+		// Mismatch: backtrack to the last star, if it can still stretch.
+		if starPi < 0 || starSi >= len(s) {
 			return false
 		}
+		starSi++
+		pi, si = starPi, starSi
 	}
-	if endAnchor {
-		return len(s) == 0
-	}
-	return true
 }
 
-// Keyword returns the longest run of "stable" literal characters in the
-// rule's pattern, used by List to index rules so that only a few candidate
-// rules are inspected per URL. Returns "" when no useful keyword exists.
+// keywordChar reports whether c can appear inside an index keyword: the
+// lower-case alphanumerics plus '%'. Keyword extraction and URL
+// tokenization share this class; that shared alphabet is what makes the
+// token-hash lookup sound (see Rule.Keyword).
+func keywordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '%'
+}
+
+// Keyword returns the longest token-safe keyword in the rule's pattern, or
+// "" when none exists. List buckets rules by this keyword and looks buckets
+// up by the URL's own tokens, so a keyword is only usable when every URL the
+// rule matches is guaranteed to contain it as a complete token: the run must
+// be delimited on both sides, inside the pattern, by something that can
+// never be a keyword character in the matched URL — a literal non-keyword
+// character, a '^' separator, or an anchored pattern edge. Runs touching a
+// '*' or an unanchored pattern edge are skipped (the URL could extend them),
+// which is exactly the scheme production adblockers use.
 func (r *Rule) Keyword() string {
 	if !r.IsHTTP() {
 		return ""
 	}
 	pat := strings.ToLower(r.Pattern)
-	best, cur := "", strings.Builder{}
-	flush := func() {
-		if cur.Len() > len(best) {
-			best = cur.String()
-		}
-		cur.Reset()
-	}
-	for i := 0; i < len(pat); i++ {
-		c := pat[i]
-		if c == '*' || c == '^' || c == '|' {
-			flush()
+	best := ""
+	for i := 0; i < len(pat); {
+		if !keywordChar(pat[i]) {
+			i++
 			continue
 		}
-		cur.WriteByte(c)
-	}
-	flush()
-	if len(best) < 3 {
-		return ""
+		j := i + 1
+		for j < len(pat) && keywordChar(pat[j]) {
+			j++
+		}
+		leftOK := i > 0 && pat[i-1] != '*' ||
+			i == 0 && (r.StartAnchor || r.DomainAnchor)
+		rightOK := j < len(pat) && pat[j] != '*' ||
+			j == len(pat) && r.EndAnchor
+		if leftOK && rightOK && j-i >= 3 && j-i > len(best) {
+			best = pat[i:j]
+		}
+		i = j
 	}
 	return best
 }

@@ -19,6 +19,15 @@ func TestHostOf(t *testing.T) {
 		"not-a-url":                        "",
 		"http://example.com?x=1":           "example.com",
 		"http://example.com#frag":          "example.com",
+		// IPv6 literals: the bracketed host must survive intact instead of
+		// being truncated at its first ':'.
+		"http://[::1]:8080/x":               "::1",
+		"http://[2001:db8::1]/p":            "2001:db8::1",
+		"https://[2001:DB8::a]:443/q?x=1":   "2001:db8::a",
+		"http://u:p@[2001:db8::1]:8443/y":   "2001:db8::1",
+		"//[fe80::1]/asset.js":              "fe80::1",
+		"http://[broken":                    "",
+		"http://user:pw@example.com:8080/p": "example.com",
 	}
 	for in, want := range cases {
 		if got := HostOf(in); got != want {
@@ -159,10 +168,21 @@ func TestElemHideRuleNeverMatchesRequests(t *testing.T) {
 
 func TestKeywordExtraction(t *testing.T) {
 	cases := map[string]string{
-		"||pagefair.com^$third-party": "pagefair.com",
-		"/ads.js?":                    "/ads.js?",
-		"||a^":                        "",
-		"*^*":                         "",
+		"||pagefair.com^$third-party": "pagefair",
+		// "js" is too short and "ads" is the only run delimited on both
+		// sides by non-keyword literals.
+		"/ads.js?": "ads",
+		"||a^":     "",
+		"*^*":      "",
+		// The run before '*' could be extended by whatever the star
+		// matches, and the trailing "js" ends an unanchored pattern, so
+		// neither is token-safe: the rule must fall into the generic bucket.
+		"/abdetect007*.js$script": "",
+		// An end anchor makes the trailing run usable again.
+		"|http://x.com/detect.js|": "detect",
+		// '^' delimits like a literal separator: it can only match a
+		// non-keyword character or the end of the URL.
+		"||cdn.example^adsbygoogle^": "adsbygoogle",
 	}
 	for line, want := range cases {
 		r, err := Parse(line)
@@ -196,12 +216,7 @@ func TestMatchHereProperties(t *testing.T) {
 			return true
 		}
 		s := clean(pad1) + p + clean(pad2)
-		for i := 0; i <= len(s); i++ {
-			if matchHere(p, s[i:], false) {
-				return true
-			}
-		}
-		return false
+		return globMatch(p, s, false, true)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -107,6 +107,10 @@ func parseHTTP(raw, line string) (*Rule, error) {
 		return nil, ErrEmptyPattern
 	}
 	r.Pattern = line
+	// Compile the URL matcher now, while the rule is still private to this
+	// call: rule objects are shared across list revisions and concurrent
+	// readers, so matcher state must never be written lazily at match time.
+	r.Precompile()
 	return r, nil
 }
 

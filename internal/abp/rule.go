@@ -3,6 +3,7 @@ package abp
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind identifies the broad category of a filter rule.
@@ -157,7 +158,10 @@ type Rule struct {
 	// Selector is the element hiding selector (after "##" / "#@#").
 	Selector *Selector
 
-	matcher *urlMatcher // lazily compiled by compile()
+	// matcher is the compiled URL matcher. Parse and NewList populate it
+	// eagerly (Precompile); the atomic pointer keeps even hand-built rules
+	// race-free when first matched from several goroutines.
+	matcher atomic.Pointer[urlMatcher]
 }
 
 // IsException reports whether the rule is an exception (allow) rule.

@@ -67,6 +67,12 @@ type Selector struct {
 // String returns the original selector text.
 func (s *Selector) String() string { return s.Raw }
 
+// IndexKey returns the element id this selector demands, or "" when it can
+// match elements of any id. List uses it to bucket hiding rules: a selector
+// with a required #id can only ever match elements carrying exactly that
+// id, so lookups touch one bucket instead of every rule.
+func (s *Selector) IndexKey() string { return s.ID }
+
 // ParseSelector parses a compound simple selector such as
 // "#noticeMain", ".adblock-msg", "div#overlay", or "div[id=\"bait\"]".
 func ParseSelector(text string) (*Selector, error) {

@@ -49,14 +49,60 @@ func (l *PageLog) Triggered() bool { return len(l.HTTP) > 0 || len(l.HTML) > 0 }
 // URLs) against a list and returns the triggers. pageDomain scopes
 // $domain= and $third-party options.
 func MatchHTTPURLs(list *abp.List, urls []string, pageDomain string) []HTTPTrigger {
+	return matchHTTPURLs(list, urls, pageDomain, false)
+}
+
+// MatchHTTPURLsLinear is the ablation twin of MatchHTTPURLs: it bypasses
+// the list's keyword index and scans every rule. It exists so the replay
+// benchmarks and differential tests can compare the indexed path against
+// the reference linear scan; production callers want MatchHTTPURLs.
+func MatchHTTPURLsLinear(list *abp.List, urls []string, pageDomain string) []HTTPTrigger {
+	return matchHTTPURLs(list, urls, pageDomain, true)
+}
+
+func matchHTTPURLs(list *abp.List, urls []string, pageDomain string, linear bool) []HTTPTrigger {
 	var out []HTTPTrigger
 	for _, u := range urls {
 		q := abp.Request{URL: u, Type: guessType(u), PageDomain: pageDomain}
-		if dec, rule := list.MatchRequest(q); dec != abp.NoMatch {
+		var dec abp.Decision
+		var rule *abp.Rule
+		if linear {
+			dec, rule = list.MatchRequestLinear(q)
+		} else {
+			dec, rule = list.MatchRequest(q)
+		}
+		if dec != abp.NoMatch {
 			out = append(out, HTTPTrigger{URL: u, Rule: rule, Decision: dec})
 		}
 	}
 	return out
+}
+
+// DOMViews parses page HTML and adapts its elements to the filter engine's
+// element views, in document order. It is the one conversion every replay
+// path shares (archived snapshots, live pages, the coverage experiments).
+func DOMViews(html string) []*abp.Element {
+	root := web.ParseHTML(html)
+	if root == nil {
+		return nil
+	}
+	elems := root.Flatten()
+	views := make([]*abp.Element, len(elems))
+	for i, e := range elems {
+		views[i] = e.ToABP()
+	}
+	return views
+}
+
+// PageViews adapts a live page's DOM to the filter engine's element views,
+// in document order.
+func PageViews(page *web.Page) []*abp.Element {
+	elems := page.Elements()
+	views := make([]*abp.Element, len(elems))
+	for i, e := range elems {
+		views[i] = e.ToABP()
+	}
+	return views
 }
 
 // guessType infers the resource type from the URL path, like an adblocker
@@ -87,20 +133,15 @@ func guessType(u string) abp.RequestType {
 // given filter list subscribed, and returns the element hiding triggers —
 // §4.2's HTML-rule detection step.
 func OpenArchivedHTML(list *abp.List, html, pageDomain string) []HTMLTrigger {
-	root := web.ParseHTML(html)
-	if root == nil {
+	views := DOMViews(html)
+	if views == nil {
 		return nil
-	}
-	elems := root.Flatten()
-	views := make([]*abp.Element, len(elems))
-	for i, e := range elems {
-		views[i] = e.ToABP()
 	}
 	hidden := list.HiddenElements(pageDomain, views)
 	out := make([]HTMLTrigger, 0, len(hidden))
-	for i := 0; i < len(elems); i++ {
+	for i := range views {
 		if rule, ok := hidden[i]; ok {
-			out = append(out, HTMLTrigger{ElementID: elems[i].ID, Rule: rule})
+			out = append(out, HTMLTrigger{ElementID: views[i].ID, Rule: rule})
 		}
 	}
 	return out
@@ -130,15 +171,11 @@ func ReplayLivePage(list *abp.List, page *web.Page) *PageLog {
 		urls = append(urls, q.URL)
 	}
 	log.HTTP = MatchHTTPURLs(list, urls, page.Domain)
-	elems := page.Elements()
-	views := make([]*abp.Element, len(elems))
-	for i, e := range elems {
-		views[i] = e.ToABP()
-	}
+	views := PageViews(page)
 	hidden := list.HiddenElements(page.Domain, views)
-	for i := 0; i < len(elems); i++ {
+	for i := range views {
 		if rule, ok := hidden[i]; ok {
-			log.HTML = append(log.HTML, HTMLTrigger{ElementID: elems[i].ID, Rule: rule})
+			log.HTML = append(log.HTML, HTMLTrigger{ElementID: views[i].ID, Rule: rule})
 		}
 	}
 	return log

@@ -105,7 +105,7 @@ func SimulateVisit(cfg VisitConfig, page *web.Page, dep *antiadblock.Deployment)
 	if !detected && dep.Vendor.Technique.UsesHTML() && cfg.AdRules != nil {
 		// The bait element is an ad-like div; if the ad rules hide it,
 		// its geometry collapses and the probe fires.
-		views := pageViews(page)
+		views := PageViews(page)
 		if len(cfg.AdRules.HiddenElements(page.Domain, views)) > 0 {
 			detected = true
 		}
@@ -123,13 +123,4 @@ func SimulateVisit(cfg VisitConfig, page *web.Page, dep *antiadblock.Deployment)
 		}
 	}
 	return OutcomeWallShown
-}
-
-func pageViews(page *web.Page) []*abp.Element {
-	elems := page.Elements()
-	views := make([]*abp.Element, len(elems))
-	for i, e := range elems {
-		views[i] = e.ToABP()
-	}
-	return views
 }

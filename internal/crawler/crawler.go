@@ -150,47 +150,27 @@ func CrawlMonth(ctx context.Context, a *wayback.Archive, domains []string, month
 	}
 	c := &monthCrawler{a: a, month: month, cfg: cfg}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	var journalErr error
 	var journalOnce sync.Once
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if r, ok := done[domains[i]]; ok {
-					out.Results[i] = r
-					if cfg.Metrics != nil {
-						cfg.Metrics.Resumed.Add(1)
-					}
-					continue
-				}
-				r, err := c.crawlOne(ctx, domains[i])
-				if err != nil {
-					continue // cancelled mid-site: leave it pending
-				}
-				out.Results[i] = r
-				if cfg.Journal != nil {
-					if jerr := cfg.Journal.Record(month, r); jerr != nil {
-						journalOnce.Do(func() { journalErr = jerr })
-					}
-				}
+	err := ForEach(ctx, cfg.Workers, len(domains), func(i int) {
+		if r, ok := done[domains[i]]; ok {
+			out.Results[i] = r
+			if cfg.Metrics != nil {
+				cfg.Metrics.Resumed.Add(1)
 			}
-		}()
-	}
-	var err error
-feed:
-	for i := range domains {
-		select {
-		case <-ctx.Done():
-			err = ctx.Err()
-			break feed
-		case jobs <- i:
+			return
 		}
-	}
-	close(jobs)
-	wg.Wait()
+		r, err := c.crawlOne(ctx, domains[i])
+		if err != nil {
+			return // cancelled mid-site: leave it pending
+		}
+		out.Results[i] = r
+		if cfg.Journal != nil {
+			if jerr := cfg.Journal.Record(month, r); jerr != nil {
+				journalOnce.Do(func() { journalErr = jerr })
+			}
+		}
+	})
 	if err != nil {
 		// Cancelled: hand back the completed portion instead of
 		// discarding it. The month is incomplete, so the partial-HAR rule
@@ -426,34 +406,14 @@ func CrawlLive(ctx context.Context, src LiveSource, domains []string, cfg Config
 	for i, d := range domains {
 		out[i] = LiveResult{Domain: d}
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				p, ok := src.LivePage(domains[i])
-				if ok {
-					out[i] = LiveResult{Domain: domains[i], Page: p, Crawled: true}
-				} else {
-					out[i] = LiveResult{Domain: domains[i], Crawled: true}
-				}
-			}
-		}()
-	}
-	var err error
-feed:
-	for i := range domains {
-		select {
-		case <-ctx.Done():
-			err = ctx.Err()
-			break feed
-		case jobs <- i:
+	err := ForEach(ctx, cfg.Workers, len(domains), func(i int) {
+		p, ok := src.LivePage(domains[i])
+		if ok {
+			out[i] = LiveResult{Domain: domains[i], Page: p, Crawled: true}
+		} else {
+			out[i] = LiveResult{Domain: domains[i], Crawled: true}
 		}
-	}
-	close(jobs)
-	wg.Wait()
+	})
 	cfg.Metrics.observeLive(out)
 	return out, err
 }

@@ -24,10 +24,8 @@ type SharedDomainRules struct {
 // filter lists often have different rules to circumvent anti-adblockers
 // even for the same set of domains".
 func (l *Lab) SharedRuleExhibit(n int) []SharedDomainRules {
-	aakRev, _ := l.Lists.AAK.Latest()
-	celRev, _ := l.Lists.Combined.Latest()
-	aak := abp.NewList("aak", aakRev.Rules)
-	cel := abp.NewList("cel", celRev.Rules)
+	aak := l.Lists.AAK.LatestList()
+	cel := l.Lists.Combined.LatestList()
 
 	inAAK := map[string]bool{}
 	for _, d := range aak.Domains() {

@@ -62,5 +62,17 @@ func (l *Lab) histories() map[string]*abp.History {
 	}
 }
 
+// listsAt returns the compiled list versions in force at time t, keyed by
+// display name; an entry is nil before that list existed. Compiles come
+// from each history's per-revision cache, so the 60-month replay compiles
+// each revision once no matter how many months or shards consult it.
+func (l *Lab) listsAt(t time.Time) map[string]*abp.List {
+	out := make(map[string]*abp.List, 2)
+	for name, h := range l.histories() {
+		out[name] = h.ListAt(t)
+	}
+	return out
+}
+
 // ListNames orders the two list names as the paper's figures do.
 var ListNames = []string{"Combined EasyList", "Anti-Adblock Killer"}

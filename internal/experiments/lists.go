@@ -102,11 +102,10 @@ func (l *Lab) Table1() *Table1Result {
 		Counts:  make(map[string]map[string]int),
 	}
 	for name, h := range l.histories() {
-		rev, ok := h.Latest()
-		if !ok {
+		list := h.LatestList()
+		if list == nil {
 			continue
 		}
-		list := abp.NewList(name, rev.Rules)
 		counts := make(map[string]int)
 		for _, d := range list.Domains() {
 			counts[alexa.RankBucket(l.World.RankOf(d))]++
@@ -150,11 +149,10 @@ func (l *Lab) Fig2() *Fig2Result {
 		Percent:    make(map[string]map[alexa.Category]float64),
 	}
 	for name, h := range l.histories() {
-		rev, ok := h.Latest()
-		if !ok {
+		list := h.LatestList()
+		if list == nil {
 			continue
 		}
-		list := abp.NewList(name, rev.Rules)
 		domains := list.Domains()
 		counts := make(map[alexa.Category]int)
 		for _, d := range domains {
@@ -203,10 +201,8 @@ type OverlapResult struct {
 // Overlap reproduces the §3.3 comparison: domain counts, the set overlap,
 // exception:non-exception ratios, and per-revision churn.
 func (l *Lab) Overlap() *OverlapResult {
-	aakRev, _ := l.Lists.AAK.Latest()
-	celRev, _ := l.Lists.Combined.Latest()
-	aak := abp.NewList("aak", aakRev.Rules)
-	cel := abp.NewList("cel", celRev.Rules)
+	aak := l.Lists.AAK.LatestList()
+	cel := l.Lists.Combined.LatestList()
 
 	aakDomains := aak.Domains()
 	celDomains := cel.Domains()

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"strings"
 
-	"adwars/internal/abp"
+	"adwars/internal/browser"
 	"adwars/internal/crawler"
 )
 
@@ -17,6 +17,9 @@ type LiveConfig struct {
 	Workers int
 	// Metrics, when non-nil, accumulates crawl counters.
 	Metrics *crawler.Metrics
+	// Shards is the replay fan-out for per-site rule matching, merged
+	// deterministically like the retrospective replay. 0 means Workers.
+	Shards int
 }
 
 // LiveScript is a detected anti-adblock script from the live crawl, used
@@ -49,18 +52,18 @@ func (l *Lab) RunLive(ctx context.Context, cfg LiveConfig) (*LiveResult, error) 
 	if cfg.Workers <= 0 {
 		cfg.Workers = 10
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Workers
+	}
 	domains := l.World.TopDomains(cfg.TopN)
 	results, err := crawler.CrawlLive(ctx, l.World, domains, crawler.Config{Workers: cfg.Workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
 
-	lists := map[string]*abp.List{}
-	for name, h := range l.histories() {
-		if rev, ok := h.At(l.World.Cfg.LiveDate); ok {
-			lists[name] = abp.NewList(name, rev.Rules)
-		}
-	}
+	// The most recent list versions, from the shared per-revision compile
+	// cache (so the CLI's retro + live run compiles them once).
+	lists := l.listsAt(l.World.Cfg.LiveDate)
 
 	res := &LiveResult{
 		Total:           len(domains),
@@ -71,26 +74,46 @@ func (l *Lab) RunLive(ctx context.Context, cfg LiveConfig) (*LiveResult, error) 
 	thirdParty := map[string]int{}
 	seenScript := map[string]bool{}
 
-	for _, r := range results {
+	// Fan-out per-site matching, then fold sequentially in crawl order —
+	// same two-stage shape as ReplayRun.Run, so shard count never changes
+	// the rendered numbers.
+	replays := make([]siteReplay, len(results))
+	crawler.ForEach(context.Background(), cfg.Shards, len(results), func(i int) {
+		r := results[i]
 		if r.Page == nil {
-			continue
+			return
 		}
-		res.Reachable++
 		urls := make([]string, 0, len(r.Page.Requests))
 		for _, q := range r.Page.Requests {
 			urls = append(urls, q.URL)
 		}
-		views := make([]*abp.Element, 0, 16)
-		for _, e := range r.Page.Elements() {
-			views = append(views, e.ToABP())
+		views := browser.PageViews(r.Page)
+		rep := siteReplay{
+			blocked: make(map[string]map[string]bool, len(lists)),
+			htmlHit: make(map[string]bool, len(lists)),
 		}
-		matchedAny := false
-		for _, name := range ListNames {
-			list := lists[name]
+		for name, list := range lists {
 			if list == nil {
 				continue
 			}
-			blocked := blockedHTTP(list, urls, r.Domain)
+			rep.blocked[name] = blockedHTTP(list, urls, r.Domain, false)
+			rep.htmlHit[name] = len(list.HiddenElements(r.Domain, views)) > 0
+		}
+		replays[i] = rep
+	})
+
+	for i, r := range results {
+		if r.Page == nil {
+			continue
+		}
+		res.Reachable++
+		rep := replays[i]
+		matchedAny := false
+		for _, name := range ListNames {
+			if lists[name] == nil {
+				continue
+			}
+			blocked := rep.blocked[name]
 			if len(blocked) > 0 {
 				res.HTTPTriggered[name]++
 				if anyThirdParty(blocked, r.Domain) {
@@ -98,7 +121,7 @@ func (l *Lab) RunLive(ctx context.Context, cfg LiveConfig) (*LiveResult, error) 
 				}
 				matchedAny = true
 			}
-			if len(list.HiddenElements(r.Domain, views)) > 0 {
+			if rep.htmlHit[name] {
 				res.HTMLTriggered[name]++
 			}
 		}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"adwars/internal/abp"
+	"adwars/internal/simworld"
+)
+
+// replayLab is a small dedicated lab so the determinism tests can crawl
+// once and replay many times without disturbing the shared test lab.
+func replayLab(t *testing.T) (*Lab, *ReplayRun) {
+	t.Helper()
+	l := NewLab(simworld.Scaled(7, 40))
+	run, err := l.PrepareReplay(context.Background(), RetroConfig{
+		Months: l.RetroMonths(6),
+	})
+	if err != nil {
+		t.Fatalf("PrepareReplay: %v", err)
+	}
+	return l, run
+}
+
+// TestReplayShardDeterminism is the acceptance gate for the sharded
+// pipeline: one shard, many shards, and the linear-scan ablation must all
+// render byte-identical Figure 5/6 output and identical downstream
+// accounting — sharding changes wall-clock, never results.
+func TestReplayShardDeterminism(t *testing.T) {
+	_, run := replayLab(t)
+	seq := run.Run(1, false)
+	par := run.Run(8, false)
+	lin := run.Run(1, true)
+
+	for _, other := range []struct {
+		name string
+		res  *RetroResult
+	}{{"8 shards", par}, {"linear scan", lin}} {
+		if got, want := other.res.RenderFig5(), seq.RenderFig5(); got != want {
+			t.Errorf("%s: Figure 5 diverged\n--- sequential\n%s--- got\n%s", other.name, want, got)
+		}
+		if got, want := other.res.RenderFig6(), seq.RenderFig6(); got != want {
+			t.Errorf("%s: Figure 6 diverged\n--- sequential\n%s--- got\n%s", other.name, want, got)
+		}
+		if got, want := len(other.res.CorpusPos), len(seq.CorpusPos); got != want {
+			t.Errorf("%s: CorpusPos %d, want %d", other.name, got, want)
+		}
+		if got, want := len(other.res.CorpusNeg), len(seq.CorpusNeg); got != want {
+			t.Errorf("%s: CorpusNeg %d, want %d", other.name, got, want)
+		}
+		for _, name := range ListNames {
+			if got, want := other.res.ThirdPartyMatched[name], seq.ThirdPartyMatched[name]; got != want {
+				t.Errorf("%s: ThirdPartyMatched[%s] = %d, want %d", other.name, name, got, want)
+			}
+			if got, want := len(other.res.FirstMatch[name]), len(seq.FirstMatch[name]); got != want {
+				t.Errorf("%s: FirstMatch[%s] has %d sites, want %d", other.name, name, got, want)
+			}
+			for site, when := range seq.FirstMatch[name] {
+				if !other.res.FirstMatch[name][site].Equal(when) {
+					t.Errorf("%s: FirstMatch[%s][%s] = %v, want %v",
+						other.name, name, site, other.res.FirstMatch[name][site], when)
+				}
+			}
+		}
+	}
+	// The corpus order feeds §5's dataset split; it must match exactly,
+	// not just in size.
+	for i := range seq.CorpusPos {
+		if par.CorpusPos[i] != seq.CorpusPos[i] {
+			t.Fatalf("8 shards: CorpusPos[%d] differs", i)
+		}
+	}
+}
+
+// TestLiveShardDeterminism repeats the guarantee for the §4.3 crawl.
+func TestLiveShardDeterminism(t *testing.T) {
+	l := NewLab(simworld.Scaled(7, 40))
+	seq, err := l.RunLive(context.Background(), LiveConfig{Workers: 2, Shards: 1})
+	if err != nil {
+		t.Fatalf("RunLive sequential: %v", err)
+	}
+	par, err := l.RunLive(context.Background(), LiveConfig{Workers: 2, Shards: 8})
+	if err != nil {
+		t.Fatalf("RunLive sharded: %v", err)
+	}
+	if got, want := par.Render(), seq.Render(); got != want {
+		t.Errorf("live coverage diverged under sharding\n--- 1 shard\n%s--- 8 shards\n%s", want, got)
+	}
+	if len(par.Scripts) != len(seq.Scripts) {
+		t.Fatalf("live scripts: %d vs %d", len(par.Scripts), len(seq.Scripts))
+	}
+	for i := range seq.Scripts {
+		if par.Scripts[i] != seq.Scripts[i] {
+			t.Fatalf("live Scripts[%d] differs: %v vs %v", i, par.Scripts[i], seq.Scripts[i])
+		}
+	}
+}
+
+// TestIndexedAgreesWithLinearOverHistories is the differential test the
+// index satellite asks for: over the generated AAK/CEL histories and URL
+// populations drawn from real world pages, the indexed all-matches lookup
+// must return exactly what the linear reference scan returns.
+func TestIndexedAgreesWithLinearOverHistories(t *testing.T) {
+	l, _ := lab(t)
+	months := l.RetroMonths(12)
+	domains := l.World.TopDomains(60)
+	for _, month := range months {
+		for name, h := range l.histories() {
+			list := h.ListAt(month)
+			if list == nil {
+				continue
+			}
+			for _, d := range domains {
+				page, ok := l.World.PageAt(d, month)
+				if !ok {
+					continue
+				}
+				for _, rq := range page.Requests {
+					q := abp.Request{URL: rq.URL, Type: rq.Type, PageDomain: d}
+					got := list.MatchingHTTPRules(q)
+					want := list.MatchingHTTPRulesLinear(q)
+					if len(got) != len(want) {
+						t.Fatalf("%s at %s: %q: indexed %d rules, linear %d",
+							name, month.Format("2006-01"), rq.URL, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s at %s: %q: rule %d: %q vs %q",
+								name, month.Format("2006-01"), rq.URL, i, got[i].Raw, want[i].Raw)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"adwars/internal/listgen"
 	"adwars/internal/stats"
 	"adwars/internal/wayback"
-	"adwars/internal/web"
 )
 
 // RetroConfig parameterizes the retrospective measurement (§4.1–4.2).
@@ -40,6 +39,15 @@ type RetroConfig struct {
 	Resume bool
 	// Metrics, when non-nil, accumulates crawl counters for reporting.
 	Metrics *crawler.Metrics
+	// Shards is the replay fan-out: after each month's crawl, per-site
+	// rule matching runs across this many workers and the results are
+	// merged deterministically, so the figures are byte-identical to a
+	// sequential run. 0 means Workers.
+	Shards int
+	// LinearScan bypasses the lists' keyword index and matches every
+	// request against every rule — the reference baseline the benchmarks
+	// and differential tests compare the indexed path against.
+	LinearScan bool
 }
 
 // MonthCoverage is one month's measurement outcome.
@@ -73,8 +81,42 @@ type RetroResult struct {
 
 // RunRetrospective crawls monthly top-N snapshots through the archive and
 // replays each against the filter-list version in force at that time —
-// exactly the paper's Figure 4 pipeline.
+// exactly the paper's Figure 4 pipeline. The crawl and the replay are the
+// two halves of PrepareReplay + ReplayRun.Run; this runs both.
 func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResult, error) {
+	run, err := l.PrepareReplay(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return run.Run(cfg.Shards, cfg.LinearScan), nil
+}
+
+// ReplayRun holds one crawl's worth of monthly snapshots so the replay —
+// the pure matching half of the pipeline — can be repeated without
+// refetching. Snapshot HTML is parsed and HAR URLs truncated once, at
+// prepare time, so Run measures rule matching rather than DOM parsing.
+// Benchmarks crawl once and time Run under different shard counts and
+// match strategies; the determinism test asserts Run(1, …) and Run(n, …)
+// render identical figures.
+type ReplayRun struct {
+	lab     *Lab
+	months  []*crawler.MonthResult
+	inputs  [][]siteInput
+	exclude int
+	workers int
+}
+
+// siteInput is one crawled site-month reduced to what matching consumes:
+// live request URLs and the parsed DOM's element views.
+type siteInput struct {
+	urls  []string
+	views []*abp.Element
+}
+
+// PrepareReplay runs the crawl half of RunRetrospective: every month's
+// top-N snapshots fetched (with retry/backoff, checkpointing, and resume),
+// ready to be replayed against historic list versions.
+func (l *Lab) PrepareReplay(ctx context.Context, cfg RetroConfig) (*ReplayRun, error) {
 	if cfg.TopN <= 0 {
 		cfg.TopN = int(5000 * l.Scale())
 	}
@@ -121,7 +163,60 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 		Seed:    l.Seed,
 	}
 
+	run := &ReplayRun{lab: l, workers: cfg.Workers}
+	for _, month := range cfg.Months {
+		mr, err := crawler.CrawlMonth(ctx, arch, domains, month, crawlCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: crawl %s: %w", stats.MonthLabel(month), err)
+		}
+		// Reduce each snapshot to match inputs up front: URL truncation
+		// and HTML parsing are per-snapshot constants, so they belong to
+		// the crawl half, not the (repeatable) replay half.
+		inputs := make([]siteInput, len(mr.Results))
+		crawler.ForEach(ctx, cfg.Workers, len(mr.Results), func(i int) {
+			sr := mr.Results[i]
+			if sr.Status != crawler.StatusOK {
+				return
+			}
+			snap := sr.Snapshot
+			urls := make([]string, 0, len(snap.HAR.Entries))
+			for _, u := range snap.HAR.URLs() {
+				urls = append(urls, wayback.TruncateURL(u))
+			}
+			inputs[i] = siteInput{urls: urls, views: browser.DOMViews(snap.HTML)}
+		})
+		run.months = append(run.months, mr)
+		run.inputs = append(run.inputs, inputs)
+		run.exclude = mr.Counts[crawler.StatusExcluded]
+	}
+	return run, nil
+}
+
+// siteReplay is one site-month's match outcome against every list in
+// force: the blocked-URL set and whether any element-hiding rule fired.
+// Computing it is the embarrassingly parallel half of the replay; folding
+// it into RetroResult stays sequential because FirstMatch, the third-party
+// tallies, and the corpus dedup/cap depend on visit order.
+type siteReplay struct {
+	blocked map[string]map[string]bool
+	htmlHit map[string]bool
+}
+
+// Run replays every crawled month against the filter-list version in force
+// at that time (§4.2 uses historic versions, not the final lists). Per-site
+// matching fans out across shards workers; the fold runs sequentially in
+// (month, site, list) order, so any shard count renders the same bytes.
+//
+// linear reproduces the pre-index pipeline as the ablation baseline: every
+// request is matched against every rule, and the month's lists are
+// recompiled from their revisions instead of coming from the per-revision
+// cache — the two costs the indexed, cached replay exists to remove.
+func (rr *ReplayRun) Run(shards int, linear bool) *RetroResult {
+	if shards <= 0 {
+		shards = rr.workers
+	}
 	res := &RetroResult{
+		Excluded:          rr.exclude,
 		FirstMatch:        map[string]map[string]time.Time{},
 		ThirdPartyMatched: map[string]int{},
 	}
@@ -131,11 +226,8 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 	posSeen := map[string]bool{}
 	negSeen := map[string]bool{}
 
-	for _, month := range cfg.Months {
-		mr, err := crawler.CrawlMonth(ctx, arch, domains, month, crawlCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: crawl %s: %w", stats.MonthLabel(month), err)
-		}
+	for mi, mr := range rr.months {
+		month := mr.Month
 		cov := MonthCoverage{
 			Month:         month,
 			NotArchived:   mr.Counts[crawler.StatusNotArchived],
@@ -144,34 +236,47 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 			HTTPTriggered: map[string]int{},
 			HTMLTriggered: map[string]int{},
 		}
-		res.Excluded = mr.Counts[crawler.StatusExcluded]
-
-		// The list versions in force this month (§4.2 uses historic
-		// versions, not the final lists).
-		lists := map[string]*abp.List{}
-		for name, h := range l.histories() {
-			lists[name] = h.ListAt(month) // nil before the list existed
+		var lists map[string]*abp.List
+		if linear {
+			// Baseline cost model: one fresh compile per list per month,
+			// like the pipeline before the per-revision cache.
+			lists = make(map[string]*abp.List, 2)
+			for name, h := range rr.lab.histories() {
+				if rev, ok := h.At(month); ok {
+					lists[name] = abp.NewList(name, rev.Rules)
+				} else {
+					lists[name] = nil
+				}
+			}
+		} else {
+			lists = rr.lab.listsAt(month)
 		}
 
-		for _, sr := range mr.Results {
+		// Fan-out: match every surviving site against every list. The
+		// compiled lists are shared across workers — they are immutable
+		// and race-free by construction (see abp: precompiled matchers).
+		inputs := rr.inputs[mi]
+		replays := make([]siteReplay, len(mr.Results))
+		crawler.ForEach(context.Background(), shards, len(mr.Results), func(i int) {
+			if mr.Results[i].Status != crawler.StatusOK {
+				return
+			}
+			replays[i] = replaySite(lists, mr.Results[i].Domain, inputs[i], linear)
+		})
+
+		// Fold: sequential, in crawl order — identical accounting to the
+		// old one-site-at-a-time loop.
+		for i, sr := range mr.Results {
 			if sr.Status != crawler.StatusOK {
 				continue
 			}
-			snap := sr.Snapshot
-			urls := make([]string, 0, len(snap.HAR.Entries))
-			for _, u := range snap.HAR.URLs() {
-				urls = append(urls, wayback.TruncateURL(u))
-			}
-			// Parse archived HTML once; both lists reuse the DOM.
-			views := domViews(snap.HTML)
-
+			rep := replays[i]
 			siteMatched := false
 			for _, name := range ListNames {
-				list := lists[name]
-				if list == nil {
+				if lists[name] == nil {
 					continue
 				}
-				blockedURLs := blockedHTTP(list, urls, sr.Domain)
+				blockedURLs := rep.blocked[name]
 				if len(blockedURLs) > 0 {
 					cov.HTTPTriggered[name]++
 					if _, ok := res.FirstMatch[name][sr.Domain]; !ok {
@@ -181,9 +286,9 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 						}
 					}
 					siteMatched = true
-					collectPositives(snap, blockedURLs, posSeen, &res.CorpusPos)
+					collectPositives(sr.Snapshot, blockedURLs, posSeen, &res.CorpusPos)
 				}
-				if len(list.HiddenElements(sr.Domain, views)) > 0 {
+				if rep.htmlHit[name] {
 					cov.HTMLTriggered[name]++
 				}
 			}
@@ -191,33 +296,41 @@ func (l *Lab) RunRetrospective(ctx context.Context, cfg RetroConfig) (*RetroResu
 				// Keep the pool generously oversized; Corpus.trim
 				// enforces the final 10:1 imbalance uniformly, so the
 				// negative class spans the whole crawl window.
-				collectNegatives(snap, negSeen, &res.CorpusNeg, 25*len(posSeen)+500)
+				collectNegatives(sr.Snapshot, negSeen, &res.CorpusNeg, 25*len(posSeen)+500)
 			}
 		}
 		res.Months = append(res.Months, cov)
 	}
-	return res, nil
+	return res
 }
 
-// domViews parses archived HTML into the filter engine's element views.
-func domViews(html string) []*abp.Element {
-	root := web.ParseHTML(html)
-	if root == nil {
-		return nil
+// replaySite matches one prepared site-month against every list in force:
+// its live request URLs against the HTTP rules and its parsed DOM (shared
+// by every list) against the element-hiding rules.
+func replaySite(lists map[string]*abp.List, domain string, in siteInput, linear bool) siteReplay {
+	rep := siteReplay{
+		blocked: make(map[string]map[string]bool, len(lists)),
+		htmlHit: make(map[string]bool, len(lists)),
 	}
-	elems := root.Flatten()
-	views := make([]*abp.Element, len(elems))
-	for i, e := range elems {
-		views[i] = e.ToABP()
+	for name, list := range lists {
+		if list == nil {
+			continue
+		}
+		rep.blocked[name] = blockedHTTP(list, in.urls, domain, linear)
+		rep.htmlHit[name] = len(list.HiddenElements(domain, in.views)) > 0
 	}
-	return views
+	return rep
 }
 
 // blockedHTTP returns the set of URLs a list's blocking rules match
 // (exception-allowed requests do not make a site "anti-adblocking").
-func blockedHTTP(list *abp.List, urls []string, pageDomain string) map[string]bool {
+func blockedHTTP(list *abp.List, urls []string, pageDomain string, linear bool) map[string]bool {
+	match := browser.MatchHTTPURLs
+	if linear {
+		match = browser.MatchHTTPURLsLinear
+	}
 	var blocked map[string]bool
-	for _, trig := range browser.MatchHTTPURLs(list, urls, pageDomain) {
+	for _, trig := range match(list, urls, pageDomain) {
 		if trig.Decision == abp.Blocked {
 			if blocked == nil {
 				blocked = map[string]bool{}

@@ -78,7 +78,11 @@ func Scaled(seed int64, k int) Config {
 	return cfg
 }
 
-// World is the generated synthetic web.
+// World is the generated synthetic web. Once New returns, a World is
+// immutable: every accessor (PageAt, LivePage, TopDomains, RankOf, …)
+// derives its answer from frozen state and per-call hashes, so a single
+// World is safe for concurrent use by crawler workers and replay shards
+// without locking.
 type World struct {
 	Cfg      Config
 	Universe *alexa.Universe

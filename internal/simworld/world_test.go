@@ -1,6 +1,7 @@
 package simworld
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -268,5 +269,55 @@ func TestCategoryOfCoversTail(t *testing.T) {
 	s, _ := w.Universe.Site(top)
 	if w.CategoryOf(top) != s.Category {
 		t.Error("universe category mismatch")
+	}
+}
+
+// TestConcurrentPageAt pins the documented guarantee that a built World is
+// read-only: crawler workers and replay shards call PageAt/LivePage on the
+// same World concurrently, and every worker must see the sequential
+// baseline exactly. Run under `go test -race`.
+func TestConcurrentPageAt(t *testing.T) {
+	w := New(Scaled(9, 50))
+	domains := w.TopDomains(40)
+	when := time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	type key struct {
+		domain string
+		urls   int
+		elems  int
+	}
+	baseline := make([]key, len(domains))
+	for i, d := range domains {
+		p, ok := w.PageAt(d, when)
+		if !ok {
+			t.Fatalf("PageAt(%s) missing", d)
+		}
+		baseline[i] = key{d, len(p.Requests), len(p.Elements())}
+	}
+
+	done := make(chan error, 8)
+	for worker := 0; worker < 8; worker++ {
+		go func() {
+			for i, d := range domains {
+				p, ok := w.PageAt(d, when)
+				if !ok {
+					done <- fmt.Errorf("PageAt(%s) missing under concurrency", d)
+					return
+				}
+				got := key{d, len(p.Requests), len(p.Elements())}
+				if got != baseline[i] {
+					done <- fmt.Errorf("PageAt(%s) = %+v, want %+v", d, got, baseline[i])
+					return
+				}
+				w.LivePage(d)
+				w.RankOf(d)
+			}
+			done <- nil
+		}()
+	}
+	for worker := 0; worker < 8; worker++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
