@@ -26,16 +26,28 @@ verify: build vet test race bench-smoke
 # internal/abp plus the full-replay benchmarks from the repo root. The
 # report's replay_speedup_indexed_vs_linear field is the acceptance
 # criterion for the indexed match path (≥ 3x over the linear scan).
+# It also records the §5 detection-pipeline profile in BENCH_ml.json:
+# extraction, selection, and train+CV benchmarks from the ml, features,
+# and experiments packages. The report's ml_speedup_cached_vs_sequential
+# field is the acceptance criterion for the kernel-cached parallel
+# pipeline (≥ 2x over the uncached sequential reference).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplay' -benchmem . > /tmp/adwars-bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkList(Compile|Match)|BenchmarkMatchingHTTPRules|BenchmarkGlobPathological|BenchmarkElementHiding' -benchmem ./internal/abp >> /tmp/adwars-bench.txt
 	$(GO) run ./cmd/benchjson -out BENCH_replay.json < /tmp/adwars-bench.txt
 	@cat BENCH_replay.json
+	$(GO) test -run '^$$' -bench 'BenchmarkML' -benchmem ./internal/experiments > /tmp/adwars-bench-ml.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTrain|BenchmarkPredict|BenchmarkRBFKernel' -benchmem ./internal/ml >> /tmp/adwars-bench-ml.txt
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/features >> /tmp/adwars-bench-ml.txt
+	$(GO) run ./cmd/benchjson -out BENCH_ml.json < /tmp/adwars-bench-ml.txt
+	@cat BENCH_ml.json
 
-# bench-smoke runs each replay benchmark exactly once and checks the JSON
-# pipeline end to end (no timings recorded — the 1x numbers are noise).
+# bench-smoke runs each headline benchmark exactly once and checks the
+# JSON pipeline end to end (no timings recorded — the 1x numbers are
+# noise). The ML leg runs -short so verify stays fast.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplay(Indexed|LinearScan)$$' -benchtime 1x . | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-smoke.json
+	$(GO) test -short -run '^$$' -bench 'BenchmarkMLTrainCV(Sequential|Cached)$$' -benchtime 1x ./internal/experiments | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-ml-smoke.json
 	@echo "bench-smoke: pipeline ok"
 
 # fault-check exercises the headline robustness claim end to end: the

@@ -319,7 +319,7 @@ func BenchmarkLiveScriptDetection(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, 42)
+		res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, 42, experiments.PipelineConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}

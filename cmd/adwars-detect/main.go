@@ -6,6 +6,13 @@
 // Usage:
 //
 //	adwars-detect [-scale N] [-seed S] [-folds K] [-maxsamples M] [-topk list]
+//	              [-workers W] [-kernel-cache E] [-sequential]
+//
+// -workers sets the fan-out width for extraction, feature selection, and
+// cross-validation (0 = GOMAXPROCS); -kernel-cache bounds the SMO Gram
+// cache in entries (0 = default budget, -1 = uncached); -sequential forces
+// the single-worker uncached reference pipeline. All three change only
+// performance: results are bit-identical across settings.
 package main
 
 import (
@@ -28,7 +35,16 @@ func main() {
 	folds := flag.Int("folds", 10, "cross-validation folds")
 	maxSamples := flag.Int("maxsamples", 1100, "corpus cap (0 = unlimited)")
 	topkFlag := flag.String("topk", "100,1000", "comma-separated feature budgets")
+	workers := flag.Int("workers", 0, "pipeline fan-out width (0 = GOMAXPROCS)")
+	kernelCache := flag.Int("kernel-cache", 0, "SMO Gram-cache entries (0 = default, -1 = uncached)")
+	sequential := flag.Bool("sequential", false, "single-worker uncached reference pipeline")
 	flag.Parse()
+
+	pipe := experiments.PipelineConfig{
+		Workers:     *workers,
+		KernelCache: *kernelCache,
+		Sequential:  *sequential,
+	}
 
 	var topk []int
 	for _, s := range strings.Split(*topkFlag, ",") {
@@ -67,6 +83,7 @@ func main() {
 	fmt.Fprintln(os.Stderr, "running Table 3 sweep...")
 	rows3, err := experiments.Table3(corpus, experiments.Table3Config{
 		TopK: topk, Folds: *folds, Seed: *seed, MaxSamples: *maxSamples,
+		Pipeline: pipe,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +95,7 @@ func main() {
 		100*best.TPRate, 100*best.FPRate)
 
 	fmt.Fprintln(os.Stderr, "running signature-baseline comparison...")
-	base, err := experiments.CompareBaselines(corpus, *seed)
+	base, err := experiments.CompareBaselines(corpus, *seed, pipe)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +108,7 @@ func main() {
 	}
 	// Ranks are paper-scale (effective), so the training cut is always
 	// the top-5K regardless of world scale.
-	res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, *seed)
+	res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, *seed, pipe)
 	if err != nil {
 		log.Fatal(err)
 	}

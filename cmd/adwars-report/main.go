@@ -96,7 +96,7 @@ func main() {
 	}
 	fmt.Println(experiments.RenderTable3(rows3))
 
-	base, err := experiments.CompareBaselines(corpus, *seed)
+	base, err := experiments.CompareBaselines(corpus, *seed, experiments.PipelineConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func main() {
 	}
 	fmt.Println(experiments.RenderTopFeatures(top, features.SetKeyword))
 
-	res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, *seed)
+	res, err := experiments.LiveModelTest(corpus, live.Scripts, 5000, *seed, experiments.PipelineConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

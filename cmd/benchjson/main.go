@@ -41,6 +41,11 @@ type Report struct {
 	// ns/op(ReplayIndexed) — the acceptance criterion for the indexed
 	// replay (must be ≥ 3 on a full benchmark run).
 	ReplaySpeedupIndexedVsLinear float64 `json:"replay_speedup_indexed_vs_linear,omitempty"`
+	// MLSpeedupCachedVsSequential is ns/op(MLTrainCVSequential) divided by
+	// ns/op(MLTrainCVCached) — the end-to-end train+CV win of the
+	// kernel-cached parallel pipeline over the uncached sequential
+	// reference (must be ≥ 2 on a full benchmark run).
+	MLSpeedupCachedVsSequential float64 `json:"ml_speedup_cached_vs_sequential,omitempty"`
 }
 
 func main() {
@@ -89,17 +94,24 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	var indexed, linear float64
+	var indexed, linear, mlSeq, mlCached float64
 	for _, b := range rep.Benchmarks {
 		switch b.Name {
 		case "ReplayIndexed":
 			indexed = b.NsPerOp
 		case "ReplayLinearScan":
 			linear = b.NsPerOp
+		case "MLTrainCVSequential":
+			mlSeq = b.NsPerOp
+		case "MLTrainCVCached":
+			mlCached = b.NsPerOp
 		}
 	}
 	if indexed > 0 && linear > 0 {
 		rep.ReplaySpeedupIndexedVsLinear = linear / indexed
+	}
+	if mlSeq > 0 && mlCached > 0 {
+		rep.MLSpeedupCachedVsSequential = mlSeq / mlCached
 	}
 	return rep, nil
 }

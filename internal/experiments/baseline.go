@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"adwars/internal/features"
-	"adwars/internal/ml"
 	"adwars/internal/signatures"
 )
 
@@ -21,7 +20,7 @@ type BaselineResult struct {
 // configuration (AdaBoost+SVM, keyword top-1K, 10-fold CV) on one corpus.
 // The ML classifier should dominate on randomized builds while signatures
 // stay near-zero FP — the trade-off §5 motivates.
-func CompareBaselines(c *Corpus, seed int64) (*BaselineResult, error) {
+func CompareBaselines(c *Corpus, seed int64, pipe PipelineConfig) (*BaselineResult, error) {
 	corpus := c.trim(0, seed)
 	out := &BaselineResult{Matched: map[string]int{}}
 
@@ -35,7 +34,7 @@ func CompareBaselines(c *Corpus, seed int64) (*BaselineResult, error) {
 		}
 	}
 
-	ds, err := buildDataset(corpus, features.SetKeyword, 1000)
+	ds, err := buildDataset(corpus, features.SetKeyword, 1000, pipe)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +42,7 @@ func CompareBaselines(c *Corpus, seed int64) (*BaselineResult, error) {
 	if n := positiveCount(ds); n < folds {
 		folds = n
 	}
-	conf, err := ml.CrossValidate(ds, folds, ml.AdaBoostTrainer(ml.DefaultAdaBoostConfig()), seed)
+	conf, err := crossValidate(ds, folds, seed, pipe, true)
 	if err != nil {
 		return nil, err
 	}

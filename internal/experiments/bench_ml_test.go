@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"adwars/internal/features"
+	"adwars/internal/ml"
+)
+
+func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// benchPipelineCorpus sizes the bench corpus: small under -short (the
+// `make verify` smoke) and large enough to exercise the kernel cache and
+// AdaBoost rounds otherwise.
+func benchPipelineCorpus(b *testing.B) *Corpus {
+	b.Helper()
+	if testing.Short() {
+		return pipelineCorpus(10, 40, 11)
+	}
+	return pipelineCorpus(20, 120, 11)
+}
+
+func benchDatasetKeyword(b *testing.B, c *Corpus, pipe PipelineConfig) *features.Dataset {
+	b.Helper()
+	ds, err := buildDataset(c, features.SetKeyword, 500, pipe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// benchTrainCV runs the headline train+CV workload (AdaBoost+SVM, 10-fold)
+// under one pipeline configuration and asserts every iteration reproduces
+// the same confusion — the bench doubles as a determinism check.
+func benchTrainCV(b *testing.B, pipe PipelineConfig) {
+	c := benchPipelineCorpus(b)
+	ds := benchDatasetKeyword(b, c, pipe)
+	folds := 10
+	if n := positiveCount(ds); n < folds {
+		folds = n
+	}
+	first, err := crossValidate(ds, folds, 7, pipe, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conf, err := crossValidate(ds, folds, 7, pipe, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if conf != first {
+			b.Fatalf("nondeterministic CV: %+v != %+v", conf, first)
+		}
+	}
+}
+
+// BenchmarkMLTrainCVSequential is the reference pipeline: one worker, no
+// kernel cache, legacy per-fold cross-validation. This is the baseline the
+// speedup acceptance in BENCH_ml.json is computed against.
+func BenchmarkMLTrainCVSequential(b *testing.B) {
+	benchTrainCV(b, PipelineConfig{Sequential: true})
+}
+
+// BenchmarkMLTrainCVCached is the optimized pipeline: shared Gram matrix
+// across AdaBoost rounds and CV folds, cached kernel evaluations, worker
+// fan-out over folds.
+func BenchmarkMLTrainCVCached(b *testing.B) {
+	benchTrainCV(b, PipelineConfig{})
+}
+
+// BenchmarkMLExtract measures corpus feature extraction (parse + unpack +
+// Extract) through the parallel fan-out.
+func BenchmarkMLExtract(b *testing.B) {
+	c := benchPipelineCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildDatasetRaw(c, features.SetKeyword, PipelineConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLSelect measures the selection pipeline (variance filter,
+// hash-based dedup, chi-square top-k) on the raw keyword dataset.
+func BenchmarkMLSelect(b *testing.B) {
+	c := benchPipelineCorpus(b)
+	raw, err := buildDatasetRaw(c, features.SetKeyword, PipelineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := PipelineConfig{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw.SelectPipelineWorkers(500, pipe.workers())
+	}
+}
+
+// BenchmarkMLTrainAdaBoostCached isolates ensemble training (no CV) with
+// the shared-Gram cache, for comparison against internal/ml's uncached
+// component benchmarks.
+func BenchmarkMLTrainAdaBoostCached(b *testing.B) {
+	c := benchPipelineCorpus(b)
+	pipe := PipelineConfig{}
+	ds := benchDatasetKeyword(b, c, pipe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := newBenchRng()
+		if _, err := ml.TrainAdaBoost(ds, pipe.adaboost(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLTrainAdaBoostUncached is the same workload with the cache
+// disabled — the per-component cost the Gram cache removes.
+func BenchmarkMLTrainAdaBoostUncached(b *testing.B) {
+	c := benchPipelineCorpus(b)
+	pipe := PipelineConfig{Sequential: true}
+	ds := benchDatasetKeyword(b, c, pipe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := newBenchRng()
+		if _, err := ml.TrainAdaBoost(ds, pipe.adaboost(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -72,7 +72,7 @@ func TestCompareBaselines(t *testing.T) {
 	}
 	_, r := lab(t)
 	c := &Corpus{Positives: r.CorpusPos, Negatives: r.CorpusNeg}
-	res, err := CompareBaselines(c, 7)
+	res, err := CompareBaselines(c, 7, PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -10,6 +12,59 @@ import (
 	"adwars/internal/jsast"
 	"adwars/internal/ml"
 )
+
+// PipelineConfig controls how the §5 detection pipeline executes — worker
+// fan-out for extraction/selection/CV and the SMO kernel-cache budget.
+// It never changes results: every parallel stage merges in corpus order
+// and the kernel cache is bit-transparent, so outputs are identical to the
+// sequential baseline at any setting (asserted by the differential tests).
+type PipelineConfig struct {
+	// Workers is the fan-out width for extraction, feature selection, and
+	// cross-validation folds (0 = GOMAXPROCS).
+	Workers int
+	// KernelCache is the Gram-cache entry budget passed to the trainers
+	// (0 = ml.DefaultKernelCache, <0 = no caching).
+	KernelCache int
+	// Sequential forces the single-worker, uncached reference pipeline —
+	// the baseline the parallel path is measured (and differentially
+	// tested) against. It overrides Workers and KernelCache.
+	Sequential bool
+}
+
+func (p PipelineConfig) workers() int {
+	if p.Sequential {
+		return 1
+	}
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p PipelineConfig) kernelCache() int {
+	if p.Sequential {
+		return -1
+	}
+	return p.KernelCache
+}
+
+// svm returns the default SVM config with the pipeline's cache and worker
+// settings applied.
+func (p PipelineConfig) svm() ml.SVMConfig {
+	cfg := ml.DefaultSVMConfig()
+	cfg.KernelCache = p.kernelCache()
+	cfg.Workers = p.workers()
+	return cfg
+}
+
+// adaboost returns the default AdaBoost config with the pipeline's cache
+// and worker settings applied.
+func (p PipelineConfig) adaboost() ml.AdaBoostConfig {
+	cfg := ml.DefaultAdaBoostConfig()
+	cfg.SVM.KernelCache = p.kernelCache()
+	cfg.SVM.Workers = p.workers()
+	return cfg
+}
 
 // ---- Table 2: example features ----
 
@@ -100,6 +155,9 @@ type Table3Config struct {
 	// MaxSamples optionally subsamples the corpus to bound runtime
 	// (0 = use everything).
 	MaxSamples int
+	// Pipeline controls execution (worker fan-out, kernel cache). The
+	// zero value runs fully parallel with the default cache budget.
+	Pipeline PipelineConfig
 }
 
 // DefaultTable3Config mirrors the paper's sweep.
@@ -147,36 +205,41 @@ func (c *Corpus) trim(maxSamples int, seed int64) *Corpus {
 // buildDatasetRaw extracts features for the corpus under one feature set
 // (no selection). Feature extraction is the expensive step, so callers
 // sweeping several feature budgets extract once and select per budget.
-func buildDatasetRaw(c *Corpus, set features.Set) (*features.Dataset, error) {
-	var sets []map[string]bool
-	var labels []int
-	for _, src := range c.Positives {
-		fs, err := features.ExtractSource(src, set)
-		if err != nil {
+// Extraction fans out over pipe.workers(); unparseable scripts drop out
+// (as in the paper) and the surviving sets are compacted in corpus order,
+// so the dataset is identical to a sequential ExtractSource loop.
+func buildDatasetRaw(c *Corpus, set features.Set, pipe PipelineConfig) (*features.Dataset, error) {
+	srcs := make([]string, 0, len(c.Positives)+len(c.Negatives))
+	srcs = append(srcs, c.Positives...)
+	srcs = append(srcs, c.Negatives...)
+	fsets, errs, err := features.ExtractAll(context.Background(), srcs, set, pipe.workers())
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]map[string]bool, 0, len(srcs))
+	labels := make([]int, 0, len(srcs))
+	for i := range srcs {
+		if errs[i] != nil {
 			continue // unparseable scripts drop out, as in the paper
 		}
-		sets = append(sets, fs)
-		labels = append(labels, +1)
-	}
-	for _, src := range c.Negatives {
-		fs, err := features.ExtractSource(src, set)
-		if err != nil {
-			continue
+		sets = append(sets, fsets[i])
+		if i < len(c.Positives) {
+			labels = append(labels, +1)
+		} else {
+			labels = append(labels, -1)
 		}
-		sets = append(sets, fs)
-		labels = append(labels, -1)
 	}
 	return features.Build(sets, labels)
 }
 
 // buildDataset extracts features for the corpus under one feature set and
 // applies the paper's selection pipeline.
-func buildDataset(c *Corpus, set features.Set, topK int) (*features.Dataset, error) {
-	ds, err := buildDatasetRaw(c, set)
+func buildDataset(c *Corpus, set features.Set, topK int, pipe PipelineConfig) (*features.Dataset, error) {
+	ds, err := buildDatasetRaw(c, set, pipe)
 	if err != nil {
 		return nil, err
 	}
-	return ds.SelectPipeline(topK), nil
+	return ds.SelectPipelineWorkers(topK, pipe.workers()), nil
 }
 
 // Table3 runs the paper's classifier sweep: {all, literal, keyword} ×
@@ -187,37 +250,58 @@ func Table3(c *Corpus, cfg Table3Config) ([]Table3Row, error) {
 		return nil, fmt.Errorf("experiments: only %d positives for %d folds",
 			len(corpus.Positives), cfg.Folds)
 	}
+	pipe := cfg.Pipeline
+	w := pipe.workers()
 	var rows []Table3Row
 	for _, set := range features.Sets {
-		raw, err := buildDatasetRaw(corpus, set)
+		raw, err := buildDatasetRaw(corpus, set, pipe)
 		if err != nil {
 			return nil, err
 		}
-		base := raw.FilterVariance(0.01).DeduplicateColumns()
+		base := raw.FilterVarianceWorkers(0.01, w).DeduplicateColumnsWorkers(w)
 		for _, k := range cfg.TopK {
-			ds := base.SelectTopChiSquare(k)
-			for _, clf := range []struct {
-				name    string
-				trainer ml.Trainer
-			}{
-				{"AdaBoost + SVM", ml.AdaBoostTrainer(ml.DefaultAdaBoostConfig())},
-				{"SVM", ml.SVMTrainer(ml.DefaultSVMConfig())},
-			} {
-				conf, err := ml.CrossValidate(ds, cfg.Folds, clf.trainer, cfg.Seed)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Table3Row{
-					Classifier:  clf.name,
-					FeatureSet:  set,
-					NumFeatures: ds.NumFeatures(),
-					TPRate:      conf.TPRate(),
-					FPRate:      conf.FPRate(),
-				})
+			ds := base.SelectTopChiSquareWorkers(k, w)
+			conf, err := crossValidate(ds, cfg.Folds, cfg.Seed, pipe, true)
+			if err != nil {
+				return nil, err
 			}
+			rows = append(rows, table3Row("AdaBoost + SVM", set, ds, conf))
+			conf, err = crossValidate(ds, cfg.Folds, cfg.Seed, pipe, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, table3Row("SVM", set, ds, conf))
 		}
 	}
 	return rows, nil
+}
+
+func table3Row(name string, set features.Set, ds *features.Dataset, conf ml.Confusion) Table3Row {
+	return Table3Row{
+		Classifier:  name,
+		FeatureSet:  set,
+		NumFeatures: ds.NumFeatures(),
+		TPRate:      conf.TPRate(),
+		FPRate:      conf.FPRate(),
+	}
+}
+
+// crossValidate dispatches to the shared-Gram parallel CV (default) or the
+// legacy per-fold path (Sequential). Both produce identical confusions —
+// the Sequential path is kept as the independent reference the
+// differential tests compare against.
+func crossValidate(ds *features.Dataset, folds int, seed int64, pipe PipelineConfig, boost bool) (ml.Confusion, error) {
+	if pipe.Sequential {
+		if boost {
+			return ml.CrossValidate(ds, folds, ml.AdaBoostTrainer(pipe.adaboost()), seed)
+		}
+		return ml.CrossValidate(ds, folds, ml.SVMTrainer(pipe.svm()), seed)
+	}
+	cv := ml.CVConfig{Folds: folds, Seed: seed, Workers: pipe.workers()}
+	if boost {
+		return ml.CrossValidateAdaBoost(ds, pipe.adaboost(), cv)
+	}
+	return ml.CrossValidateSVM(ds, pipe.svm(), cv)
 }
 
 // RenderTable3 prints Table 3's rows.
@@ -264,27 +348,36 @@ type LiveTestResult struct {
 // features, top-1K) on the retrospective corpus and classifies the
 // anti-adblock scripts collected from live sites outside the training
 // population — the paper's 92.5% TP experiment.
-func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, seed int64) (*LiveTestResult, error) {
+func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, seed int64, pipe PipelineConfig) (*LiveTestResult, error) {
 	corpus := train.trim(0, seed)
-	ds, err := buildDataset(corpus, features.SetKeyword, 1000)
+	ds, err := buildDataset(corpus, features.SetKeyword, 1000, pipe)
 	if err != nil {
 		return nil, err
 	}
-	model, err := ml.TrainAdaBoost(ds, ml.DefaultAdaBoostConfig(), rand.New(rand.NewSource(seed)))
+	model, err := ml.TrainAdaBoost(ds, pipe.adaboost(), rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
 	}
-	res := &LiveTestResult{}
+	// Classify the out-of-population live scripts; extraction fans out,
+	// prediction folds back in input order.
+	eligible := make([]string, 0, len(liveScripts))
 	for _, s := range liveScripts {
 		if s.Rank > 0 && s.Rank <= excludeTopN {
 			continue // exclude the training population (top-5K)
 		}
-		fs, err := features.ExtractSource(s.Source, features.SetKeyword)
-		if err != nil {
+		eligible = append(eligible, s.Source)
+	}
+	fsets, errs, err := features.ExtractAll(context.Background(), eligible, features.SetKeyword, pipe.workers())
+	if err != nil {
+		return nil, err
+	}
+	res := &LiveTestResult{}
+	for i := range eligible {
+		if errs[i] != nil {
 			continue
 		}
 		res.Scripts++
-		if model.Predict(ds.Project(fs)) > 0 {
+		if model.Predict(ds.Project(fsets[i])) > 0 {
 			res.Detected++
 		}
 	}

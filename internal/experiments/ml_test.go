@@ -85,7 +85,7 @@ func TestTable3AndLiveModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := LiveModelTest(corpus, live.Scripts, 5000, 3)
+	res, err := LiveModelTest(corpus, live.Scripts, 5000, 3, PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestBuildDatasetSkipsUnparseable(t *testing.T) {
 		Positives: []string{"var bait = document.body.offsetHeight;", "((("},
 		Negatives: []string{"var x = 1;", "var y = 2;", ")))"},
 	}
-	ds, err := buildDataset(c, features.SetAll, 100)
+	ds, err := buildDataset(c, features.SetAll, 100, PipelineConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adwars/internal/antiadblock"
+	"adwars/internal/features"
+)
+
+// pipelineCorpus generates a small labeled corpus straight from the script
+// generators (no lab/crawl round trip) so the differential sweep stays
+// fast enough for -race runs.
+func pipelineCorpus(nPos, nNeg int, seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{}
+	for i := 0; i < nPos; i++ {
+		if i%2 == 0 {
+			c.Positives = append(c.Positives, antiadblock.HTMLBaitScript("n", rng, antiadblock.GenOptions{}))
+		} else {
+			c.Positives = append(c.Positives, antiadblock.CanRunAdsScript("n", rng, antiadblock.GenOptions{}))
+		}
+	}
+	kinds := antiadblock.BenignKinds()
+	for i := 0; i < nNeg; i++ {
+		c.Negatives = append(c.Negatives, antiadblock.BenignScript(kinds[i%len(kinds)], rng, antiadblock.GenOptions{}))
+	}
+	return c
+}
+
+// TestTable3ParallelMatchesSequential is the pipeline's end-to-end
+// differential gate: the parallel kernel-cached sweep must produce exactly
+// the sequential uncached reference's Table 3 rows — same TP/FP rates,
+// same feature counts — at several worker counts and cache budgets.
+func TestTable3ParallelMatchesSequential(t *testing.T) {
+	c := pipelineCorpus(15, 60, 11)
+	base := Table3Config{TopK: []int{20, 60}, Folds: 5, Seed: 4}
+
+	seq := base
+	seq.Pipeline = PipelineConfig{Sequential: true}
+	want, err := Table3(c, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pipe := range []PipelineConfig{
+		{},                              // default: GOMAXPROCS workers, default cache
+		{Workers: 1},                    // parallel path at width 1
+		{Workers: 4},                    // oversubscribed fan-out
+		{Workers: 3, KernelCache: 4096}, // small LRU budget
+		{Workers: 2, KernelCache: -1},   // parallel but uncached
+	} {
+		cfg := base
+		cfg.Pipeline = pipe
+		got, err := Table3(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pipeline %+v: Table 3 rows diverge from sequential reference\ngot:  %+v\nwant: %+v",
+				pipe, got, want)
+		}
+	}
+}
+
+// TestSelectedVocabularyMatchesSequential asserts the selection stage of
+// the parallel pipeline chooses a byte-identical vocabulary: same raw
+// dataset, same surviving columns, same top-k order.
+func TestSelectedVocabularyMatchesSequential(t *testing.T) {
+	c := pipelineCorpus(12, 48, 23).trim(0, 9)
+	for _, set := range features.Sets {
+		rawSeq, err := buildDatasetRaw(c, set, PipelineConfig{Sequential: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSel := rawSeq.SelectPipeline(50)
+		for _, pipe := range []PipelineConfig{{}, {Workers: 6}} {
+			raw, err := buildDatasetRaw(c, set, pipe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(raw.Vocab, rawSeq.Vocab) {
+				t.Fatalf("set %v pipe %+v: raw vocabulary diverges", set, pipe)
+			}
+			if !reflect.DeepEqual(raw.Samples, rawSeq.Samples) {
+				t.Fatalf("set %v pipe %+v: samples diverge", set, pipe)
+			}
+			sel := raw.SelectPipelineWorkers(50, pipe.workers())
+			if !reflect.DeepEqual(sel.Vocab, wantSel.Vocab) {
+				t.Fatalf("set %v pipe %+v: selected vocabulary diverges\ngot:  %v\nwant: %v",
+					set, pipe, sel.Vocab, wantSel.Vocab)
+			}
+		}
+	}
+}
+
+// TestLiveModelTestParallelMatchesSequential covers the live-script leg:
+// parallel extraction and cached training must reproduce the sequential
+// result exactly.
+func TestLiveModelTestParallelMatchesSequential(t *testing.T) {
+	train := pipelineCorpus(14, 56, 31)
+	rng := rand.New(rand.NewSource(5))
+	var live []LiveScript
+	for i := 0; i < 12; i++ {
+		src := antiadblock.HTMLBaitScript("live", rng, antiadblock.GenOptions{})
+		live = append(live, LiveScript{Rank: 6000 + i, Source: src})
+	}
+	want, err := LiveModelTest(train, live, 5000, 2, PipelineConfig{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LiveModelTest(train, live, 5000, 2, PipelineConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("live test diverges: parallel %+v, sequential %+v", *got, *want)
+	}
+}

@@ -40,9 +40,16 @@ func benchFeatureDataset(b *testing.B, n, vocab int) *Dataset {
 	b.Helper()
 	var sets []map[string]bool
 	var labels []int
+	// Each feature must clear the variance filter (support fraction p with
+	// p(1-p) ≥ 0.01 means roughly p ≥ 0.011), so give every sample enough
+	// features that average support is well above the cutoff.
+	perSample := 15 * vocab / n
+	if perSample < 12 {
+		perSample = 12
+	}
 	for i := 0; i < n; i++ {
 		m := map[string]bool{}
-		for j := 0; j < 12; j++ {
+		for j := 0; j < perSample; j++ {
 			m[fmt.Sprintf("f%04d", (i*7+j*13)%vocab)] = true
 		}
 		sets = append(sets, m)
@@ -67,6 +74,20 @@ func BenchmarkSelectPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out := ds.SelectPipeline(500); out.NumFeatures() == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkSelectPipelineWorkers is the same pipeline through the
+// worker-fanned stages (identical output, asserted by the differential
+// tests; the contrast with BenchmarkSelectPipeline is pure overhead/win).
+func BenchmarkSelectPipelineWorkers(b *testing.B) {
+	ds := benchFeatureDataset(b, 1000, 3000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ds.SelectPipelineWorkers(500, 0); out.NumFeatures() == 0 {
 			b.Fatal("empty selection")
 		}
 	}

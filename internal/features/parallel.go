@@ -1,0 +1,31 @@
+package features
+
+import (
+	"context"
+
+	"adwars/internal/crawler"
+	"adwars/internal/jsast"
+)
+
+// ExtractAll fans unpack+parse+Extract for a script corpus out over the
+// shared crawler worker pool. Results land in caller-visible slots indexed
+// by input position, so the output order is the input order and feeding
+// the sets to Build yields a vocabulary byte-identical to a sequential
+// ExtractSource loop at any worker count.
+//
+// errs[i] is non-nil for scripts that fail to parse (callers typically
+// drop them, as the paper does). The returned error is non-nil only when
+// ctx is cancelled; slots not yet fed keep nil sets and nil errors.
+func ExtractAll(ctx context.Context, sources []string, set Set, workers int) (sets []map[string]bool, errs []error, err error) {
+	sets = make([]map[string]bool, len(sources))
+	errs = make([]error, len(sources))
+	err = crawler.ForEach(ctx, clampWorkers(workers), len(sources), func(i int) {
+		prog, _, e := jsast.ParseAndUnpack(sources[i])
+		if e != nil {
+			errs[i] = e
+			return
+		}
+		sets[i] = Extract(prog, set)
+	})
+	return sets, errs, err
+}

@@ -1,0 +1,235 @@
+package features
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func parallelCorpus() []string {
+	var srcs []string
+	for i := 0; i < 30; i++ {
+		srcs = append(srcs, fmt.Sprintf(`
+var bait%d = document.createElement('div');
+bait%d.setAttribute('class', 'ad_%d banner_ad');
+if (document.body.getAttribute('abp') !== null) { detected%d = true; }
+for (var i%d = 0; i%d < %d; i%d++) { total += bait%d.offsetHeight; }
+`, i, i, i%5, i, i, i, i+2, i, i))
+	}
+	// Unparseable scripts must keep their slot and report an error, same
+	// as ExtractSource in a sequential loop.
+	srcs[7] = "((("
+	srcs[22] = ")))"
+	return srcs
+}
+
+// TestExtractAllMatchesSequential proves the worker fan-out is invisible:
+// per-slot feature sets and error positions are identical to a sequential
+// ExtractSource loop at every worker count.
+func TestExtractAllMatchesSequential(t *testing.T) {
+	srcs := parallelCorpus()
+	for _, set := range Sets {
+		wantSets := make([]map[string]bool, len(srcs))
+		wantErr := make([]bool, len(srcs))
+		for i, src := range srcs {
+			fs, err := ExtractSource(src, set)
+			if err != nil {
+				wantErr[i] = true
+				continue
+			}
+			wantSets[i] = fs
+		}
+		for _, workers := range []int{1, 2, 7, 64} {
+			sets, errs, err := ExtractAll(context.Background(), srcs, set, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range srcs {
+				if (errs[i] != nil) != wantErr[i] {
+					t.Fatalf("set %v workers %d: slot %d error mismatch", set, workers, i)
+				}
+				if !reflect.DeepEqual(sets[i], wantSets[i]) {
+					t.Fatalf("set %v workers %d: slot %d features diverge", set, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestExtractAllCancellation checks a cancelled context stops the feed and
+// reports the context error without touching unfed slots.
+func TestExtractAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sets, errs, err := ExtractAll(ctx, parallelCorpus(), SetAll, 2)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if len(sets) != 30 || len(errs) != 30 {
+		t.Fatal("slots must keep input length")
+	}
+}
+
+// TestBuildOrderInsensitiveVocab: the vocabulary is a sorted union, so a
+// dataset built from fan-out results equals one built sequentially.
+func TestBuildOrderInsensitiveVocab(t *testing.T) {
+	srcs := parallelCorpus()
+	seq := make([]map[string]bool, 0, len(srcs))
+	var labels []int
+	for i, src := range srcs {
+		fs, err := ExtractSource(src, SetAll)
+		if err != nil {
+			continue
+		}
+		seq = append(seq, fs)
+		if i%2 == 0 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	dsSeq, err := Build(seq, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, errs, err := ExtractAll(context.Background(), srcs, SetAll, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make([]map[string]bool, 0, len(srcs))
+	for i := range par {
+		if errs[i] == nil {
+			kept = append(kept, par[i])
+		}
+	}
+	dsPar, err := Build(kept, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dsSeq.Vocab, dsPar.Vocab) {
+		t.Fatal("vocab diverges between sequential and parallel builds")
+	}
+	if !reflect.DeepEqual(dsSeq.Samples, dsPar.Samples) {
+		t.Fatal("samples diverge between sequential and parallel builds")
+	}
+}
+
+// referenceDeduplicate is the seed's string-key implementation, kept as
+// the oracle for the hash-based replacement.
+func referenceDeduplicate(d *Dataset) *Dataset {
+	cols := make([][]int32, len(d.Vocab))
+	for i, s := range d.Samples {
+		for _, f := range s {
+			cols[f] = append(cols[f], int32(i))
+		}
+	}
+	key := func(col []int32) string {
+		b := make([]byte, 0, len(col)*4)
+		for _, v := range col {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		return string(b)
+	}
+	seen := make(map[string]int32)
+	var keep []int32
+	for f := range d.Vocab {
+		k := key(cols[f])
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = int32(f)
+		keep = append(keep, int32(f))
+	}
+	return d.remap(keep)
+}
+
+func dedupDataset(t *testing.T) *Dataset {
+	t.Helper()
+	var sets []map[string]bool
+	var labels []int
+	for i := 0; i < 60; i++ {
+		m := map[string]bool{}
+		// f-dup-a / f-dup-b share a column; f-solo varies; empty columns
+		// (never-set features) collapse onto each other via Project-time
+		// vocabulary, so also include one feature per sample group.
+		if i%3 == 0 {
+			m["f-dup-a"] = true
+			m["f-dup-b"] = true
+		}
+		if i%4 == 0 {
+			m["f-solo"] = true
+		}
+		m[fmt.Sprintf("f-group-%d", i%5)] = true
+		if i%7 == 0 {
+			m["f-dup-c"] = true
+			m["a-dup-c"] = true // lexicographically first must survive
+		}
+		sets = append(sets, m)
+		if i%10 == 0 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	ds, err := Build(sets, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestDeduplicateColumnsHashEquivalence proves the FNV-bucketed dedup
+// keeps exactly the columns the string-key reference kept, at several
+// worker counts.
+func TestDeduplicateColumnsHashEquivalence(t *testing.T) {
+	ds := dedupDataset(t)
+	want := referenceDeduplicate(ds)
+	for _, workers := range []int{1, 2, 16} {
+		got := ds.deduplicateColumns(workers)
+		if !reflect.DeepEqual(got.Vocab, want.Vocab) {
+			t.Fatalf("workers=%d: vocab %v != reference %v", workers, got.Vocab, want.Vocab)
+		}
+		if !reflect.DeepEqual(got.Samples, want.Samples) {
+			t.Fatalf("workers=%d: samples diverge from reference", workers)
+		}
+	}
+	// The survivor of the {a-dup-c, f-dup-c} group must be the
+	// lexicographically first name.
+	for _, f := range want.Vocab {
+		if f == "f-dup-c" {
+			t.Fatal("lexicographically later duplicate survived")
+		}
+	}
+}
+
+// TestSelectPipelineWorkersMatchesSequential is the selection-stage
+// differential: identical selected vocabulary and identical chi-square
+// scores at any worker count.
+func TestSelectPipelineWorkersMatchesSequential(t *testing.T) {
+	ds := dedupDataset(t)
+	want := ds.SelectPipeline(4)
+	wantScores := ds.ChiSquare()
+	for _, workers := range []int{2, 5, 32} {
+		got := ds.SelectPipelineWorkers(4, workers)
+		if !reflect.DeepEqual(got.Vocab, want.Vocab) {
+			t.Fatalf("workers=%d: selected vocab %v != %v", workers, got.Vocab, want.Vocab)
+		}
+		scores := ds.ChiSquareWorkers(workers)
+		for f := range scores {
+			if scores[f] != wantScores[f] {
+				t.Fatalf("workers=%d: chi2[%d] = %v != %v", workers, f, scores[f], wantScores[f])
+			}
+		}
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	if got := (Sample{1, 5, 9}).Popcount(); got != 3 {
+		t.Fatalf("Popcount = %d, want 3", got)
+	}
+	if got := (Sample{}).Popcount(); got != 0 {
+		t.Fatalf("empty Popcount = %d, want 0", got)
+	}
+}

@@ -1,8 +1,12 @@
 package features
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+
+	"adwars/internal/crawler"
 )
 
 // Sample is a sparse binary feature vector: the sorted indices of features
@@ -14,6 +18,12 @@ func (s Sample) Has(f int32) bool {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= f })
 	return i < len(s) && s[i] == f
 }
+
+// Popcount returns the number of set features. Construction keeps the
+// index list deduplicated and sorted, so the popcount is the slice length
+// — an O(1) read kernel inner loops rely on instead of re-deriving vector
+// norms.
+func (s Sample) Popcount() int { return len(s) }
 
 // IntersectionSize returns |s ∩ t| by merging the two sorted index lists.
 func (s Sample) IntersectionSize(t Sample) int {
@@ -45,7 +55,8 @@ type Dataset struct {
 
 // Build constructs a Dataset from per-script feature sets and labels
 // (+1/-1). The vocabulary is the sorted union of all features, making
-// construction deterministic.
+// construction deterministic regardless of how the feature sets were
+// produced (sequential or fanned out over the worker pool).
 func Build(featureSets []map[string]bool, labels []int) (*Dataset, error) {
 	if len(featureSets) != len(labels) {
 		return nil, fmt.Errorf("features: %d samples but %d labels", len(featureSets), len(labels))
@@ -97,18 +108,57 @@ func (d *Dataset) NumFeatures() int { return len(d.Vocab) }
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Samples) }
 
-// support returns, per feature, the number of positive and negative samples
-// containing it.
-func (d *Dataset) support() (pos, neg []int) {
-	pos = make([]int, len(d.Vocab))
-	neg = make([]int, len(d.Vocab))
-	for i, s := range d.Samples {
-		for _, f := range s {
-			if d.Labels[i] > 0 {
-				pos[f]++
-			} else {
-				neg[f]++
+// clampWorkers resolves a worker-count request against GOMAXPROCS.
+func clampWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// support returns, per feature, the number of positive and negative
+// samples containing it. Sample chunks are counted into worker-local
+// arrays and summed in chunk order, so the counts are identical at any
+// worker count.
+func (d *Dataset) support(workers int) (pos, neg []int) {
+	nf := len(d.Vocab)
+	n := len(d.Samples)
+	workers = clampWorkers(workers)
+	if workers == 1 || n < 2*workers {
+		pos = make([]int, nf)
+		neg = make([]int, nf)
+		for i, s := range d.Samples {
+			for _, f := range s {
+				if d.Labels[i] > 0 {
+					pos[f]++
+				} else {
+					neg[f]++
+				}
 			}
+		}
+		return pos, neg
+	}
+	locPos := make([][]int, workers)
+	locNeg := make([][]int, workers)
+	_ = crawler.ForEach(context.Background(), workers, workers, func(c int) {
+		lp := make([]int, nf)
+		ln := make([]int, nf)
+		for i := c * n / workers; i < (c+1)*n/workers; i++ {
+			for _, f := range d.Samples[i] {
+				if d.Labels[i] > 0 {
+					lp[f]++
+				} else {
+					ln[f]++
+				}
+			}
+		}
+		locPos[c], locNeg[c] = lp, ln
+	})
+	pos, neg = locPos[0], locNeg[0]
+	for c := 1; c < workers; c++ {
+		for f := 0; f < nf; f++ {
+			pos[f] += locPos[c][f]
+			neg[f] += locNeg[c][f]
 		}
 	}
 	return pos, neg
@@ -117,7 +167,10 @@ func (d *Dataset) support() (pos, neg []int) {
 // remap builds a new Dataset keeping only the features whose indices are in
 // keep (which must be sorted ascending).
 func (d *Dataset) remap(keep []int32) *Dataset {
-	newIdx := make(map[int32]int32, len(keep))
+	newIdx := make([]int32, len(d.Vocab))
+	for i := range newIdx {
+		newIdx[i] = -1
+	}
 	vocab := make([]string, len(keep))
 	for newI, oldI := range keep {
 		newIdx[oldI] = int32(newI)
@@ -127,11 +180,11 @@ func (d *Dataset) remap(keep []int32) *Dataset {
 	for i, f := range vocab {
 		index[f] = i
 	}
-	out := &Dataset{Vocab: vocab, Labels: d.Labels, index: index}
+	out := &Dataset{Vocab: vocab, Labels: d.Labels, index: index, Samples: make([]Sample, 0, len(d.Samples))}
 	for _, s := range d.Samples {
 		var ns Sample
 		for _, f := range s {
-			if ni, ok := newIdx[f]; ok {
+			if ni := newIdx[f]; ni >= 0 {
 				ns = append(ns, ni)
 			}
 		}
@@ -144,7 +197,17 @@ func (d *Dataset) remap(keep []int32) *Dataset {
 // minVar (the paper removes features with variance < 0.01). Binary feature
 // variance is p(1-p) with p the fraction of samples carrying the feature.
 func (d *Dataset) FilterVariance(minVar float64) *Dataset {
-	pos, neg := d.support()
+	return d.filterVariance(minVar, 1)
+}
+
+// FilterVarianceWorkers is FilterVariance with the support pass fanned out
+// over the worker pool; the result is identical at any worker count.
+func (d *Dataset) FilterVarianceWorkers(minVar float64, workers int) *Dataset {
+	return d.filterVariance(minVar, workers)
+}
+
+func (d *Dataset) filterVariance(minVar float64, workers int) *Dataset {
+	pos, neg := d.support(workers)
 	n := float64(d.Len())
 	var keep []int32
 	for f := range d.Vocab {
@@ -161,35 +224,84 @@ func (d *Dataset) FilterVariance(minVar float64) *Dataset {
 // group of identical columns, the lexicographically first feature name
 // survives, making the result deterministic.
 func (d *Dataset) DeduplicateColumns() *Dataset {
-	// Build column signatures: the sorted list of sample indices holding
-	// each feature, hashed into a string key.
-	cols := make([][]int32, len(d.Vocab))
+	return d.deduplicateColumns(1)
+}
+
+// DeduplicateColumnsWorkers is DeduplicateColumns with column hashing
+// fanned out over the worker pool; the result is identical at any worker
+// count.
+func (d *Dataset) DeduplicateColumnsWorkers(workers int) *Dataset {
+	return d.deduplicateColumns(workers)
+}
+
+func (d *Dataset) deduplicateColumns(workers int) *Dataset {
+	// Column signatures: the sorted sample indices holding each feature,
+	// bucketed by a 64-bit FNV-1a hash instead of materializing one key
+	// string per column. Hash collisions fall back to an exact column
+	// comparison, so distinct columns never merge.
+	nf := len(d.Vocab)
+	cols := make([][]int32, nf)
 	for i, s := range d.Samples {
 		for _, f := range s {
 			cols[f] = append(cols[f], int32(i))
 		}
 	}
-	seen := make(map[string]int32)
+	hashes := make([]uint64, nf)
+	workers = clampWorkers(workers)
+	if workers == 1 || nf < 2*workers {
+		for f := 0; f < nf; f++ {
+			hashes[f] = colHash(cols[f])
+		}
+	} else {
+		_ = crawler.ForEach(context.Background(), workers, workers, func(c int) {
+			for f := c * nf / workers; f < (c+1)*nf/workers; f++ {
+				hashes[f] = colHash(cols[f])
+			}
+		})
+	}
+	seen := make(map[uint64][]int32, nf)
 	var keep []int32
 	// Vocab is sorted, so iterating in index order keeps the
 	// lexicographically first name of each duplicate group.
-	for f := range d.Vocab {
-		key := colKey(cols[f])
-		if _, dup := seen[key]; dup {
+	for f := 0; f < nf; f++ {
+		dup := false
+		for _, e := range seen[hashes[f]] {
+			if colsEqual(cols[e], cols[f]) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[key] = int32(f)
+		seen[hashes[f]] = append(seen[hashes[f]], int32(f))
 		keep = append(keep, int32(f))
 	}
 	return d.remap(keep)
 }
 
-func colKey(col []int32) string {
-	b := make([]byte, 0, len(col)*4)
+// colHash is 64-bit FNV-1a over the column's sample indices.
+func colHash(col []int32) uint64 {
+	h := uint64(14695981039346656037)
 	for _, v := range col {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
 	}
-	return string(b)
+	h ^= uint64(len(col))
+	h *= 1099511628211
+	return h
+}
+
+func colsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ChiSquare computes the paper's chi-square statistic for every feature:
@@ -199,7 +311,18 @@ func colKey(col []int32) string {
 // with A/B the positive/negative samples containing the feature and C/D
 // those not containing it.
 func (d *Dataset) ChiSquare() []float64 {
-	pos, neg := d.support()
+	return d.chiSquare(1)
+}
+
+// ChiSquareWorkers is ChiSquare with both the support pass and the
+// per-column scoring fanned out over the worker pool. Workers write
+// disjoint score ranges, so the result is identical at any worker count.
+func (d *Dataset) ChiSquareWorkers(workers int) []float64 {
+	return d.chiSquare(workers)
+}
+
+func (d *Dataset) chiSquare(workers int) []float64 {
+	pos, neg := d.support(workers)
 	nPos, nNeg := 0, 0
 	for _, l := range d.Labels {
 		if l > 0 {
@@ -209,8 +332,9 @@ func (d *Dataset) ChiSquare() []float64 {
 		}
 	}
 	n := float64(nPos + nNeg)
-	out := make([]float64, len(d.Vocab))
-	for f := range d.Vocab {
+	nf := len(d.Vocab)
+	out := make([]float64, nf)
+	score := func(f int) {
 		a := float64(pos[f])
 		b := float64(neg[f])
 		c := float64(nPos) - a
@@ -218,11 +342,23 @@ func (d *Dataset) ChiSquare() []float64 {
 		den := (a + c) * (b + dd) * (a + b) * (c + dd)
 		if den == 0 {
 			out[f] = 0
-			continue
+			return
 		}
 		diff := a*dd - c*b
 		out[f] = n * diff * diff / den
 	}
+	workers = clampWorkers(workers)
+	if workers == 1 || nf < 2*workers {
+		for f := 0; f < nf; f++ {
+			score(f)
+		}
+		return out
+	}
+	_ = crawler.ForEach(context.Background(), workers, workers, func(c int) {
+		for f := c * nf / workers; f < (c+1)*nf/workers; f++ {
+			score(f)
+		}
+	})
 	return out
 }
 
@@ -230,10 +366,20 @@ func (d *Dataset) ChiSquare() []float64 {
 // scores (ties broken by feature name for determinism). If k exceeds the
 // vocabulary size the dataset is returned unchanged.
 func (d *Dataset) SelectTopChiSquare(k int) *Dataset {
+	return d.selectTopChiSquare(k, 1)
+}
+
+// SelectTopChiSquareWorkers is SelectTopChiSquare with parallel scoring;
+// the selected vocabulary is identical at any worker count.
+func (d *Dataset) SelectTopChiSquareWorkers(k, workers int) *Dataset {
+	return d.selectTopChiSquare(k, workers)
+}
+
+func (d *Dataset) selectTopChiSquare(k, workers int) *Dataset {
 	if k >= len(d.Vocab) {
 		return d
 	}
-	scores := d.ChiSquare()
+	scores := d.chiSquare(workers)
 	order := make([]int32, len(d.Vocab))
 	for i := range order {
 		order[i] = int32(i)
@@ -253,7 +399,14 @@ func (d *Dataset) SelectTopChiSquare(k int) *Dataset {
 // SelectPipeline applies the paper's full selection pipeline: variance
 // filter (0.01), duplicate removal, then top-k chi-square.
 func (d *Dataset) SelectPipeline(k int) *Dataset {
-	return d.FilterVariance(0.01).DeduplicateColumns().SelectTopChiSquare(k)
+	return d.SelectPipelineWorkers(k, 1)
+}
+
+// SelectPipelineWorkers is SelectPipeline with every stage fanned out over
+// the worker pool. Each stage merges deterministically, so the selected
+// vocabulary is byte-identical to the sequential run.
+func (d *Dataset) SelectPipelineWorkers(k, workers int) *Dataset {
+	return d.filterVariance(0.01, workers).deduplicateColumns(workers).selectTopChiSquare(k, workers)
 }
 
 // Subset returns a dataset restricted to the given sample indices (shared

@@ -1,0 +1,67 @@
+package jsast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentParseAndUnpack drives ParseAndUnpack from many goroutines
+// over a shared corpus (run under -race in CI). The parser keeps all state
+// on its own instance, so concurrent parses of distinct — and identical —
+// sources must be independent and deterministic; the feature-extraction
+// fan-out in internal/features relies on exactly this property.
+func TestConcurrentParseAndUnpack(t *testing.T) {
+	var srcs []string
+	for i := 0; i < 16; i++ {
+		srcs = append(srcs, fmt.Sprintf(`
+var x%d = %d;
+function f%d(a, b) { return a + b * x%d; }
+eval("var un%d = 'packed';");
+if (document.getElementById('ad_%d')) { f%d(1, 2); }
+`, i, i, i, i, i, i, i))
+	}
+	want := make([]string, len(srcs))
+	wantUnpacked := make([]int, len(srcs))
+	for i, src := range srcs {
+		prog, n, err := ParseAndUnpack(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = Print(prog)
+		wantUnpacked[i] = n
+	}
+
+	const goroutines = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, src := range srcs {
+					prog, n, err := ParseAndUnpack(src)
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d: parse %d: %v", g, i, err)
+						return
+					}
+					if n != wantUnpacked[i] {
+						errc <- fmt.Errorf("goroutine %d: src %d unpacked %d payloads, want %d", g, i, n, wantUnpacked[i])
+						return
+					}
+					if got := Print(prog); got != want[i] {
+						errc <- fmt.Errorf("goroutine %d: src %d AST diverges under concurrency", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

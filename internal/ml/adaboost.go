@@ -66,20 +66,45 @@ func TrainAdaBoost(ds *features.Dataset, cfg AdaBoostConfig, rng *rand.Rand) (*A
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("ml: rounds must be positive")
 	}
+	cfg.SVM.Kernel = resolveKernel(cfg.SVM.Kernel)
+	// Component SVMs train on reweighted views of the same samples, so one
+	// kernel cache serves every boosting round.
+	g := newGram(cfg.SVM.Kernel, ds.Samples, cfg.SVM.KernelCache, cfg.SVM.Workers)
+	return trainAdaBoostGram(ds, cfg, rng, g)
+}
+
+// trainAdaBoostGram is the boosting core over a caller-supplied kernel
+// cache (cross-validation passes per-fold views gathered from a shared
+// corpus-wide Gram matrix).
+func trainAdaBoostGram(ds *features.Dataset, cfg AdaBoostConfig, rng *rand.Rand, g *gram) (*AdaBoost, error) {
+	n := ds.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("ml: rounds must be positive")
+	}
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = 1 / float64(n)
 	}
 	ens := &AdaBoost{}
 	for t := 0; t < cfg.Rounds; t++ {
-		m, err := TrainSVM(ds, w, cfg.SVM, rng)
+		m, err := trainSVMGram(ds, w, cfg.SVM, rng, g)
 		if err != nil {
 			return nil, fmt.Errorf("ml: round %d: %w", t, err)
 		}
 		preds := make([]int, n)
 		eps := 0.0
-		for i, s := range ds.Samples {
-			preds[i] = m.Predict(s)
+		for i := range ds.Samples {
+			// The error pass scores training samples against the round's
+			// support vectors through the shared cache instead of
+			// re-evaluating the kernel per (SV, sample) pair.
+			if m.decisionGram(g, i) >= 0 {
+				preds[i] = +1
+			} else {
+				preds[i] = -1
+			}
 			if preds[i] != ds.Labels[i] {
 				eps += w[i]
 			}

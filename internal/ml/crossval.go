@@ -1,11 +1,13 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 
+	"adwars/internal/crawler"
 	"adwars/internal/features"
 )
 
@@ -91,6 +93,101 @@ func stratifiedFolds(ds *features.Dataset, k int, rng *rand.Rand) [][]int {
 		folds[i%k] = append(folds[i%k], idx)
 	}
 	return folds
+}
+
+// CVConfig parameterizes the shared-cache cross-validation entry points.
+type CVConfig struct {
+	// Folds is k (the paper's protocol uses 10).
+	Folds int
+	// Seed fixes the stratified shuffle and the per-fold training rngs —
+	// the same scheme as CrossValidate, so results are identical between
+	// the two paths.
+	Seed int64
+	// Workers caps concurrent fold training and Gram precompute fan-out
+	// (0 = GOMAXPROCS, 1 = strictly sequential). Fold confusions merge in
+	// fold order, so the result is identical at any worker count.
+	Workers int
+}
+
+func (cv CVConfig) workers() int {
+	if cv.Workers > 0 {
+		return cv.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CrossValidateSVM cross-validates a plain SVM, precomputing one Gram
+// matrix over the full dataset and gathering per-fold views from it, so
+// the kernel is evaluated once per sample pair across all k folds instead
+// of once per fold.
+func CrossValidateSVM(ds *features.Dataset, cfg SVMConfig, cv CVConfig) (Confusion, error) {
+	cfg.Kernel = resolveKernel(cfg.Kernel)
+	return crossValidateShared(ds, cv, cfg.Kernel, cfg.KernelCache,
+		func(train *features.Dataset, g *gram, rng *rand.Rand) (Classifier, error) {
+			return trainSVMGram(train, nil, cfg, rng, g)
+		})
+}
+
+// CrossValidateAdaBoost cross-validates an AdaBoost+SVM ensemble with the
+// same shared kernel cache: each fold's view serves every boosting round
+// of that fold.
+func CrossValidateAdaBoost(ds *features.Dataset, cfg AdaBoostConfig, cv CVConfig) (Confusion, error) {
+	cfg.SVM.Kernel = resolveKernel(cfg.SVM.Kernel)
+	return crossValidateShared(ds, cv, cfg.SVM.Kernel, cfg.SVM.KernelCache,
+		func(train *features.Dataset, g *gram, rng *rand.Rand) (Classifier, error) {
+			return trainAdaBoostGram(train, cfg, rng, g)
+		})
+}
+
+// crossValidateShared runs stratified k-fold CV with one corpus-wide
+// kernel cache. Fold assignment, per-fold rng seeding, and the fold-order
+// confusion merge replicate CrossValidate exactly; only where kernel
+// values come from differs, and cached values are bit-identical to fresh
+// evaluations — so both paths produce the same confusion matrix.
+func crossValidateShared(ds *features.Dataset, cv CVConfig, kernel Kernel, cacheEntries int,
+	train func(*features.Dataset, *gram, *rand.Rand) (Classifier, error)) (Confusion, error) {
+	k := cv.Folds
+	if k < 2 {
+		return Confusion{}, fmt.Errorf("ml: k must be ≥ 2, got %d", k)
+	}
+	if ds.Len() < k {
+		return Confusion{}, fmt.Errorf("ml: %d samples cannot fill %d folds", ds.Len(), k)
+	}
+	workers := cv.workers()
+	shared := newGram(kernel, ds.Samples, cacheEntries, workers)
+	folds := stratifiedFolds(ds, k, rand.New(rand.NewSource(cv.Seed)))
+
+	type result struct {
+		c   Confusion
+		err error
+	}
+	results := make([]result, k)
+	_ = crawler.ForEach(context.Background(), workers, k, func(f int) {
+		var trainIdx, testIdx []int
+		for g := 0; g < k; g++ {
+			if g == f {
+				testIdx = append(testIdx, folds[g]...)
+			} else {
+				trainIdx = append(trainIdx, folds[g]...)
+			}
+		}
+		g := shared.subset(trainIdx, cacheEntries, 1)
+		model, err := train(ds.Subset(trainIdx), g, rand.New(rand.NewSource(cv.Seed+int64(f)+1)))
+		if err != nil {
+			results[f] = result{err: err}
+			return
+		}
+		results[f] = result{c: Evaluate(model, ds.Subset(testIdx))}
+	})
+
+	var total Confusion
+	for f := 0; f < k; f++ {
+		if results[f].err != nil {
+			return Confusion{}, fmt.Errorf("ml: fold %d: %w", f, results[f].err)
+		}
+		total.Add(results[f].c)
+	}
+	return total, nil
 }
 
 // SVMTrainer adapts TrainSVM to the Trainer signature.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"adwars/internal/features"
 )
@@ -27,6 +28,16 @@ type SVMConfig struct {
 	MaxPasses int
 	// MaxIter hard-bounds total optimization sweeps.
 	MaxIter int
+	// KernelCache bounds the number of cached kernel values (Gram-matrix
+	// entries) a training run may hold: a full matrix when n² fits, an
+	// LRU of rows when only some do, and no caching at all when negative
+	// — the reference path the differential tests and the sequential
+	// benchmark baseline use. 0 means DefaultKernelCache. Caching never
+	// changes results: cached and uncached runs are bit-identical.
+	KernelCache int
+	// Workers caps Gram-precompute fan-out over the shared worker pool
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultSVMConfig mirrors the paper's setup: RBF kernel, moderate C.
@@ -47,6 +58,7 @@ type SVM struct {
 	vectors []features.Sample
 	coefs   []float64 // αᵢyᵢ of each support vector
 	bias    float64
+	svIdx   []int // training-set indices of the support vectors
 }
 
 // NumSupportVectors returns the number of retained support vectors.
@@ -57,6 +69,17 @@ func (m *SVM) Decision(s features.Sample) float64 {
 	v := m.bias
 	for i, sv := range m.vectors {
 		v += m.coefs[i] * m.kernel.Eval(sv, s)
+	}
+	return v
+}
+
+// decisionGram is Decision for a sample of the training set itself, served
+// from the training-run kernel cache instead of re-evaluating the kernel
+// against every support vector. AdaBoost's per-round error pass uses it.
+func (m *SVM) decisionGram(g *gram, sample int) float64 {
+	v := m.bias
+	for k, i := range m.svIdx {
+		v += m.coefs[k] * g.at(i, sample)
 	}
 	return v
 }
@@ -75,15 +98,23 @@ func (m *SVM) Predict(s features.Sample) int {
 // AdaBoost uses to focus component classifiers on hard samples. rng drives
 // the pair selection and must be non-nil for reproducibility.
 func TrainSVM(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.Rand) (*SVM, error) {
+	if err := checkTrainInputs(ds, weights); err != nil {
+		return nil, err
+	}
+	cfg.Kernel = resolveKernel(cfg.Kernel)
+	g := newGram(cfg.Kernel, ds.Samples, cfg.KernelCache, cfg.Workers)
+	return trainSVMGram(ds, weights, cfg, rng, g)
+}
+
+// checkTrainInputs validates the dataset and weight vector before the
+// kernel cache is built.
+func checkTrainInputs(ds *features.Dataset, weights []float64) error {
 	n := ds.Len()
 	if n == 0 {
-		return nil, fmt.Errorf("ml: empty training set")
+		return fmt.Errorf("ml: empty training set")
 	}
 	if weights != nil && len(weights) != n {
-		return nil, fmt.Errorf("ml: %d weights for %d samples", len(weights), n)
-	}
-	if cfg.Kernel == nil {
-		cfg.Kernel = RBF{Gamma: 0.05}
+		return fmt.Errorf("ml: %d weights for %d samples", len(weights), n)
 	}
 	hasPos, hasNeg := false, false
 	for _, l := range ds.Labels {
@@ -94,8 +125,26 @@ func TrainSVM(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.
 		}
 	}
 	if !hasPos || !hasNeg {
-		return nil, fmt.Errorf("ml: training set needs both classes")
+		return fmt.Errorf("ml: training set needs both classes")
 	}
+	return nil
+}
+
+// trainSVMGram is the SMO core. g must cover exactly ds.Samples; callers
+// that train repeatedly on the same samples (AdaBoost rounds, CV folds
+// gathered from a corpus-wide cache) pass a shared gram so the kernel is
+// evaluated once per pair across the whole run.
+//
+// The decision sum iterates a sorted active set of nonzero-α indices over
+// precomputed αᵢyᵢ coefficients and a contiguous Gram row — the same terms
+// in the same order as summing all indices and skipping zeros, so results
+// are bit-identical at every cache policy.
+func trainSVMGram(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.Rand, g *gram) (*SVM, error) {
+	if err := checkTrainInputs(ds, weights); err != nil {
+		return nil, err
+	}
+	cfg.Kernel = resolveKernel(cfg.Kernel)
+	n := ds.Len()
 
 	y := make([]float64, n)
 	for i, l := range ds.Labels {
@@ -117,15 +166,37 @@ func TrainSVM(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.
 		}
 	}
 
-	g := newGram(cfg.Kernel, ds.Samples)
 	alpha := make([]float64, n)
+	coef := make([]float64, n) // αᵢyᵢ, maintained alongside alpha
+	var active []int32         // sorted indices with α ≠ 0
 	b := 0.0
+
+	setAlpha := func(i int, v float64) {
+		was, now := alpha[i] != 0, v != 0
+		alpha[i] = v
+		coef[i] = v * y[i]
+		if now == was {
+			return
+		}
+		k := sort.Search(len(active), func(k int) bool { return active[k] >= int32(i) })
+		if now {
+			active = append(active, 0)
+			copy(active[k+1:], active[k:])
+			active[k] = int32(i)
+		} else {
+			active = append(active[:k], active[k+1:]...)
+		}
+	}
 
 	decision := func(i int) float64 {
 		v := b
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				v += alpha[j] * y[j] * g.at(j, i)
+		if row := g.row(i); row != nil {
+			for _, j := range active {
+				v += coef[j] * row[j]
+			}
+		} else {
+			for _, j := range active {
+				v += coef[j] * g.at(int(j), i)
 			}
 		}
 		return v
@@ -183,7 +254,8 @@ func TrainSVM(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.
 			default:
 				b = (b1 + b2) / 2
 			}
-			alpha[i], alpha[j] = aiNew, ajNew
+			setAlpha(i, aiNew)
+			setAlpha(j, ajNew)
 			changed++
 		}
 		if changed == 0 {
@@ -198,6 +270,7 @@ func TrainSVM(ds *features.Dataset, weights []float64, cfg SVMConfig, rng *rand.
 		if alpha[i] > 1e-8 {
 			m.vectors = append(m.vectors, ds.Samples[i])
 			m.coefs = append(m.coefs, alpha[i]*y[i])
+			m.svIdx = append(m.svIdx, i)
 		}
 	}
 	if len(m.vectors) == 0 {

@@ -169,7 +169,7 @@ func TestLinearKernel(t *testing.T) {
 func TestGramCacheAgreesWithDirect(t *testing.T) {
 	ds := synthDataset(t, 10, 30, 4)
 	k := RBF{Gamma: 0.05}
-	g := newGram(k, ds.Samples)
+	g := newGram(k, ds.Samples, 0, 1)
 	for i := 0; i < ds.Len(); i += 7 {
 		for j := 0; j < ds.Len(); j += 5 {
 			want := k.Eval(ds.Samples[i], ds.Samples[j])
