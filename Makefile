@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fault-check bench bench-smoke
+.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,12 @@ race:
 
 # verify is the full pre-merge gate: compile, vet, plain tests, the race
 # detector over the whole tree (the crawl engine is heavily concurrent —
-# breaker, journal, and metrics are all shared state), then a 1-iteration
+# breaker, journal, and metrics are all shared state), a 1-iteration
 # smoke run of the replay benchmarks so a broken bench pipeline fails the
-# gate instead of the nightly.
-verify: build vet test race bench-smoke
+# gate instead of the nightly, and an end-to-end smoke of the serving
+# stack (snapshots → adwars-serve → adwars-loadgen with a hot reload
+# mid-fire and a graceful drain).
+verify: build vet test race bench-smoke serve-smoke
 
 # bench records the rule-engine and replay performance profile in
 # BENCH_replay.json: match and list-compile microbenchmarks from
@@ -41,6 +43,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/features >> /tmp/adwars-bench-ml.txt
 	$(GO) run ./cmd/benchjson -out BENCH_ml.json < /tmp/adwars-bench-ml.txt
 	@cat BENCH_ml.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem ./internal/serve > /tmp/adwars-bench-serve.txt
+	$(GO) run ./cmd/benchjson -out BENCH_serve.json /tmp/adwars-bench-serve.txt
+	@cat BENCH_serve.json
 
 # bench-smoke runs each headline benchmark exactly once and checks the
 # JSON pipeline end to end (no timings recorded — the 1x numbers are
@@ -49,6 +54,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplay(Indexed|LinearScan)$$' -benchtime 1x . | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-smoke.json
 	$(GO) test -short -run '^$$' -bench 'BenchmarkMLTrainCV(Sequential|Cached)$$' -benchtime 1x ./internal/experiments | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-ml-smoke.json
 	@echo "bench-smoke: pipeline ok"
+
+# serve-smoke is the end-to-end serving gate: ~2s of mixed load against a
+# freshly snapshotted adwars-serve on an ephemeral port, with a SIGHUP
+# hot reload mid-fire. Fails on any dropped request, any 5xx, a failed
+# reload, or an unclean drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # fault-check exercises the headline robustness claim end to end: the
 # retrospective CLI at a 10% transient fault rate must emit byte-identical

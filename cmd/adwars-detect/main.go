@@ -13,6 +13,11 @@
 // cache in entries (0 = default budget, -1 = uncached); -sequential forces
 // the single-worker uncached reference pipeline. All three change only
 // performance: results are bit-identical across settings.
+//
+// -save-model PATH freezes the trained headline model (AdaBoost+SVM,
+// keyword features, top-1K) as a versioned snapshot for adwars-serve;
+// -model-only skips the table sweeps and live test, training and saving
+// just that model.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"adwars/internal/antiadblock"
 	"adwars/internal/experiments"
+	"adwars/internal/ml"
 	"adwars/internal/simworld"
 )
 
@@ -38,7 +44,13 @@ func main() {
 	workers := flag.Int("workers", 0, "pipeline fan-out width (0 = GOMAXPROCS)")
 	kernelCache := flag.Int("kernel-cache", 0, "SMO Gram-cache entries (0 = default, -1 = uncached)")
 	sequential := flag.Bool("sequential", false, "single-worker uncached reference pipeline")
+	saveModel := flag.String("save-model", "", "write the trained headline model snapshot to this path")
+	modelOnly := flag.Bool("model-only", false, "skip tables and live test; just train and save the headline model")
 	flag.Parse()
+
+	if *modelOnly && *saveModel == "" {
+		log.Fatal("-model-only requires -save-model")
+	}
 
 	pipe := experiments.PipelineConfig{
 		Workers:     *workers,
@@ -62,12 +74,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
 	lab := experiments.NewLab(cfg)
 
-	// Table 2 on a representative BlockAdBlock-style script.
-	rows2, err := experiments.Table2(antiadblock.ReferenceBlockAdBlock)
-	if err != nil {
-		log.Fatal(err)
+	if !*modelOnly {
+		// Table 2 on a representative BlockAdBlock-style script.
+		rows2, err := experiments.Table2(antiadblock.ReferenceBlockAdBlock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderTable2(rows2))
 	}
-	fmt.Println(experiments.RenderTable2(rows2))
 
 	fmt.Fprintln(os.Stderr, "collecting corpus from retrospective crawl...")
 	retro, err := lab.RunRetrospective(context.Background(), experiments.RetroConfig{
@@ -79,6 +93,22 @@ func main() {
 	corpus := &experiments.Corpus{Positives: retro.CorpusPos, Negatives: retro.CorpusNeg}
 	fmt.Printf("corpus: %d positives, %d negatives (%.1f:1 imbalance)\n\n",
 		len(corpus.Positives), len(corpus.Negatives), corpus.Imbalance())
+
+	if *saveModel != "" {
+		fmt.Fprintln(os.Stderr, "training headline model for snapshot...")
+		snap, err := experiments.TrainHeadlineModel(corpus, *seed, pipe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ml.SaveModelSnapshot(*saveModel, snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote model snapshot %s (%d rounds, %d features)\n",
+			*saveModel, snap.Model.Rounds(), len(snap.Vocab))
+	}
+	if *modelOnly {
+		return
+	}
 
 	fmt.Fprintln(os.Stderr, "running Table 3 sweep...")
 	rows3, err := experiments.Table3(corpus, experiments.Table3Config{

@@ -8,6 +8,8 @@
 //	adwars-lists [-scale N] [-seed S]
 //
 // -scale shrinks the world by N× (1 = paper scale, slow; 20 = quick).
+// -save-snapshot PATH freezes the latest version of the three anti-adblock
+// filter lists as a versioned snapshot for adwars-serve.
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	scale := flag.Int("scale", 10, "world shrink factor (1 = paper scale)")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	dump := flag.String("dump", "", "directory to write the generated filter lists as .txt files")
+	saveSnapshot := flag.String("save-snapshot", "", "write the latest compiled lists as a serving snapshot to this path")
 	flag.Parse()
 
 	cfg := simworld.DefaultConfig(*seed)
@@ -35,6 +38,22 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "building world (universe %d, seed %d)...\n", cfg.UniverseSize, *seed)
 	lab := experiments.NewLab(cfg)
+
+	if *saveSnapshot != "" {
+		snap := &abp.ListsSnapshot{
+			Label: fmt.Sprintf("seed %d scale %d", *seed, *scale),
+			Lists: []*abp.List{
+				lab.Lists.AAK.LatestList(),
+				lab.Lists.EasyListAA.LatestList(),
+				lab.Lists.AWRL.LatestList(),
+			},
+		}
+		if err := abp.SaveListsSnapshot(*saveSnapshot, snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote lists snapshot %s (%d lists, %d rules)\n",
+			*saveSnapshot, len(snap.Lists), snap.Rules())
+	}
 
 	fmt.Println(experiments.Fig1(lab.Lists.AAK, lab.World.Cfg.End).Render())
 	fmt.Println(experiments.Fig1(lab.Lists.AWRL, lab.World.Cfg.End).Render())

@@ -1,0 +1,223 @@
+// Command adwars-loadgen drives an adwars-serve instance with a mixed
+// match/classify workload and reports throughput, latency quantiles, and
+// shed totals. It is the load half of the serving benchmark and of
+// `make serve-smoke`.
+//
+// Usage:
+//
+//	adwars-loadgen -target http://127.0.0.1:8080 [-rate N] [-concurrency C]
+//	               [-duration D] [-jitter F] [-classify-frac F]
+//	               [-lists snapshot.json] [-seed S] [-check]
+//
+// -rate is the aggregate request rate across all workers (0 = unthrottled);
+// -jitter perturbs each worker's inter-request gap by ±F to avoid lockstep
+// waves. With -lists the match URLs replay domains harvested from a lists
+// snapshot (the same corpus the server matches against), so a realistic
+// fraction of requests hit blocking rules; otherwise a synthetic domain
+// pool is used. Classify bodies alternate between a real BlockAdBlock-style
+// detector and generated benign scripts.
+//
+// -check turns the run into a pass/fail gate: exit non-zero unless at
+// least one request succeeded, there were no 5xx or transport errors, and
+// every request was accounted for as 2xx or 429 (nothing dropped).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/antiadblock"
+)
+
+type counters struct {
+	sent      int64
+	ok2xx     int64
+	shed429   int64
+	other4xx  int64
+	fail5xx   int64
+	transport int64
+	latencies []time.Duration
+}
+
+func (c *counters) add(o *counters) {
+	c.sent += o.sent
+	c.ok2xx += o.ok2xx
+	c.shed429 += o.shed429
+	c.other4xx += o.other4xx
+	c.fail5xx += o.fail5xx
+	c.transport += o.transport
+	c.latencies = append(c.latencies, o.latencies...)
+}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the adwars-serve instance")
+	rate := flag.Float64("rate", 0, "aggregate requests/sec across workers (0 = unthrottled)")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	duration := flag.Duration("duration", 5*time.Second, "how long to fire")
+	jitter := flag.Float64("jitter", 0.2, "inter-request gap jitter fraction (0..1)")
+	classifyFrac := flag.Float64("classify-frac", 0.1, "fraction of requests that POST /v1/classify")
+	listsPath := flag.String("lists", "", "lists snapshot to harvest match URLs from")
+	seed := flag.Int64("seed", 1, "workload seed")
+	check := flag.Bool("check", false, "exit non-zero unless 2xx>0, no 5xx/transport errors, sent == 2xx+429")
+	flag.Parse()
+
+	domains := syntheticDomains(*seed)
+	if *listsPath != "" {
+		snap, err := abp.LoadListsSnapshot(*listsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: lists snapshot: %v\n", err)
+			os.Exit(2)
+		}
+		var harvested []string
+		for _, l := range snap.Lists {
+			harvested = append(harvested, l.Domains()...)
+		}
+		if len(harvested) > 0 {
+			// Keep some synthetic (non-listed) domains in the pool so both
+			// the block and no-match paths are exercised.
+			domains = append(harvested, domains[:len(domains)/4]...)
+		}
+	}
+	scripts := workloadScripts(*seed)
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(*concurrency) / *rate * float64(time.Second))
+	}
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: *concurrency,
+		},
+	}
+
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	results := make([]counters, *concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			c := &results[w]
+			for time.Now().Before(deadline) {
+				var path string
+				var body []byte
+				var ctype string
+				if rng.Float64() < *classifyFrac {
+					path = "/v1/classify"
+					body = []byte(scripts[rng.Intn(len(scripts))])
+					ctype = "application/javascript"
+				} else {
+					path = "/v1/match"
+					d := domains[rng.Intn(len(domains))]
+					q := map[string]string{
+						"url":         fmt.Sprintf("http://%s/assets/%d/unit.js", d, rng.Intn(1000)),
+						"type":        "script",
+						"page_domain": "publisher.example",
+					}
+					body, _ = json.Marshal(q)
+					ctype = "application/json"
+				}
+				c.sent++
+				t0 := time.Now()
+				resp, err := client.Post(*target+path, ctype, bytes.NewReader(body))
+				if err != nil {
+					c.transport++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				c.latencies = append(c.latencies, time.Since(t0))
+				switch {
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					c.ok2xx++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					c.shed429++
+				case resp.StatusCode >= 500:
+					c.fail5xx++
+				default:
+					c.other4xx++
+				}
+				if interval > 0 {
+					gap := float64(interval) * (1 + *jitter*(2*rng.Float64()-1))
+					time.Sleep(time.Duration(gap))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total counters
+	for i := range results {
+		total.add(&results[i])
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+
+	fmt.Printf("loadgen: %d requests in %v (%.0f req/s, %d workers)\n",
+		total.sent, elapsed.Round(time.Millisecond), float64(total.sent)/elapsed.Seconds(), *concurrency)
+	fmt.Printf("  2xx %d   429 shed %d   other 4xx %d   5xx %d   transport errors %d\n",
+		total.ok2xx, total.shed429, total.other4xx, total.fail5xx, total.transport)
+	if n := len(total.latencies); n > 0 {
+		fmt.Printf("  latency p50 %v   p90 %v   p99 %v   max %v\n",
+			total.latencies[n/2].Round(time.Microsecond),
+			total.latencies[n*90/100].Round(time.Microsecond),
+			total.latencies[n*99/100].Round(time.Microsecond),
+			total.latencies[n-1].Round(time.Microsecond))
+	}
+
+	if *check {
+		accounted := total.ok2xx + total.shed429
+		switch {
+		case total.ok2xx == 0:
+			fmt.Fprintln(os.Stderr, "loadgen: CHECK FAILED: no successful requests")
+			os.Exit(1)
+		case total.fail5xx > 0:
+			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %d 5xx responses\n", total.fail5xx)
+			os.Exit(1)
+		case total.transport > 0:
+			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %d transport errors\n", total.transport)
+			os.Exit(1)
+		case accounted != total.sent:
+			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: sent %d but only %d accounted as 2xx+429\n",
+				total.sent, accounted)
+			os.Exit(1)
+		}
+		fmt.Println("loadgen: CHECK OK (all requests 2xx or 429, zero 5xx)")
+	}
+}
+
+// syntheticDomains is the fallback URL pool when no lists snapshot is
+// given: a spread of plausible ad-ish and clean hostnames.
+func syntheticDomains(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, 256)
+	for i := 0; i < 256; i++ {
+		out = append(out, fmt.Sprintf("host%04d.example", rng.Intn(10000)))
+	}
+	return out
+}
+
+// workloadScripts returns the classify bodies: one real anti-adblock
+// detector plus a handful of generated benign scripts.
+func workloadScripts(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	scripts := []string{antiadblock.ReferenceBlockAdBlock}
+	for _, k := range antiadblock.BenignKinds() {
+		scripts = append(scripts, antiadblock.BenignScript(k, rng, antiadblock.GenOptions{}))
+	}
+	return scripts
+}

@@ -1,0 +1,116 @@
+// Command adwars-serve is the online serving layer: it loads the model and
+// filter-list snapshots written by adwars-detect and adwars-lists and
+// answers block decisions (/v1/match) and anti-adblock classifications
+// (/v1/classify) over HTTP, with batch variants, per-endpoint metrics at
+// /debug/vars, and load shedding under overload.
+//
+// Usage:
+//
+//	adwars-serve -model model.json -lists lists.json [-addr :8080]
+//	             [-workers N] [-queue N] [-queue-timeout D]
+//	             [-max-body N] [-max-batch N] [-drain D] [-portfile PATH]
+//
+// SIGHUP (or POST /admin/reload) atomically re-reads both snapshots from
+// disk without dropping in-flight requests; SIGINT/SIGTERM drain in-flight
+// requests (up to -drain) and flush a final metrics snapshot to stderr
+// before exiting. -portfile writes the bound host:port after listening,
+// so scripts can use -addr 127.0.0.1:0 for an ephemeral port.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adwars/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks an ephemeral port)")
+	model := flag.String("model", "", "model snapshot path (from adwars-detect -save-model)")
+	lists := flag.String("lists", "", "lists snapshot path (from adwars-lists -save-snapshot)")
+	workers := flag.Int("workers", 0, "concurrent request slots (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max queue wait before shedding (0 = default)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 1MiB)")
+	maxBatch := flag.Int("max-batch", 0, "max items per batch request (0 = default 256)")
+	drain := flag.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default 5s)")
+	portfile := flag.String("portfile", "", "write the bound host:port to this file after listening")
+	flag.Parse()
+
+	if *model == "" && *lists == "" {
+		log.Fatal("need at least one of -model or -lists")
+	}
+
+	s := serve.New(serve.Config{
+		ModelPath:    *model,
+		ListsPath:    *lists,
+		Workers:      *workers,
+		Queue:        *queue,
+		QueueTimeout: *queueTimeout,
+		MaxBody:      *maxBody,
+		MaxBatch:     *maxBatch,
+		DrainTimeout: *drain,
+		MetricsOut:   os.Stderr,
+	})
+	if err := s.ReloadSnapshots(); err != nil {
+		log.Fatalf("initial snapshot load: %v", err)
+	}
+	expvar.Publish("adwars_serve", expvar.Func(func() interface{} {
+		return jsonRaw(s.Metrics().String())
+	}))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("portfile: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "adwars-serve listening on %s (model=%q lists=%q)\n",
+		ln.Addr(), *model, *lists)
+
+	// SIGINT/SIGTERM cancel the serve context → graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// SIGHUP hot-reloads both snapshots; a failed reload keeps serving the
+	// previous ones.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				start := time.Now()
+				if err := s.ReloadSnapshots(); err != nil {
+					log.Printf("SIGHUP reload failed (still serving old snapshots): %v", err)
+				} else {
+					log.Printf("SIGHUP reload ok in %v", time.Since(start))
+				}
+			}
+		}
+	}()
+
+	if err := s.Serve(ctx, ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "adwars-serve: drained, bye")
+}
+
+// jsonRaw marks an already-encoded JSON string so expvar prints it
+// verbatim instead of quoting it.
+type jsonRaw string
+
+func (r jsonRaw) MarshalJSON() ([]byte, error) { return []byte(r), nil }

@@ -1,13 +1,18 @@
-// Command benchjson converts `go test -bench` text output (read from
-// stdin) into a machine-readable JSON report. It is the back half of
-// `make bench`: the benchmark run pipes through it and BENCH_replay.json
-// lands in the repo root with ns/op and allocs for the match, list-compile,
-// and full-replay paths, plus the headline indexed-vs-linear replay
-// speedup.
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report. It is the back half of `make bench`: the
+// benchmark runs pipe through it and BENCH_replay.json / BENCH_ml.json /
+// BENCH_serve.json land in the repo root with ns/op, allocs, and any
+// custom b.ReportMetric units (e.g. the serving benchmarks' p50-ns /
+// p99-ns latency quantiles), plus the headline derived figures.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_replay.json
+//	benchjson -out BENCH_serve.json serve1.txt serve2.txt
+//
+// With positional arguments the inputs are read from files instead of
+// stdin; a missing or unreadable input file is a warning, not a failure,
+// so a partial benchmark run still produces a report from what exists.
 package main
 
 import (
@@ -32,6 +37,8 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g. "p50-ns").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -46,16 +53,47 @@ type Report struct {
 	// kernel-cached parallel pipeline over the uncached sequential
 	// reference (must be ≥ 2 on a full benchmark run).
 	MLSpeedupCachedVsSequential float64 `json:"ml_speedup_cached_vs_sequential,omitempty"`
+	// ServeMatchP50Ns / ServeMatchP99Ns are the single-request /v1/match
+	// latency quantiles from the serving benchmark's custom metrics.
+	ServeMatchP50Ns float64 `json:"serve_match_p50_ns,omitempty"`
+	ServeMatchP99Ns float64 `json:"serve_match_p99_ns,omitempty"`
+	// ServeMatchRPS is the sequential single-worker /v1/match throughput
+	// (1e9 / ns_per_op of ServeMatch); concurrent throughput scales with
+	// the worker pool and is measured live by adwars-loadgen.
+	ServeMatchRPS float64 `json:"serve_match_rps,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	flag.Parse()
 
-	rep, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
-		log.Fatal(err)
+	rep := &Report{}
+	if flag.NArg() == 0 {
+		if err := parse(bufio.NewScanner(os.Stdin), rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		parsed := 0
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: skipping %s: %v\n", path, err)
+				continue
+			}
+			err = parse(bufio.NewScanner(f), rep)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: skipping %s: %v\n", path, err)
+				continue
+			}
+			parsed++
+		}
+		if parsed == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: warning: no readable inputs; emitting empty report")
+		}
 	}
+	derive(rep)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -71,9 +109,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 }
 
-func parse(sc *bufio.Scanner) (*Report, error) {
+// parse appends the benchmark lines of one input stream to rep.
+func parse(sc *bufio.Scanner, rep *Report) error {
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	rep := &Report{}
 	pkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -91,9 +129,11 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		b.Pkg = pkg
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
+	return sc.Err()
+}
+
+// derive computes the headline cross-benchmark figures.
+func derive(rep *Report) {
 	var indexed, linear, mlSeq, mlCached float64
 	for _, b := range rep.Benchmarks {
 		switch b.Name {
@@ -105,6 +145,12 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 			mlSeq = b.NsPerOp
 		case "MLTrainCVCached":
 			mlCached = b.NsPerOp
+		case "ServeMatch":
+			rep.ServeMatchP50Ns = b.Metrics["p50-ns"]
+			rep.ServeMatchP99Ns = b.Metrics["p99-ns"]
+			if b.NsPerOp > 0 {
+				rep.ServeMatchRPS = 1e9 / b.NsPerOp
+			}
 		}
 	}
 	if indexed > 0 && linear > 0 {
@@ -113,14 +159,14 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	if mlSeq > 0 && mlCached > 0 {
 		rep.MLSpeedupCachedVsSequential = mlSeq / mlCached
 	}
-	return rep, nil
 }
 
 // parseLine parses one result line of the form
 //
-//	BenchmarkName-8  123  4567 ns/op  89 B/op  10 allocs/op
+//	BenchmarkName-8  123  4567 ns/op  89 B/op  10 allocs/op  678 p50-ns
 //
-// Lines that do not carry an ns/op measurement (e.g. "BenchmarkX ... FAIL")
+// Unknown units (from b.ReportMetric) are collected into Metrics. Lines
+// that do not carry an ns/op measurement (e.g. "BenchmarkX ... FAIL")
 // are skipped.
 func parseLine(line string) (Benchmark, bool) {
 	f := strings.Fields(line)
@@ -144,7 +190,7 @@ func parseLine(line string) (Benchmark, bool) {
 		if err != nil {
 			return Benchmark{}, false
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			b.NsPerOp = v
 			seenNs = true
@@ -152,6 +198,11 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
 		}
 	}
 	return b, seenNs

@@ -1,0 +1,152 @@
+package abp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// List snapshots freeze a set of compiled filter lists for the serving
+// layer: adwars-lists -save-snapshot writes one, adwars-serve loads it and
+// answers /v1/match from the compiled result. Rules are stored as their
+// canonical source lines (Rule.Raw) and recompiled on load — Parse is
+// deterministic, so a reloaded list matches byte-identically to the one
+// that was saved (asserted by the round-trip tests).
+
+const (
+	// ListsSnapshotFormat is the format tag every lists snapshot carries.
+	ListsSnapshotFormat = "adwars-lists"
+	// ListsSnapshotVersion is the current snapshot schema version.
+	ListsSnapshotVersion = 1
+)
+
+// ErrSnapshotFormat reports a file that is not a lists snapshot at all.
+var ErrSnapshotFormat = errors.New("abp: not an adwars lists snapshot")
+
+// ErrSnapshotVersion reports a snapshot written by an unknown (newer)
+// schema version.
+var ErrSnapshotVersion = errors.New("abp: unsupported lists snapshot version")
+
+// ListsSnapshot is a set of compiled filter lists frozen for serving.
+type ListsSnapshot struct {
+	// Label optionally identifies the snapshot's provenance (e.g. the
+	// crawl date the lists were taken from). Informational only.
+	Label string
+	// Lists are the compiled lists, ready for concurrent matching.
+	Lists []*List
+}
+
+// Rules returns the total rule count across all lists.
+func (s *ListsSnapshot) Rules() int {
+	n := 0
+	for _, l := range s.Lists {
+		n += l.Len()
+	}
+	return n
+}
+
+type listJSON struct {
+	Name  string   `json:"name"`
+	Rules []string `json:"rules"`
+}
+
+type listsSnapshotJSON struct {
+	Format  string     `json:"format"`
+	Version int        `json:"version"`
+	Label   string     `json:"label,omitempty"`
+	Lists   []listJSON `json:"lists"`
+}
+
+// WriteListsSnapshot writes the snapshot to w in the current schema
+// version.
+func WriteListsSnapshot(w io.Writer, s *ListsSnapshot) error {
+	doc := listsSnapshotJSON{
+		Format:  ListsSnapshotFormat,
+		Version: ListsSnapshotVersion,
+		Label:   s.Label,
+	}
+	for _, l := range s.Lists {
+		lj := listJSON{Name: l.Name, Rules: make([]string, 0, l.Len())}
+		for _, r := range l.Rules() {
+			lj.Rules = append(lj.Rules, r.Raw)
+		}
+		doc.Lists = append(doc.Lists, lj)
+	}
+	return json.NewEncoder(w).Encode(&doc)
+}
+
+// ReadListsSnapshot parses and recompiles a snapshot, rejecting foreign
+// files (ErrSnapshotFormat), unknown schema versions (ErrSnapshotVersion),
+// and snapshots whose rules no longer parse (they would silently change
+// match decisions).
+func ReadListsSnapshot(r io.Reader) (*ListsSnapshot, error) {
+	var doc listsSnapshotJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	}
+	if doc.Format != ListsSnapshotFormat {
+		return nil, fmt.Errorf("%w: format %q", ErrSnapshotFormat, doc.Format)
+	}
+	if doc.Version != ListsSnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)",
+			ErrSnapshotVersion, doc.Version, ListsSnapshotVersion)
+	}
+	out := &ListsSnapshot{Label: doc.Label}
+	for _, lj := range doc.Lists {
+		rules := make([]*Rule, 0, len(lj.Rules))
+		for _, line := range lj.Rules {
+			rule, err := Parse(line)
+			if err != nil {
+				return nil, fmt.Errorf("abp: snapshot list %q: rule %q: %w", lj.Name, line, err)
+			}
+			rules = append(rules, rule)
+		}
+		out.Lists = append(out.Lists, NewList(lj.Name, rules))
+	}
+	return out, nil
+}
+
+// SaveListsSnapshot writes the snapshot to path atomically (temp file +
+// rename) so hot-reloading readers never observe a torn file.
+func SaveListsSnapshot(path string, s *ListsSnapshot) error {
+	tmp, err := os.CreateTemp(snapshotDir(path), ".lists-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteListsSnapshot(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadListsSnapshot reads and recompiles a snapshot from path.
+func LoadListsSnapshot(path string) (*ListsSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadListsSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// snapshotDir returns the directory containing path ("." for bare names),
+// keeping the temp file on the same filesystem as the rename target.
+func snapshotDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,109 @@
+package abp
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const snapshotTestList = `! Anti-adblock test list
+||baitserver.example^$script
+||ads.example.com/banner/*
+@@||ads.example.com/banner/allowed$script
+|http://exact.example/ad.js|
+/adframe/$subdocument,third-party
+news.example##.adblock-notice
+news.example#@#.adblock-notice-allowed
+##div.ad-overlay
+@@||trusted.example^$elemhide
+`
+
+func snapshotTestRequests() []Request {
+	return []Request{
+		{URL: "http://baitserver.example/ads.js", Type: TypeScript, PageDomain: "news.example"},
+		{URL: "http://ads.example.com/banner/728x90.png", Type: TypeImage, PageDomain: "news.example"},
+		{URL: "http://ads.example.com/banner/allowed", Type: TypeScript, PageDomain: "news.example"},
+		{URL: "http://exact.example/ad.js", Type: TypeScript, PageDomain: "exact.example"},
+		{URL: "http://cdn.example/adframe/index.html", Type: TypeSubdocument, PageDomain: "news.example"},
+		{URL: "http://clean.example/app.js", Type: TypeScript, PageDomain: "clean.example"},
+	}
+}
+
+func TestListsSnapshotRoundTrip(t *testing.T) {
+	orig, errs := ParseAndBuild("test-list", snapshotTestList)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	snap := &ListsSnapshot{Label: "unit", Lists: []*List{orig}}
+	path := filepath.Join(t.TempDir(), "lists.json")
+	if err := SaveListsSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadListsSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "unit" || len(got.Lists) != 1 {
+		t.Fatalf("snapshot = %q/%d lists, want unit/1", got.Label, len(got.Lists))
+	}
+	reloaded := got.Lists[0]
+	if reloaded.Name != orig.Name || reloaded.Len() != orig.Len() {
+		t.Fatalf("reloaded %s/%d rules, want %s/%d", reloaded.Name, reloaded.Len(), orig.Name, orig.Len())
+	}
+	if got.Rules() != orig.Len() {
+		t.Errorf("Rules() = %d, want %d", got.Rules(), orig.Len())
+	}
+	for _, q := range snapshotTestRequests() {
+		d1, r1 := orig.MatchRequest(q)
+		d2, r2 := reloaded.MatchRequest(q)
+		if d1 != d2 {
+			t.Errorf("%s: decision %v != %v", q.URL, d2, d1)
+		}
+		if (r1 == nil) != (r2 == nil) || (r1 != nil && r1.Raw != r2.Raw) {
+			t.Errorf("%s: rule mismatch: %v vs %v", q.URL, r1, r2)
+		}
+		m1 := orig.MatchingHTTPRules(q)
+		m2 := reloaded.MatchingHTTPRules(q)
+		if len(m1) != len(m2) {
+			t.Errorf("%s: %d matching rules, want %d", q.URL, len(m2), len(m1))
+			continue
+		}
+		for i := range m1 {
+			if m1[i].Raw != m2[i].Raw {
+				t.Errorf("%s: matching rule %d = %q, want %q", q.URL, i, m2[i].Raw, m1[i].Raw)
+			}
+		}
+	}
+	// Element hiding survives the round trip too.
+	elems := []*Element{
+		{Tag: "div", Classes: []string{"adblock-notice"}},
+		{Tag: "div", Classes: []string{"ad-overlay"}},
+	}
+	h1 := orig.HiddenElements("news.example", elems)
+	h2 := reloaded.HiddenElements("news.example", elems)
+	if len(h1) != len(h2) {
+		t.Fatalf("hidden %d elements, want %d", len(h2), len(h1))
+	}
+	for i, r := range h1 {
+		if h2[i] == nil || h2[i].Raw != r.Raw {
+			t.Errorf("element %d hidden by %v, want %q", i, h2[i], r.Raw)
+		}
+	}
+}
+
+func TestListsSnapshotRejectsForeignAndFutureFiles(t *testing.T) {
+	if _, err := ReadListsSnapshot(strings.NewReader(`{"format":"nope","version":1}`)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("foreign format: err = %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := ReadListsSnapshot(strings.NewReader(`garbage`)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("garbage: err = %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := ReadListsSnapshot(strings.NewReader(`{"format":"adwars-lists","version":42,"lists":[]}`)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("future version: err = %v, want ErrSnapshotVersion", err)
+	}
+	bad := `{"format":"adwars-lists","version":1,"lists":[{"name":"x","rules":["##["]}]}`
+	if _, err := ReadListsSnapshot(strings.NewReader(bad)); err == nil {
+		t.Error("unparseable rule must error")
+	}
+}

@@ -344,13 +344,17 @@ type LiveTestResult struct {
 	TPRate   float64
 }
 
-// LiveModelTest trains the headline configuration (AdaBoost+SVM, keyword
-// features, top-1K) on the retrospective corpus and classifies the
-// anti-adblock scripts collected from live sites outside the training
-// population — the paper's 92.5% TP experiment.
-func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, seed int64, pipe PipelineConfig) (*LiveTestResult, error) {
+// headlineTopK is the feature budget of the paper's headline configuration
+// (AdaBoost+SVM over keyword features).
+const headlineTopK = 1000
+
+// TrainHeadlineModel trains the paper's headline configuration — AdaBoost
+// over RBF-SVM weak learners, keyword features, top-1K chi-square selection
+// — on the full retrospective corpus and freezes it as a serving snapshot
+// (model + vocabulary + provenance). This is the model adwars-serve loads.
+func TrainHeadlineModel(train *Corpus, seed int64, pipe PipelineConfig) (*ml.ModelSnapshot, error) {
 	corpus := train.trim(0, seed)
-	ds, err := buildDataset(corpus, features.SetKeyword, 1000, pipe)
+	ds, err := buildDataset(corpus, features.SetKeyword, headlineTopK, pipe)
 	if err != nil {
 		return nil, err
 	}
@@ -358,6 +362,29 @@ func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, see
 	if err != nil {
 		return nil, err
 	}
+	return &ml.ModelSnapshot{
+		FeatureSet: features.SetKeyword.String(),
+		Vocab:      append([]string(nil), ds.Vocab...),
+		Model:      model,
+		Meta: ml.ModelMeta{
+			Positives: len(corpus.Positives),
+			Negatives: len(corpus.Negatives),
+			TopK:      headlineTopK,
+			Seed:      seed,
+		},
+	}, nil
+}
+
+// LiveModelTest trains the headline configuration (AdaBoost+SVM, keyword
+// features, top-1K) on the retrospective corpus and classifies the
+// anti-adblock scripts collected from live sites outside the training
+// population — the paper's 92.5% TP experiment.
+func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, seed int64, pipe PipelineConfig) (*LiveTestResult, error) {
+	snap, err := TrainHeadlineModel(train, seed, pipe)
+	if err != nil {
+		return nil, err
+	}
+	model, vocab := snap.Model, features.NewVocab(snap.Vocab)
 	// Classify the out-of-population live scripts; extraction fans out,
 	// prediction folds back in input order.
 	eligible := make([]string, 0, len(liveScripts))
@@ -377,7 +404,7 @@ func LiveModelTest(train *Corpus, liveScripts []LiveScript, excludeTopN int, see
 			continue
 		}
 		res.Scripts++
-		if model.Predict(ds.Project(fsets[i])) > 0 {
+		if model.Predict(vocab.Project(fsets[i])) > 0 {
 			res.Detected++
 		}
 	}

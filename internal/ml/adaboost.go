@@ -36,6 +36,17 @@ type AdaBoost struct {
 // Rounds returns the number of boosting rounds actually trained.
 func (a *AdaBoost) Rounds() int { return len(a.models) }
 
+// AlphaSum returns Σ|αₜ|, the largest magnitude Decision can reach. The
+// serving layer normalizes decision values by it to report a bounded
+// [0,1] anti-adblock score.
+func (a *AdaBoost) AlphaSum() float64 {
+	sum := 0.0
+	for _, alpha := range a.alphas {
+		sum += math.Abs(alpha)
+	}
+	return sum
+}
+
 // Decision returns the weighted vote Σ αₜhₜ(s).
 func (a *AdaBoost) Decision(s features.Sample) float64 {
 	v := 0.0

@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Model snapshots are the wire format between the offline training pipeline
+// (adwars-detect -save-model) and the online serving layer (adwars-serve):
+// the trained AdaBoost ensemble plus the selected vocabulary it was trained
+// over, in one versioned file. The vocabulary travels with the model because
+// a model is only meaningful against the exact feature indices it saw at
+// training time.
+
+const (
+	// ModelSnapshotFormat is the format tag every model snapshot carries.
+	ModelSnapshotFormat = "adwars-model"
+	// ModelSnapshotVersion is the current snapshot schema version. Readers
+	// reject snapshots from a newer (unknown) schema instead of guessing.
+	ModelSnapshotVersion = 1
+)
+
+// ErrSnapshotFormat reports a file that is not a model snapshot at all.
+var ErrSnapshotFormat = errors.New("ml: not an adwars model snapshot")
+
+// ErrSnapshotVersion reports a snapshot written by an unknown (newer)
+// schema version.
+var ErrSnapshotVersion = errors.New("ml: unsupported model snapshot version")
+
+// ModelMeta records where a snapshot came from — training corpus shape and
+// hyperparameters. Purely informational; serving never branches on it.
+type ModelMeta struct {
+	Positives int   `json:"positives,omitempty"`
+	Negatives int   `json:"negatives,omitempty"`
+	TopK      int   `json:"top_k,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+}
+
+// ModelSnapshot is a trained ensemble frozen for serving: the classifier,
+// the feature set it extracts ("keyword", "literal", "all"), and the
+// selected vocabulary defining its feature indices.
+type ModelSnapshot struct {
+	FeatureSet string
+	Vocab      []string
+	Model      *AdaBoost
+	Meta       ModelMeta
+}
+
+// modelSnapshotJSON is the on-disk schema.
+type modelSnapshotJSON struct {
+	Format     string          `json:"format"`
+	Version    int             `json:"version"`
+	Classifier string          `json:"classifier"`
+	FeatureSet string          `json:"feature_set"`
+	Vocab      []string        `json:"vocab"`
+	Model      json.RawMessage `json:"model"`
+	Meta       ModelMeta       `json:"meta,omitempty"`
+}
+
+// WriteModelSnapshot writes the snapshot to w in the current schema
+// version.
+func WriteModelSnapshot(w io.Writer, s *ModelSnapshot) error {
+	if s.Model == nil {
+		return fmt.Errorf("ml: snapshot has no model")
+	}
+	model, err := json.Marshal(s.Model)
+	if err != nil {
+		return err
+	}
+	doc := modelSnapshotJSON{
+		Format:     ModelSnapshotFormat,
+		Version:    ModelSnapshotVersion,
+		Classifier: "adaboost",
+		FeatureSet: s.FeatureSet,
+		Vocab:      s.Vocab,
+		Model:      model,
+		Meta:       s.Meta,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// ReadModelSnapshot parses a snapshot, rejecting foreign files
+// (ErrSnapshotFormat) and unknown schema versions (ErrSnapshotVersion).
+func ReadModelSnapshot(r io.Reader) (*ModelSnapshot, error) {
+	var doc modelSnapshotJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+	}
+	if doc.Format != ModelSnapshotFormat {
+		return nil, fmt.Errorf("%w: format %q", ErrSnapshotFormat, doc.Format)
+	}
+	if doc.Version != ModelSnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)",
+			ErrSnapshotVersion, doc.Version, ModelSnapshotVersion)
+	}
+	if doc.Classifier != "adaboost" {
+		return nil, fmt.Errorf("ml: unknown classifier %q in snapshot", doc.Classifier)
+	}
+	model := &AdaBoost{}
+	if err := json.Unmarshal(doc.Model, model); err != nil {
+		return nil, fmt.Errorf("ml: snapshot model: %w", err)
+	}
+	if model.Rounds() == 0 {
+		return nil, fmt.Errorf("ml: snapshot model has no rounds")
+	}
+	return &ModelSnapshot{
+		FeatureSet: doc.FeatureSet,
+		Vocab:      doc.Vocab,
+		Model:      model,
+		Meta:       doc.Meta,
+	}, nil
+}
+
+// SaveModelSnapshot writes the snapshot to path atomically (temp file +
+// rename), so a reader never observes a torn snapshot mid-write — the
+// hot-reload path depends on this.
+func SaveModelSnapshot(path string, s *ModelSnapshot) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".model-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteModelSnapshot(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadModelSnapshot reads a snapshot from path.
+func LoadModelSnapshot(path string) (*ModelSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadModelSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// dirOf returns the directory containing path ("." for bare names), so the
+// temp file lands on the same filesystem as the final rename target.
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

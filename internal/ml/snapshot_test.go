@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trainedSnapshot(t *testing.T) *ModelSnapshot {
+	t.Helper()
+	ds := synthDataset(t, 20, 120, 7)
+	model, err := TrainAdaBoost(ds, DefaultAdaBoostConfig(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ModelSnapshot{
+		FeatureSet: "keyword",
+		Vocab:      ds.Vocab,
+		Model:      model,
+		Meta:       ModelMeta{Positives: 20, Negatives: 120, TopK: 100, Seed: 7},
+	}
+}
+
+func TestModelSnapshotRoundTrip(t *testing.T) {
+	snap := trainedSnapshot(t)
+	ds := synthDataset(t, 20, 120, 7)
+
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModelSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModelSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FeatureSet != snap.FeatureSet {
+		t.Errorf("feature set %q, want %q", got.FeatureSet, snap.FeatureSet)
+	}
+	if len(got.Vocab) != len(snap.Vocab) {
+		t.Fatalf("vocab %d entries, want %d", len(got.Vocab), len(snap.Vocab))
+	}
+	for i := range got.Vocab {
+		if got.Vocab[i] != snap.Vocab[i] {
+			t.Fatalf("vocab[%d] = %q, want %q", i, got.Vocab[i], snap.Vocab[i])
+		}
+	}
+	if got.Meta != snap.Meta {
+		t.Errorf("meta %+v, want %+v", got.Meta, snap.Meta)
+	}
+	if got.Model.Rounds() != snap.Model.Rounds() {
+		t.Fatalf("rounds %d, want %d", got.Model.Rounds(), snap.Model.Rounds())
+	}
+	if got.Model.AlphaSum() != snap.Model.AlphaSum() {
+		t.Errorf("alpha sum %v, want %v", got.Model.AlphaSum(), snap.Model.AlphaSum())
+	}
+	// Decisions must be bit-identical, not merely close: the served model
+	// has to agree with the trained one on every sample.
+	for i, s := range ds.Samples {
+		if g, w := got.Model.Decision(s), snap.Model.Decision(s); g != w {
+			t.Fatalf("sample %d: decision %v != %v", i, g, w)
+		}
+	}
+}
+
+func TestModelSnapshotRejectsForeignAndFutureFiles(t *testing.T) {
+	if _, err := ReadModelSnapshot(strings.NewReader(`{"format":"something-else","version":1}`)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("foreign format: err = %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := ReadModelSnapshot(strings.NewReader(`not json`)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("garbage: err = %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := ReadModelSnapshot(strings.NewReader(`{"format":"adwars-model","version":999,"classifier":"adaboost"}`)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("future version: err = %v, want ErrSnapshotVersion", err)
+	}
+	if _, err := ReadModelSnapshot(strings.NewReader(`{"format":"adwars-model","version":1,"classifier":"forest","model":{}}`)); err == nil {
+		t.Error("unknown classifier must error")
+	}
+}
+
+func TestModelSnapshotWriteRequiresModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteModelSnapshot(&buf, &ModelSnapshot{FeatureSet: "keyword"}); err == nil {
+		t.Error("nil model must error")
+	}
+}

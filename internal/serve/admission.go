@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned by admission.acquire when the request cannot get a
+// worker slot before its queueing deadline (or the queue itself is full).
+// Handlers map it to 429 so overload degrades into fast, explicit rejections
+// instead of unbounded queues and timeouts — the server keeps serving at its
+// capacity while excess load bounces.
+var errShed = errors.New("serve: overloaded, request shed")
+
+// admission is a bounded worker pool plus a bounded wait queue with a
+// deadline. A request first tries to take a slot immediately; if none is
+// free it may wait — but only while fewer than maxQueue requests are
+// already waiting, and only up to timeout. Everything else is shed.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	timeout  time.Duration
+}
+
+func newAdmission(workers, maxQueue int, timeout time.Duration) *admission {
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		maxQueue: int64(maxQueue),
+		timeout:  timeout,
+	}
+}
+
+// acquire blocks until a worker slot is available, the queue deadline
+// expires (errShed), or ctx is cancelled. On success the caller must invoke
+// the returned release exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: free slot, no queueing, no timer allocation.
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, errShed
+	}
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-timer.C:
+		return nil, errShed
+	case <-ctx.Done():
+		// The client gave up while queued; shed rather than do dead work.
+		return nil, errShed
+	}
+}
+
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPathAndShed(t *testing.T) {
+	a := newAdmission(1, 1, 10*time.Millisecond)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot held: the next caller queues and sheds on deadline.
+	start := time.Now()
+	if _, err := a.acquire(context.Background()); err != errShed {
+		t.Fatalf("err = %v, want errShed", err)
+	}
+	if waited := time.Since(start); waited < 5*time.Millisecond {
+		t.Errorf("shed after %v, expected to wait out the deadline", waited)
+	}
+	release()
+	// Slot free again: acquire succeeds immediately.
+	release2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	a := newAdmission(1, 1, time.Second)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot with a waiter.
+	waiting := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(context.Background())
+		waiting <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Queue full: the next caller sheds instantly, without waiting.
+	start := time.Now()
+	if _, err := a.acquire(context.Background()); err != errShed {
+		t.Fatalf("err = %v, want errShed", err)
+	}
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Errorf("full-queue shed took %v, want immediate", waited)
+	}
+	release()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.release()
+}
+
+func TestAdmissionShedsCancelledCaller(t *testing.T) {
+	a := newAdmission(1, 4, time.Minute)
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := a.acquire(ctx); err != errShed {
+		t.Fatalf("err = %v, want errShed on cancelled ctx", err)
+	}
+}
+
+// TestLoadSheddingEndToEnd drives a deliberately tiny server far past its
+// capacity and checks the overload contract: every request is answered,
+// overflow becomes 429 (with Retry-After and a structured body), nothing
+// becomes a 5xx, and the shed counter matches the 429s the clients saw.
+func TestLoadSheddingEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:      1,
+		Queue:        2,
+		QueueTimeout: 5 * time.Millisecond,
+	})
+	s.testDelay = 20 * time.Millisecond // each request hogs the one worker
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 16
+	var ok200, shed429, other atomic.Int64
+	var retryAfterSeen atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, err := ts.Client().Post(ts.URL+"/v1/match", "application/json",
+					strings.NewReader(`{"url":"http://ads.example.com/banner.js"}`))
+				if err != nil {
+					other.Add(1)
+					return
+				}
+				switch resp.StatusCode {
+				case 200:
+					ok200.Add(1)
+				case 429:
+					shed429.Add(1)
+					if resp.Header.Get("Retry-After") != "" {
+						retryAfterSeen.Store(true)
+					}
+					var envelope struct {
+						Error struct {
+							Code string `json:"code"`
+						} `json:"error"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code != "shed" {
+						t.Errorf("shed body not structured: %v %+v", err, envelope)
+					}
+				default:
+					other.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d unexpected responses", other.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if shed429.Load() == 0 {
+		t.Fatal("overload never shed — admission control inert")
+	}
+	if !retryAfterSeen.Load() {
+		t.Error("429s missing Retry-After")
+	}
+	var snap metricsSnapshot
+	if err := json.Unmarshal([]byte(s.met.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	ep := snap.Endpoints["match"]
+	if int64(ep.Shed) != shed429.Load() {
+		t.Errorf("shed metric = %d, clients saw %d", ep.Shed, shed429.Load())
+	}
+	if int64(ep.Requests) != ok200.Load()+shed429.Load() {
+		t.Errorf("requests metric = %d, want %d", ep.Requests, ok200.Load()+shed429.Load())
+	}
+}

@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/features"
+)
+
+// ---- wire types ----
+
+// MatchQuery is one /v1/match request: should this URL be blocked?
+type MatchQuery struct {
+	URL        string `json:"url"`
+	Type       string `json:"type,omitempty"`
+	PageDomain string `json:"page_domain,omitempty"`
+}
+
+// ListMatch is one list's verdict for a query.
+type ListMatch struct {
+	List         string   `json:"list"`
+	Decision     string   `json:"decision"`
+	Rule         string   `json:"rule,omitempty"`
+	MatchedRules []string `json:"matched_rules,omitempty"`
+}
+
+// MatchResult is the verdict across all served lists. Blocked follows
+// merged-list semantics: an exception anywhere overrides a block anywhere,
+// exactly as if the lists were concatenated into one.
+type MatchResult struct {
+	Blocked  bool        `json:"blocked"`
+	Decision string      `json:"decision"`
+	Lists    []ListMatch `json:"lists"`
+}
+
+// ClassifyResult is the anti-adblock verdict for one script.
+type ClassifyResult struct {
+	AntiAdblock bool    `json:"anti_adblock"`
+	Score       float64 `json:"score"`
+	Decision    float64 `json:"decision"`
+	Features    int     `json:"features"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// ModelInfo describes the installed model snapshot.
+type ModelInfo struct {
+	FeatureSet string `json:"feature_set"`
+	Vocab      int    `json:"vocab"`
+	Rounds     int    `json:"rounds"`
+}
+
+// ListsInfo describes the installed lists snapshot.
+type ListsInfo struct {
+	Label string `json:"label,omitempty"`
+	Lists int    `json:"lists"`
+	Rules int    `json:"rules"`
+}
+
+// SnapshotInfo identifies the snapshots a response was served from.
+type SnapshotInfo struct {
+	Model *ModelInfo `json:"model,omitempty"`
+	Lists *ListsInfo `json:"lists,omitempty"`
+}
+
+type matchResponse struct {
+	MatchResult
+	Snapshot SnapshotInfo `json:"snapshot"`
+}
+
+type matchBatchRequest struct {
+	Requests []MatchQuery `json:"requests"`
+}
+
+type matchBatchResponse struct {
+	Count    int           `json:"count"`
+	Results  []MatchResult `json:"results"`
+	Snapshot SnapshotInfo  `json:"snapshot"`
+}
+
+type classifyResponse struct {
+	ClassifyResult
+	Snapshot SnapshotInfo `json:"snapshot"`
+}
+
+type classifyBatchRequest struct {
+	Scripts []string `json:"scripts"`
+}
+
+type classifyBatchResponse struct {
+	Count    int              `json:"count"`
+	Results  []ClassifyResult `json:"results"`
+	Snapshot SnapshotInfo     `json:"snapshot"`
+}
+
+type reloadResponse struct {
+	Reloaded bool         `json:"reloaded"`
+	Snapshot SnapshotInfo `json:"snapshot"`
+}
+
+// apiError is the structured error envelope every non-2xx response
+// carries. Handlers never emit 500s: every failure mode maps to a typed
+// 4xx (or 503 while a snapshot is missing).
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: apiError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// decodeBody reads and JSON-decodes a bounded request body, translating
+// the failure modes into typed 4xx responses (true = proceed).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// readBody reads the bounded raw body (true = proceed).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// snapshotInfo reports the currently installed snapshots.
+func (s *Server) snapshotInfo() SnapshotInfo {
+	var info SnapshotInfo
+	if ms := s.model.Load(); ms != nil {
+		info.Model = &ModelInfo{
+			FeatureSet: ms.snap.FeatureSet,
+			Vocab:      ms.vocab.Len(),
+			Rounds:     ms.snap.Model.Rounds(),
+		}
+	}
+	if ls := s.lists.Load(); ls != nil {
+		info.Lists = &ListsInfo{
+			Label: ls.snap.Label,
+			Lists: len(ls.snap.Lists),
+			Rules: ls.rules,
+		}
+	}
+	return info
+}
+
+// admitted wraps a handler body in admission control and metrics: one
+// worker-pool ticket per request (a batch rides on a single ticket, which
+// is where its amortization comes from), latency observed on every
+// outcome, 429 with Retry-After on shed.
+func (s *Server) admitted(ep string, w http.ResponseWriter, r *http.Request, fn func()) {
+	stats := s.met.endpoints[ep]
+	start := time.Now()
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		stats.shed.Add(1)
+		stats.requests.Add(1)
+		stats.latency.Observe(time.Since(start))
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "shed",
+			"server overloaded, retry later")
+		return
+	}
+	defer release()
+	if s.testDelay > 0 {
+		time.Sleep(s.testDelay)
+	}
+	fn()
+	stats.requests.Add(1)
+	stats.latency.Observe(time.Since(start))
+}
+
+// requireMethod enforces the endpoint's verb (true = proceed).
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s requires %s", r.URL.Path, method)
+		return false
+	}
+	return true
+}
+
+// routes builds the handler tree once at construction.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/match", s.handleMatch)
+	mux.HandleFunc("/v1/match/batch", s.handleMatchBatch)
+	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/classify/batch", s.handleClassifyBatch)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: %s", r.URL.Path)
+	})
+	return mux
+}
+
+// ---- match ----
+
+// validTypes mirrors abp.RequestType; an empty type means "other".
+var validTypes = map[string]bool{
+	"": true, "script": true, "image": true, "stylesheet": true,
+	"object": true, "xmlhttprequest": true, "subdocument": true,
+	"document": true, "popup": true, "other": true,
+}
+
+// checkQuery validates one match query, returning a non-nil apiError for
+// bad input.
+func checkQuery(q *MatchQuery) *apiError {
+	if q.URL == "" {
+		return &apiError{Code: "bad_request", Message: `missing "url"`}
+	}
+	if !validTypes[q.Type] {
+		return &apiError{Code: "bad_request", Message: fmt.Sprintf("unknown request type %q", q.Type)}
+	}
+	return nil
+}
+
+// matchOne answers one query against every list in the state.
+func matchOne(ls *listsState, q MatchQuery) MatchResult {
+	req := abp.Request{URL: q.URL, Type: abp.RequestType(q.Type), PageDomain: q.PageDomain}
+	res := MatchResult{Lists: make([]ListMatch, 0, len(ls.snap.Lists))}
+	anyBlocked, anyAllowed := false, false
+	for _, l := range ls.snap.Lists {
+		dec, rule := l.MatchRequest(req)
+		lm := ListMatch{List: l.Name, Decision: dec.String()}
+		if rule != nil {
+			lm.Rule = rule.Raw
+		}
+		switch dec {
+		case abp.Blocked:
+			anyBlocked = true
+		case abp.Allowed:
+			anyAllowed = true
+		}
+		for _, r := range l.MatchingHTTPRules(req) {
+			lm.MatchedRules = append(lm.MatchedRules, r.Raw)
+		}
+		res.Lists = append(res.Lists, lm)
+	}
+	switch {
+	case anyAllowed:
+		res.Decision = abp.Allowed.String()
+	case anyBlocked:
+		res.Decision = abp.Blocked.String()
+		res.Blocked = true
+	default:
+		res.Decision = abp.NoMatch.String()
+	}
+	return res
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ls := s.lists.Load()
+	if ls == nil {
+		writeError(w, http.StatusServiceUnavailable, "no_snapshot", "no lists snapshot loaded")
+		return
+	}
+	var q MatchQuery
+	if !s.decodeBody(w, r, &q) {
+		return
+	}
+	if apiErr := checkQuery(&q); apiErr != nil {
+		s.met.endpoints[epMatch].errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: *apiErr})
+		return
+	}
+	s.admitted(epMatch, w, r, func() {
+		writeJSON(w, http.StatusOK, matchResponse{
+			MatchResult: matchOne(ls, q),
+			Snapshot:    s.snapshotInfo(),
+		})
+	})
+}
+
+func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ls := s.lists.Load()
+	if ls == nil {
+		writeError(w, http.StatusServiceUnavailable, "no_snapshot", "no lists snapshot loaded")
+		return
+	}
+	var batch matchBatchRequest
+	if !s.decodeBody(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
+		return
+	}
+	if len(batch.Requests) > s.cfg.maxBatch() {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			"%d requests exceed the %d-item batch limit", len(batch.Requests), s.cfg.maxBatch())
+		return
+	}
+	for i := range batch.Requests {
+		if apiErr := checkQuery(&batch.Requests[i]); apiErr != nil {
+			s.met.endpoints[epMatchBatch].errors.Add(1)
+			writeError(w, http.StatusBadRequest, apiErr.Code, "request %d: %s", i, apiErr.Message)
+			return
+		}
+	}
+	s.admitted(epMatchBatch, w, r, func() {
+		s.met.endpoints[epMatchBatch].batchItems.Add(uint64(len(batch.Requests)))
+		out := matchBatchResponse{
+			Count:    len(batch.Requests),
+			Results:  make([]MatchResult, 0, len(batch.Requests)),
+			Snapshot: s.snapshotInfo(),
+		}
+		for _, q := range batch.Requests {
+			out.Results = append(out.Results, matchOne(ls, q))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// ---- classify ----
+
+// score runs the ensemble on a projected sample. The score maps the
+// ensemble's decision value onto [0,1] by normalizing against Σ|αₜ| (the
+// largest reachable magnitude): 0.5 is the decision boundary, 1 means
+// every round voted anti-adblock at full weight.
+func (ms *modelState) score(fs map[string]bool) ClassifyResult {
+	sample := ms.vocab.Project(fs)
+	decision := ms.snap.Model.Decision(sample)
+	margin := 0.0
+	if ms.alphaSum > 0 {
+		margin = decision / ms.alphaSum
+	}
+	if margin > 1 {
+		margin = 1
+	} else if margin < -1 {
+		margin = -1
+	}
+	return ClassifyResult{
+		AntiAdblock: decision >= 0,
+		Score:       (margin + 1) / 2,
+		Decision:    decision,
+		Features:    sample.Popcount(),
+	}
+}
+
+// classifyOne runs the jsast→features→AdaBoost inference path for one
+// script against the installed model state.
+func classifyOne(ms *modelState, src string) (ClassifyResult, error) {
+	fs, err := features.ExtractSource(src, ms.set)
+	if err != nil {
+		return ClassifyResult{}, err
+	}
+	return ms.score(fs), nil
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ms := s.model.Load()
+	if ms == nil {
+		writeError(w, http.StatusServiceUnavailable, "no_snapshot", "no model snapshot loaded")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	if len(body) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty script body")
+		return
+	}
+	s.admitted(epClassify, w, r, func() {
+		res, err := classifyOne(ms, string(body))
+		if err != nil {
+			s.met.endpoints[epClassify].errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "bad_script",
+				"script does not parse: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, classifyResponse{
+			ClassifyResult: res,
+			Snapshot:       s.snapshotInfo(),
+		})
+	})
+}
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	ms := s.model.Load()
+	if ms == nil {
+		writeError(w, http.StatusServiceUnavailable, "no_snapshot", "no model snapshot loaded")
+		return
+	}
+	var batch classifyBatchRequest
+	if !s.decodeBody(w, r, &batch) {
+		return
+	}
+	if len(batch.Scripts) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
+		return
+	}
+	if len(batch.Scripts) > s.cfg.maxBatch() {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			"%d scripts exceed the %d-item batch limit", len(batch.Scripts), s.cfg.maxBatch())
+		return
+	}
+	s.admitted(epClassifyBatch, w, r, func() {
+		s.met.endpoints[epClassifyBatch].batchItems.Add(uint64(len(batch.Scripts)))
+		// The batch amortizes parse+extract across the worker pool: one
+		// fan-out for all scripts instead of one request round-trip each.
+		// Per-script parse failures annotate their slot instead of
+		// failing the batch.
+		sets, errs, _ := features.ExtractAll(context.Background(), batch.Scripts, ms.set, s.cfg.workers())
+		out := classifyBatchResponse{
+			Count:    len(batch.Scripts),
+			Results:  make([]ClassifyResult, len(batch.Scripts)),
+			Snapshot: s.snapshotInfo(),
+		}
+		for i := range batch.Scripts {
+			if errs[i] != nil {
+				out.Results[i] = ClassifyResult{Error: fmt.Sprintf("script does not parse: %v", errs[i])}
+				continue
+			}
+			out.Results[i] = ms.score(sets[i])
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// ---- admin ----
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.cfg.ModelPath == "" && s.cfg.ListsPath == "" {
+		writeError(w, http.StatusBadRequest, "snapshot", "no snapshot paths configured")
+		return
+	}
+	if err := s.ReloadSnapshots(); err != nil {
+		// The old snapshots are still installed; the operator gets a
+		// structured 4xx, not a broken server.
+		writeError(w, http.StatusBadRequest, "snapshot", "reload failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{Reloaded: true, Snapshot: s.snapshotInfo()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status string `json:"status"`
+		Model  bool   `json:"model"`
+		Lists  bool   `json:"lists"`
+	}
+	h := health{Status: "ok", Model: s.model.Load() != nil, Lists: s.lists.Load() != nil}
+	status := http.StatusOK
+	if !h.Model && !h.Lists {
+		h.Status = "no snapshots"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleDebugVars renders the process-global expvar registry plus this
+// server's metrics tree under "adwars_serve" — the standard /debug/vars
+// shape without requiring the server to win a global registration race
+// (tests run many servers in one process).
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "adwars_serve" {
+			return // replaced below with this server's tree
+		}
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	fmt.Fprintf(w, "%q: %s", "adwars_serve", s.met.String())
+	fmt.Fprintf(w, "\n}\n")
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares a response body against testdata/<name>.golden.json,
+// rewriting the file under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("response differs from %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req = httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandlersGolden(t *testing.T) {
+	deflt := newTestServer(t, Config{})
+	tiny := newTestServer(t, Config{MaxBody: 64})
+	bare := New(Config{}) // no snapshots loaded
+
+	cases := []struct {
+		name   string
+		server *Server
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"match_blocked", deflt, "POST", "/v1/match",
+			`{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`, 200},
+		{"match_allowed", deflt, "POST", "/v1/match",
+			`{"url":"http://ads.example.com/allowed","type":"script","page_domain":"news.example"}`, 200},
+		{"match_nomatch", deflt, "POST", "/v1/match",
+			`{"url":"http://clean.example/app.js","type":"script","page_domain":"clean.example"}`, 200},
+		{"match_third_party", deflt, "POST", "/v1/match",
+			`{"url":"http://cdn.example/adframe/x.html","type":"subdocument","page_domain":"news.example"}`, 200},
+		{"match_batch", deflt, "POST", "/v1/match/batch",
+			`{"requests":[{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"},{"url":"http://tracker.example/t.js","type":"script","page_domain":"news.example"},{"url":"http://clean.example/app.js"}]}`, 200},
+		{"classify_anti", deflt, "POST", "/v1/classify", testAntiScript, 200},
+		{"classify_benign", deflt, "POST", "/v1/classify", testBenignScript, 200},
+		{"classify_batch", deflt, "POST", "/v1/classify/batch",
+			`{"scripts":[` + quoteJSON(testAntiScript) + `,"(((","` + `var x = 1;"]}`, 200},
+
+		// Error paths: structured 4xx envelopes, never 500.
+		{"error_bad_json", deflt, "POST", "/v1/match", `{"url": unquoted}`, 400},
+		{"error_missing_url", deflt, "POST", "/v1/match", `{"type":"script"}`, 400},
+		{"error_bad_type", deflt, "POST", "/v1/match", `{"url":"http://x.example/","type":"teapot"}`, 400},
+		{"error_empty_batch", deflt, "POST", "/v1/match/batch", `{"requests":[]}`, 400},
+		{"error_batch_item", deflt, "POST", "/v1/match/batch", `{"requests":[{"type":"script"}]}`, 400},
+		{"error_empty_script", deflt, "POST", "/v1/classify", ``, 400},
+		{"error_malformed_js", deflt, "POST", "/v1/classify", `function ((( {`, 422},
+		{"error_oversized", tiny, "POST", "/v1/classify",
+			strings.Repeat("var xxxxxxxx = 1; ", 16), 413},
+		{"error_method", deflt, "GET", "/v1/match", ``, 405},
+		{"error_not_found", deflt, "POST", "/v1/nope", `{}`, 404},
+		{"error_no_lists", bare, "POST", "/v1/match", `{"url":"http://x.example/"}`, 503},
+		{"error_no_model", bare, "POST", "/v1/classify", testBenignScript, 503},
+		{"error_reload_unconfigured", deflt, "POST", "/admin/reload", ``, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, tc.server, tc.method, tc.path, tc.body)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d; body: %s", rec.Code, tc.status, rec.Body.Bytes())
+			}
+			if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Errorf("content type = %q, want JSON", ct)
+			}
+			golden(t, tc.name, rec.Body.Bytes())
+		})
+	}
+}
+
+// quoteJSON wraps a script as a JSON string literal.
+func quoteJSON(s string) string {
+	out := strings.ReplaceAll(s, `\`, `\\`)
+	out = strings.ReplaceAll(out, `"`, `\"`)
+	return `"` + out + `"`
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 2})
+	body := `{"requests":[{"url":"http://a.example/"},{"url":"http://b.example/"},{"url":"http://c.example/"}]}`
+	rec := do(t, s, "POST", "/v1/match/batch", body)
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "batch_too_large") {
+		t.Fatalf("status %d body %s", rec.Code, rec.Body.Bytes())
+	}
+	golden(t, "error_batch_too_large", rec.Body.Bytes())
+}
+
+func TestReloadFromDiskAndVersionError(t *testing.T) {
+	dir := t.TempDir()
+	modelPath, listsPath := writeSnapshotFiles(t, dir)
+	s := New(Config{ModelPath: modelPath, ListsPath: listsPath})
+
+	// Before the first reload nothing is installed.
+	if rec := do(t, s, "POST", "/v1/match", `{"url":"http://x.example/"}`); rec.Code != 503 {
+		t.Fatalf("pre-reload status = %d, want 503", rec.Code)
+	}
+	rec := do(t, s, "POST", "/admin/reload", "")
+	if rec.Code != 200 {
+		t.Fatalf("reload status = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	golden(t, "reload_ok", rec.Body.Bytes())
+
+	// A future-versioned model snapshot must be rejected with a structured
+	// 4xx and must not disturb the installed snapshots.
+	bad := strings.Replace(testModelJSON, `"version": 1`, `"version": 999`, 1)
+	if err := os.WriteFile(modelPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, s, "POST", "/admin/reload", "")
+	if rec.Code != 400 {
+		t.Fatalf("bad reload status = %d, want 400: %s", rec.Code, rec.Body.Bytes())
+	}
+	if !strings.Contains(rec.Body.String(), "snapshot") {
+		t.Errorf("bad reload body: %s", rec.Body.Bytes())
+	}
+	// Old model still serves.
+	if rec := do(t, s, "POST", "/v1/classify", testAntiScript); rec.Code != 200 {
+		t.Fatalf("post-failed-reload classify = %d", rec.Code)
+	}
+}
+
+func TestHealthzAndDebugVars(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := do(t, s, "GET", "/healthz", ""); rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if rec := do(t, New(Config{}), "GET", "/healthz", ""); rec.Code != 503 {
+		t.Fatalf("empty healthz = %d, want 503", rec.Code)
+	}
+
+	// Traffic shows up in /debug/vars under adwars_serve.
+	do(t, s, "POST", "/v1/match", `{"url":"http://ads.example.com/banner.js"}`)
+	rec := do(t, s, "GET", "/debug/vars", "")
+	if rec.Code != 200 {
+		t.Fatalf("debug/vars = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"adwars_serve"`, `"endpoints"`, `"match"`, `"p99_ns"`, `"queue_depth"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("debug/vars missing %s in %s", want, body)
+		}
+	}
+}

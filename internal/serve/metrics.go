@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free log₂-bucketed latency histogram: bucket i counts
+// observations with ceil(log₂(ns)) == i, covering 1ns through ~2.3 hours.
+// Quantiles are read as the upper bound of the bucket where the cumulative
+// count crosses the quantile — at most one power of two of error, which is
+// plenty for p50/p99 serving dashboards.
+type histogram struct {
+	buckets [44]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	i := bits.Len64(ns)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Quantile returns the approximate q-quantile (0 < q ≤ 1) in nanoseconds.
+func (h *histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= want {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i) // upper bound of bucket i: 2^i ns
+		}
+	}
+	return h.maxNs.Load()
+}
+
+// latencySnapshot is the JSON shape of one histogram.
+type latencySnapshot struct {
+	Count  uint64 `json:"count"`
+	MeanNs uint64 `json:"mean_ns"`
+	P50Ns  uint64 `json:"p50_ns"`
+	P90Ns  uint64 `json:"p90_ns"`
+	P99Ns  uint64 `json:"p99_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+}
+
+func (h *histogram) snapshot() latencySnapshot {
+	s := latencySnapshot{
+		Count: h.count.Load(),
+		P50Ns: h.Quantile(0.50),
+		P90Ns: h.Quantile(0.90),
+		P99Ns: h.Quantile(0.99),
+		MaxNs: h.maxNs.Load(),
+	}
+	if s.Count > 0 {
+		s.MeanNs = h.sumNs.Load() / s.Count
+	}
+	return s
+}
+
+// endpointStats aggregates one endpoint's counters.
+type endpointStats struct {
+	requests   atomic.Uint64 // requests that produced a response (any status)
+	errors     atomic.Uint64 // 4xx responses other than sheds
+	shed       atomic.Uint64 // 429s from admission control
+	batchItems atomic.Uint64 // items carried by batch requests
+	latency    histogram
+}
+
+type endpointSnapshot struct {
+	Requests   uint64          `json:"requests"`
+	Errors     uint64          `json:"errors"`
+	Shed       uint64          `json:"shed"`
+	BatchItems uint64          `json:"batch_items,omitempty"`
+	Latency    latencySnapshot `json:"latency"`
+}
+
+// endpoint keys, fixed at construction so handlers never allocate or lock
+// to find their stats.
+const (
+	epMatch         = "match"
+	epMatchBatch    = "match_batch"
+	epClassify      = "classify"
+	epClassifyBatch = "classify_batch"
+)
+
+var endpointKeys = []string{epMatch, epMatchBatch, epClassify, epClassifyBatch}
+
+// metrics is the server's full counter tree, exported as one JSON object
+// under "adwars_serve" in /debug/vars.
+type metrics struct {
+	endpoints    map[string]*endpointStats
+	queueDepth   *atomic.Int64 // admission queue depth (shared gauge)
+	reloads      atomic.Uint64
+	reloadErrors atomic.Uint64
+}
+
+func newMetrics(queueDepth *atomic.Int64) *metrics {
+	m := &metrics{
+		endpoints:  make(map[string]*endpointStats, len(endpointKeys)),
+		queueDepth: queueDepth,
+	}
+	for _, k := range endpointKeys {
+		m.endpoints[k] = &endpointStats{}
+	}
+	return m
+}
+
+type metricsSnapshot struct {
+	Endpoints    map[string]endpointSnapshot `json:"endpoints"`
+	QueueDepth   int64                       `json:"queue_depth"`
+	Reloads      uint64                      `json:"reloads"`
+	ReloadErrors uint64                      `json:"reload_errors"`
+}
+
+func (m *metrics) snapshot() metricsSnapshot {
+	out := metricsSnapshot{
+		Endpoints:    make(map[string]endpointSnapshot, len(m.endpoints)),
+		Reloads:      m.reloads.Load(),
+		ReloadErrors: m.reloadErrors.Load(),
+	}
+	if m.queueDepth != nil {
+		out.QueueDepth = m.queueDepth.Load()
+	}
+	for k, ep := range m.endpoints {
+		out.Endpoints[k] = endpointSnapshot{
+			Requests:   ep.requests.Load(),
+			Errors:     ep.errors.Load(),
+			Shed:       ep.shed.Load(),
+			BatchItems: ep.batchItems.Load(),
+			Latency:    ep.latency.snapshot(),
+		}
+	}
+	return out
+}
+
+// String renders the metrics tree as JSON, satisfying expvar.Var so the
+// whole tree can be published in the process-global expvar registry.
+func (m *metrics) String() string {
+	data, err := json.Marshal(m.snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}
+
+// flush writes a final indented metrics snapshot, used on graceful
+// shutdown so the run's totals survive the process.
+func (m *metrics) flush(w io.Writer) {
+	if w == nil {
+		return
+	}
+	data, err := json.MarshalIndent(m.snapshot(), "", "  ")
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}

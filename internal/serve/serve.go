@@ -1,0 +1,236 @@
+// Package serve is the online layer over the offline pipeline: an HTTP
+// service answering filter-list match queries (/v1/match) from compiled
+// list snapshots and anti-adblock classification queries (/v1/classify)
+// from a trained model snapshot, with batch variants that amortize
+// per-request overhead. Snapshots hot-reload atomically (SIGHUP or
+// /admin/reload) with zero dropped requests, admission control sheds
+// excess load as 429s, and per-endpoint metrics export through
+// /debug/vars.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"adwars/internal/abp"
+	"adwars/internal/features"
+	"adwars/internal/ml"
+)
+
+// Config parameterizes a Server. The zero value serves with sane defaults
+// but no snapshots; most callers set ModelPath/ListsPath.
+type Config struct {
+	// ModelPath is the model snapshot file (re-read on reload). Empty
+	// means the model endpoints answer 503 until a snapshot is set.
+	ModelPath string
+	// ListsPath is the compiled-lists snapshot file (re-read on reload).
+	ListsPath string
+	// Workers bounds concurrently processed requests (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for a worker slot (0 = 4×Workers).
+	Queue int
+	// QueueTimeout is the deadline a request may wait for a slot before
+	// being shed with 429 (0 = 25ms).
+	QueueTimeout time.Duration
+	// MaxBody bounds request body size in bytes (0 = 1 MiB). Oversized
+	// bodies get 413.
+	MaxBody int64
+	// MaxBatch bounds items per batch request (0 = 256).
+	MaxBatch int
+	// DrainTimeout bounds graceful shutdown (0 = 5s).
+	DrainTimeout time.Duration
+	// MetricsOut, when non-nil, receives a final metrics snapshot on
+	// graceful shutdown.
+	MetricsOut io.Writer
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) queue() int {
+	if c.Queue > 0 {
+		return c.Queue
+	}
+	return 4 * c.workers()
+}
+
+func (c *Config) queueTimeout() time.Duration {
+	if c.QueueTimeout > 0 {
+		return c.QueueTimeout
+	}
+	return 25 * time.Millisecond
+}
+
+func (c *Config) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return 1 << 20
+}
+
+func (c *Config) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 256
+}
+
+func (c *Config) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return 5 * time.Second
+}
+
+// modelState is a loaded model snapshot prepared for the hot path: the
+// ensemble, the vocabulary projector, and the parsed feature set. It is
+// immutable after construction; the server swaps whole states atomically.
+type modelState struct {
+	snap     *ml.ModelSnapshot
+	vocab    *features.Vocab
+	set      features.Set
+	alphaSum float64
+}
+
+// listsState is a loaded lists snapshot. Compiled lists are immutable and
+// safe for concurrent matchers, so a state is shared freely across
+// requests.
+type listsState struct {
+	snap  *abp.ListsSnapshot
+	rules int
+}
+
+// Server is the online serving engine. Create with New, then load
+// snapshots (SetModelSnapshot/SetListsSnapshot or ReloadSnapshots) and
+// expose Handler on an http.Server — or use Serve, which also handles
+// graceful drain.
+type Server struct {
+	cfg Config
+	adm *admission
+	met *metrics
+
+	model atomic.Pointer[modelState]
+	lists atomic.Pointer[listsState]
+
+	mux http.Handler
+
+	// testDelay artificially lengthens request processing; tests use it
+	// to hold requests in flight across reloads and shutdowns.
+	testDelay time.Duration
+}
+
+// New builds a Server from cfg without loading any snapshots; call
+// ReloadSnapshots (or the Set*Snapshot methods) before serving traffic.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.workers(), cfg.queue(), cfg.queueTimeout()),
+	}
+	s.met = newMetrics(&s.adm.queued)
+	s.mux = s.routes()
+	return s
+}
+
+// Metrics returns the server's metrics tree as an expvar-compatible Var
+// (its String method renders JSON). Commands publish it in the global
+// expvar registry; tests read it directly.
+func (s *Server) Metrics() fmt.Stringer { return s.met }
+
+// SetModelSnapshot validates and installs a model snapshot. In-flight
+// requests keep the state they already loaded; new requests see the new
+// snapshot — no request ever observes a half-installed model.
+func (s *Server) SetModelSnapshot(snap *ml.ModelSnapshot) error {
+	set, err := features.SetFromString(snap.FeatureSet)
+	if err != nil {
+		return fmt.Errorf("serve: model snapshot: %w", err)
+	}
+	if len(snap.Vocab) == 0 {
+		return fmt.Errorf("serve: model snapshot has an empty vocabulary")
+	}
+	s.model.Store(&modelState{
+		snap:     snap,
+		vocab:    features.NewVocab(snap.Vocab),
+		set:      set,
+		alphaSum: snap.Model.AlphaSum(),
+	})
+	return nil
+}
+
+// SetListsSnapshot installs a compiled-lists snapshot atomically.
+func (s *Server) SetListsSnapshot(snap *abp.ListsSnapshot) error {
+	if len(snap.Lists) == 0 {
+		return fmt.Errorf("serve: lists snapshot has no lists")
+	}
+	s.lists.Store(&listsState{snap: snap, rules: snap.Rules()})
+	return nil
+}
+
+// ReloadSnapshots re-reads the configured snapshot paths and installs
+// whatever loads cleanly. On any error the previous snapshots stay
+// installed untouched — a bad reload never degrades a serving process.
+func (s *Server) ReloadSnapshots() error {
+	var model *ml.ModelSnapshot
+	var lists *abp.ListsSnapshot
+	var err error
+	if s.cfg.ModelPath != "" {
+		if model, err = ml.LoadModelSnapshot(s.cfg.ModelPath); err != nil {
+			s.met.reloadErrors.Add(1)
+			return err
+		}
+	}
+	if s.cfg.ListsPath != "" {
+		if lists, err = abp.LoadListsSnapshot(s.cfg.ListsPath); err != nil {
+			s.met.reloadErrors.Add(1)
+			return err
+		}
+	}
+	if model != nil {
+		if err := s.SetModelSnapshot(model); err != nil {
+			s.met.reloadErrors.Add(1)
+			return err
+		}
+	}
+	if lists != nil {
+		if err := s.SetListsSnapshot(lists); err != nil {
+			s.met.reloadErrors.Add(1)
+			return err
+		}
+	}
+	s.met.reloads.Add(1)
+	return nil
+}
+
+// Handler returns the server's HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then drains
+// in-flight requests (bounded by DrainTimeout) and flushes a final metrics
+// snapshot to MetricsOut. It returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
+	defer cancel()
+	err := hs.Shutdown(drainCtx)
+	s.met.flush(s.cfg.MetricsOut)
+	if err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adwars/internal/abp"
+	"adwars/internal/ml"
+)
+
+// The test model is hand-built rather than trained: a single linear-kernel
+// component whose decision arithmetic is exact in IEEE754 (intersection
+// counts and halves only), so golden responses carry exact scores on every
+// platform. vocab[0]=offsetHeight, vocab[1]=offsetWidth; a script with both
+// probes scores 1.0, anything else 0.0.
+const testModelJSON = `{
+  "format": "adwars-model",
+  "version": 1,
+  "classifier": "adaboost",
+  "feature_set": "keyword",
+  "vocab": ["Identifier:offsetHeight", "Identifier:offsetWidth"],
+  "model": {
+    "alphas": [2],
+    "models": [{"kernel": "linear", "bias": -1.5, "coefs": [1], "vectors": [[0, 1]]}]
+  },
+  "meta": {"top_k": 2}
+}`
+
+const testAntiScript = `function detect() { var ad = document.getElementById("ad-banner"); if (ad.offsetHeight === 0 || ad.offsetWidth === 0) { showAdblockNotice(); } }`
+
+const testBenignScript = `function greet(name) { var msg = "hello " + name; return msg.length; }`
+
+const testListA = `! test list A
+||ads.example.com^
+@@||ads.example.com/allowed$script
+/adframe/$third-party
+##.ad-banner
+`
+
+const testListB = `! test list B
+||tracker.example^$script
+`
+
+// testListsSnapshot compiles the two fixture lists into a snapshot.
+func testListsSnapshot(t *testing.T) *abp.ListsSnapshot {
+	t.Helper()
+	la, errs := abp.ParseAndBuild("list-a", testListA)
+	if len(errs) != 0 {
+		t.Fatalf("list A parse errors: %v", errs)
+	}
+	lb, errs := abp.ParseAndBuild("list-b", testListB)
+	if len(errs) != 0 {
+		t.Fatalf("list B parse errors: %v", errs)
+	}
+	return &abp.ListsSnapshot{Label: "test", Lists: []*abp.List{la, lb}}
+}
+
+// testModelSnapshot parses the hand-built model JSON.
+func testModelSnapshot(t *testing.T) *ml.ModelSnapshot {
+	t.Helper()
+	snap, err := ml.ReadModelSnapshot(strings.NewReader(testModelJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// newTestServer builds a server with both fixture snapshots installed.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	if err := s.SetModelSnapshot(testModelSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetListsSnapshot(testListsSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// writeSnapshotFiles writes both fixture snapshots into dir and returns
+// their paths, for reload-from-disk tests.
+func writeSnapshotFiles(t *testing.T, dir string) (modelPath, listsPath string) {
+	t.Helper()
+	modelPath = filepath.Join(dir, "model.json")
+	listsPath = filepath.Join(dir, "lists.json")
+	if err := os.WriteFile(modelPath, []byte(testModelJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := abp.SaveListsSnapshot(listsPath, testListsSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	return modelPath, listsPath
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &histogram{}
+	for i := 0; i < 99; i++ {
+		h.Observe(1000) // ~1µs
+	}
+	h.Observe(1_000_000) // one 1ms outlier
+	if p50 := h.Quantile(0.50); p50 > 2048 {
+		t.Errorf("p50 = %dns, want ≈1µs bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 > 2048 {
+		t.Errorf("p99 = %dns landed in the outlier bucket", p99)
+	}
+	if p100 := h.Quantile(1.0); p100 < 1<<19 {
+		t.Errorf("p100 = %dns, want ≥ the outlier's bucket", p100)
+	}
+	snap := h.snapshot()
+	if snap.Count != 100 || snap.MaxNs != 1_000_000 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	s := New(Config{})
+	if err := s.SetModelSnapshot(&ml.ModelSnapshot{FeatureSet: "bogus"}); err == nil {
+		t.Error("unknown feature set must be rejected")
+	}
+	snap := testModelSnapshot(t)
+	snap.Vocab = nil
+	if err := s.SetModelSnapshot(snap); err == nil {
+		t.Error("empty vocab must be rejected")
+	}
+	if err := s.SetListsSnapshot(&abp.ListsSnapshot{}); err == nil {
+		t.Error("empty lists snapshot must be rejected")
+	}
+}
