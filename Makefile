@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke
+.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke chaos-smoke chaos-smoke-short
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ race:
 # detector over the whole tree (the crawl engine is heavily concurrent —
 # breaker, journal, and metrics are all shared state), a 1-iteration
 # smoke run of the replay benchmarks so a broken bench pipeline fails the
-# gate instead of the nightly, and an end-to-end smoke of the serving
-# stack (snapshots → adwars-serve → adwars-loadgen with a hot reload
-# mid-fire and a graceful drain).
-verify: build vet test race bench-smoke serve-smoke
+# gate instead of the nightly, an end-to-end smoke of the serving stack
+# (snapshots → adwars-serve → adwars-loadgen with a hot reload mid-fire
+# and a graceful drain), and a shortened chaos run (every fault class
+# injected, hostile load, corrupt-snapshot reload mid-fire).
+verify: build vet test race bench-smoke serve-smoke chaos-smoke-short
 
 # bench records the rule-engine and replay performance profile in
 # BENCH_replay.json: match and list-compile microbenchmarks from
@@ -61,6 +62,23 @@ bench-smoke:
 # reload, or an unclean drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# chaos-smoke is the fault-injection gate: adwars-serve with every chaos
+# fault class enabled (-chaos-* flags) under adwars-loadgen -chaos
+# (malformed / oversized / slow-trickle / mid-body-abort requests), with
+# a corrupted-snapshot reload injected mid-fire. Passes only if the
+# request ledger balances (sent == 2xx + 4xx + 429 + recovered-panic 5xx
+# + aborts), the corrupt reload is rejected while the old snapshot keeps
+# serving, post-chaos answers are byte-identical to a fault-free control,
+# and the server drains cleanly. Emits BENCH_chaos.json (shed-rate,
+# recovered-panics, aborted-requests).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
+# chaos-smoke-short is the verify-speed variant: same gates, shorter
+# firing window, bench JSON parked in /tmp instead of the repo root.
+chaos-smoke-short:
+	CHAOS_SHORT=1 CHAOS_BENCH_OUT=/tmp/adwars-bench-chaos-smoke.json sh scripts/chaos_smoke.sh
 
 # fault-check exercises the headline robustness claim end to end: the
 # retrospective CLI at a 10% transient fault rate must emit byte-identical

@@ -1,13 +1,15 @@
 // Command adwars-loadgen drives an adwars-serve instance with a mixed
 // match/classify workload and reports throughput, latency quantiles, and
-// shed totals. It is the load half of the serving benchmark and of
-// `make serve-smoke`.
+// shed totals. It is the load half of the serving benchmark, of
+// `make serve-smoke`, and (with -chaos) of `make chaos-smoke`.
 //
 // Usage:
 //
 //	adwars-loadgen -target http://127.0.0.1:8080 [-rate N] [-concurrency C]
 //	               [-duration D] [-jitter F] [-classify-frac F]
 //	               [-lists snapshot.json] [-seed S] [-check]
+//	               [-max-backoff D] [-chaos] [-fault-frac F] [-bench]
+//	adwars-loadgen -target URL -probe
 //
 // -rate is the aggregate request rate across all workers (0 = unthrottled);
 // -jitter perturbs each worker's inter-request gap by ±F to avoid lockstep
@@ -17,9 +19,33 @@
 // pool is used. Classify bodies alternate between a real BlockAdBlock-style
 // detector and generated benign scripts.
 //
+// On a 429 the worker honors the server's Retry-After header, sleeping
+// min(Retry-After, -max-backoff) before its next request; the summary
+// reports how often and how long workers backed off.
+//
+// -chaos turns a -fault-frac fraction of requests hostile: malformed JSON,
+// oversized bodies, slow-trickle uploads, and mid-body aborts, mixed with
+// normal traffic. 5xx responses are parsed: a structured internal_panic
+// envelope (the server's recovered-panic signature) is counted separately
+// from genuine failures. -check in chaos mode gates on the chaos ledger:
+// some 2xx, zero unexplained 5xx, and sent == 2xx + 4xx + 429 + panic-5xx
+// + aborted — every request accounted for, nothing silently dropped.
+//
+// -bench appends a `BenchmarkChaosLoadgen` line (go-bench format) carrying
+// shed-rate and recovered-panics custom units, so `benchjson` can fold the
+// chaos run into BENCH_chaos.json. recovered-panics is read back from the
+// server's /debug/vars (the control plane is chaos-exempt).
+//
+// -probe sends one canonical /v1/match and one canonical /v1/classify
+// request, retrying each until it gets a 2xx (bounded attempts), and
+// prints the response bodies. Two probes against equivalent servers —
+// e.g. a fault-free control and a post-chaos survivor — must be
+// byte-identical; chaos_smoke.sh diffs them.
+//
 // -check turns the run into a pass/fail gate: exit non-zero unless at
-// least one request succeeded, there were no 5xx or transport errors, and
-// every request was accounted for as 2xx or 429 (nothing dropped).
+// least one request succeeded, there were no unexplained 5xx or transport
+// errors, and every request was accounted for (2xx/429 in normal mode; the
+// chaos ledger above with -chaos).
 package main
 
 import (
@@ -32,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -40,13 +67,16 @@ import (
 )
 
 type counters struct {
-	sent      int64
-	ok2xx     int64
-	shed429   int64
-	other4xx  int64
-	fail5xx   int64
-	transport int64
-	latencies []time.Duration
+	sent         int64
+	ok2xx        int64
+	shed429      int64
+	other4xx     int64
+	fail5xx      int64 // unexplained 5xx (not a recovered-panic envelope)
+	panic5xx     int64 // 5xx carrying the structured internal_panic envelope
+	aborted      int64 // transport-level failures: injected closes, our own mid-body aborts
+	backoffs     int64
+	backoffTotal time.Duration
+	latencies    []time.Duration
 }
 
 func (c *counters) add(o *counters) {
@@ -55,9 +85,23 @@ func (c *counters) add(o *counters) {
 	c.shed429 += o.shed429
 	c.other4xx += o.other4xx
 	c.fail5xx += o.fail5xx
-	c.transport += o.transport
+	c.panic5xx += o.panic5xx
+	c.aborted += o.aborted
+	c.backoffs += o.backoffs
+	c.backoffTotal += o.backoffTotal
 	c.latencies = append(c.latencies, o.latencies...)
 }
+
+// faultKind enumerates the hostile request shapes of chaos mode.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultMalformed
+	faultOversized
+	faultTrickle
+	faultAbort
+)
 
 func main() {
 	target := flag.String("target", "http://127.0.0.1:8080", "base URL of the adwars-serve instance")
@@ -68,8 +112,25 @@ func main() {
 	classifyFrac := flag.Float64("classify-frac", 0.1, "fraction of requests that POST /v1/classify")
 	listsPath := flag.String("lists", "", "lists snapshot to harvest match URLs from")
 	seed := flag.Int64("seed", 1, "workload seed")
-	check := flag.Bool("check", false, "exit non-zero unless 2xx>0, no 5xx/transport errors, sent == 2xx+429")
+	check := flag.Bool("check", false, "exit non-zero unless the run satisfies the accounting gate")
+	maxBackoff := flag.Duration("max-backoff", 100*time.Millisecond, "cap on honoring a 429 Retry-After")
+	chaos := flag.Bool("chaos", false, "mix hostile requests (malformed/oversized/trickle/abort) into the workload")
+	faultFrac := flag.Float64("fault-frac", 0.25, "with -chaos, fraction of requests made hostile")
+	bench := flag.Bool("bench", false, "emit a BenchmarkChaosLoadgen line for benchjson")
+	probe := flag.Bool("probe", false, "send canonical requests, retry to 2xx, print bodies, exit")
+	probeAttempts := flag.Int("probe-attempts", 50, "max retries per canonical probe request")
 	flag.Parse()
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: *concurrency,
+		},
+	}
+
+	if *probe {
+		os.Exit(runProbe(client, *target, *probeAttempts))
+	}
 
 	domains := syntheticDomains(*seed)
 	if *listsPath != "" {
@@ -89,17 +150,13 @@ func main() {
 		}
 	}
 	scripts := workloadScripts(*seed)
+	// One shared oversized body (default server cap is 1 MiB; this clears
+	// it). Workers only ever read it, so sharing is safe.
+	oversized := bytes.Repeat([]byte(`{"url":"x"} `), (1<<20)/12+2)
 
 	var interval time.Duration
 	if *rate > 0 {
 		interval = time.Duration(float64(*concurrency) / *rate * float64(time.Second))
-	}
-
-	client := &http.Client{
-		Timeout: 10 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConnsPerHost: *concurrency,
-		},
 	}
 
 	deadline := time.Now().Add(*duration)
@@ -113,32 +170,21 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			c := &results[w]
 			for time.Now().Before(deadline) {
-				var path string
-				var body []byte
-				var ctype string
-				if rng.Float64() < *classifyFrac {
-					path = "/v1/classify"
-					body = []byte(scripts[rng.Intn(len(scripts))])
-					ctype = "application/javascript"
-				} else {
-					path = "/v1/match"
-					d := domains[rng.Intn(len(domains))]
-					q := map[string]string{
-						"url":         fmt.Sprintf("http://%s/assets/%d/unit.js", d, rng.Intn(1000)),
-						"type":        "script",
-						"page_domain": "publisher.example",
-					}
-					body, _ = json.Marshal(q)
-					ctype = "application/json"
+				kind := faultNone
+				if *chaos && rng.Float64() < *faultFrac {
+					kind = faultKind(1 + rng.Intn(4))
 				}
 				c.sent++
 				t0 := time.Now()
-				resp, err := client.Post(*target+path, ctype, bytes.NewReader(body))
+				resp, err := fire(client, *target, kind, rng, domains, scripts, *classifyFrac, oversized)
 				if err != nil {
-					c.transport++
+					// Transport-level death: an injected server-side close or
+					// our own mid-body abort. Either way the request is
+					// accounted for, not dropped.
+					c.aborted++
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
+				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				c.latencies = append(c.latencies, time.Since(t0))
 				switch {
@@ -146,8 +192,22 @@ func main() {
 					c.ok2xx++
 				case resp.StatusCode == http.StatusTooManyRequests:
 					c.shed429++
+					if d := retryAfter(resp, *maxBackoff); d > 0 {
+						if remaining := time.Until(deadline); d > remaining {
+							d = remaining
+						}
+						if d > 0 {
+							c.backoffs++
+							c.backoffTotal += d
+							time.Sleep(d)
+						}
+					}
 				case resp.StatusCode >= 500:
-					c.fail5xx++
+					if isPanicEnvelope(body) {
+						c.panic5xx++
+					} else {
+						c.fail5xx++
+					}
 				default:
 					c.other4xx++
 				}
@@ -167,10 +227,16 @@ func main() {
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 
-	fmt.Printf("loadgen: %d requests in %v (%.0f req/s, %d workers)\n",
-		total.sent, elapsed.Round(time.Millisecond), float64(total.sent)/elapsed.Seconds(), *concurrency)
-	fmt.Printf("  2xx %d   429 shed %d   other 4xx %d   5xx %d   transport errors %d\n",
-		total.ok2xx, total.shed429, total.other4xx, total.fail5xx, total.transport)
+	mode := "loadgen"
+	if *chaos {
+		mode = "loadgen[chaos]"
+	}
+	fmt.Printf("%s: %d requests in %v (%.0f req/s, %d workers)\n",
+		mode, total.sent, elapsed.Round(time.Millisecond), float64(total.sent)/elapsed.Seconds(), *concurrency)
+	fmt.Printf("  2xx %d   429 shed %d   other 4xx %d   5xx %d   panic-5xx %d   aborted %d\n",
+		total.ok2xx, total.shed429, total.other4xx, total.fail5xx, total.panic5xx, total.aborted)
+	fmt.Printf("  backoff: %d sleeps totaling %v (Retry-After honored, capped at %v)\n",
+		total.backoffs, total.backoffTotal.Round(time.Millisecond), *maxBackoff)
 	if n := len(total.latencies); n > 0 {
 		fmt.Printf("  latency p50 %v   p90 %v   p99 %v   max %v\n",
 			total.latencies[n/2].Round(time.Microsecond),
@@ -179,25 +245,262 @@ func main() {
 			total.latencies[n-1].Round(time.Microsecond))
 	}
 
+	if *bench {
+		emitBenchLine(client, *target, &total, elapsed)
+	}
+
 	if *check {
-		accounted := total.ok2xx + total.shed429
-		switch {
-		case total.ok2xx == 0:
-			fmt.Fprintln(os.Stderr, "loadgen: CHECK FAILED: no successful requests")
-			os.Exit(1)
-		case total.fail5xx > 0:
-			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %d 5xx responses\n", total.fail5xx)
-			os.Exit(1)
-		case total.transport > 0:
-			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: %d transport errors\n", total.transport)
-			os.Exit(1)
-		case accounted != total.sent:
-			fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: sent %d but only %d accounted as 2xx+429\n",
-				total.sent, accounted)
+		if !runChecks(&total, *chaos) {
 			os.Exit(1)
 		}
-		fmt.Println("loadgen: CHECK OK (all requests 2xx or 429, zero 5xx)")
 	}
+}
+
+// fire issues one request of the given kind and returns the raw response.
+func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
+	domains, scripts []string, classifyFrac float64, oversized []byte) (*http.Response, error) {
+	switch kind {
+	case faultMalformed:
+		// Valid HTTP, broken payload: truncated JSON to /v1/match or line
+		// noise to /v1/classify — must come back 4xx, never 5xx.
+		if rng.Intn(2) == 0 {
+			return client.Post(target+"/v1/match", "application/json",
+				bytes.NewReader([]byte(`{"url":"http://ads.exam`)))
+		}
+		return client.Post(target+"/v1/classify", "application/javascript",
+			bytes.NewReader([]byte("\x00\x01function{{{")))
+	case faultOversized:
+		// Blows past the server's body cap → 413.
+		return client.Post(target+"/v1/match", "application/json", bytes.NewReader(oversized))
+	case faultTrickle:
+		// A sound body delivered a few bytes at a time — slowloris-shaped.
+		// The server should still answer it normally, just late.
+		body := []byte(`{"url":"http://ads.example.com/banner.js","type":"script"}`)
+		req, err := http.NewRequest(http.MethodPost, target+"/v1/match",
+			&trickleReader{data: body, chunk: 7, gap: 2 * time.Millisecond})
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = int64(len(body))
+		return client.Do(req)
+	case faultAbort:
+		// The body dies mid-stream client-side; the transport surfaces an
+		// error locally and the server sees an unexpected EOF.
+		body := []byte(`{"url":"http://ads.example.com/banner.js","type":"script"}`)
+		req, err := http.NewRequest(http.MethodPost, target+"/v1/match",
+			&abortReader{data: body[:10]})
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = int64(len(body))
+		return client.Do(req)
+	}
+	// Normal traffic.
+	if rng.Float64() < classifyFrac {
+		return client.Post(target+"/v1/classify", "application/javascript",
+			bytes.NewReader([]byte(scripts[rng.Intn(len(scripts))])))
+	}
+	d := domains[rng.Intn(len(domains))]
+	q := map[string]string{
+		"url":         fmt.Sprintf("http://%s/assets/%d/unit.js", d, rng.Intn(1000)),
+		"type":        "script",
+		"page_domain": "publisher.example",
+	}
+	body, _ := json.Marshal(q)
+	return client.Post(target+"/v1/match", "application/json", bytes.NewReader(body))
+}
+
+// runChecks applies the pass/fail gate and reports the first violation.
+func runChecks(total *counters, chaos bool) bool {
+	fail := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(os.Stderr, "loadgen: CHECK FAILED: "+format+"\n", args...)
+		return false
+	}
+	if total.ok2xx == 0 {
+		return fail("no successful requests")
+	}
+	if total.fail5xx > 0 {
+		return fail("%d unexplained 5xx responses", total.fail5xx)
+	}
+	if chaos {
+		// Chaos ledger: every request ends as a success, an explicit
+		// rejection, a counted recovered panic, or a counted abort.
+		accounted := total.ok2xx + total.other4xx + total.shed429 + total.panic5xx + total.aborted
+		if accounted != total.sent {
+			return fail("sent %d but accounted %d (2xx %d + 4xx %d + 429 %d + panic-5xx %d + aborted %d)",
+				total.sent, accounted, total.ok2xx, total.other4xx, total.shed429, total.panic5xx, total.aborted)
+		}
+		fmt.Printf("loadgen: CHECK OK (chaos ledger balanced: %d sent = %d 2xx + %d 4xx + %d shed + %d panic-5xx + %d aborted)\n",
+			total.sent, total.ok2xx, total.other4xx, total.shed429, total.panic5xx, total.aborted)
+		return true
+	}
+	if total.panic5xx > 0 {
+		return fail("%d panic 5xx responses outside chaos mode", total.panic5xx)
+	}
+	if total.aborted > 0 {
+		return fail("%d transport errors", total.aborted)
+	}
+	if accounted := total.ok2xx + total.shed429; accounted != total.sent {
+		return fail("sent %d but only %d accounted as 2xx+429", total.sent, accounted)
+	}
+	fmt.Println("loadgen: CHECK OK (all requests 2xx or 429, zero 5xx)")
+	return true
+}
+
+// retryAfter parses a 429's Retry-After header (seconds form) and caps it.
+func retryAfter(resp *http.Response, limit time.Duration) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > limit {
+		d = limit
+	}
+	return d
+}
+
+// isPanicEnvelope reports whether a 5xx body is the server's structured
+// recovered-panic envelope (error.code == "internal_panic").
+func isPanicEnvelope(body []byte) bool {
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	return json.Unmarshal(body, &envelope) == nil && envelope.Error.Code == "internal_panic"
+}
+
+// emitBenchLine prints a go-bench formatted result line so benchjson can
+// fold the chaos run into a JSON report. recovered-panics comes from the
+// server's own /debug/vars (chaos-exempt control plane); if that read
+// fails the line still goes out with the counter at -1.
+func emitBenchLine(client *http.Client, target string, total *counters, elapsed time.Duration) {
+	shedRate := 0.0
+	if total.sent > 0 {
+		shedRate = float64(total.shed429) / float64(total.sent)
+	}
+	recovered := float64(-1)
+	if v, err := fetchPanicsRecovered(client, target); err == nil {
+		recovered = v
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: warning: /debug/vars unreadable: %v\n", err)
+	}
+	nsPerOp := float64(elapsed.Nanoseconds())
+	if total.sent > 0 {
+		nsPerOp /= float64(total.sent)
+	}
+	fmt.Printf("BenchmarkChaosLoadgen %d %.0f ns/op %.4f shed-rate %.0f recovered-panics %d aborted-requests\n",
+		total.sent, nsPerOp, shedRate, recovered, total.aborted)
+}
+
+// fetchPanicsRecovered reads panics_recovered from the server's expvar
+// endpoint.
+func fetchPanicsRecovered(client *http.Client, target string) (float64, error) {
+	resp, err := client.Get(target + "/debug/vars")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var vars struct {
+		Serve struct {
+			PanicsRecovered float64 `json:"panics_recovered"`
+		} `json:"adwars_serve"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return 0, err
+	}
+	return vars.Serve.PanicsRecovered, nil
+}
+
+// runProbe sends the canonical match and classify requests, retrying each
+// until a 2xx (the target may be mid-chaos), and prints the bodies in a
+// fixed order for byte-comparison between servers. Returns the exit code.
+func runProbe(client *http.Client, target string, attempts int) int {
+	probes := []struct {
+		name, path, ctype, body string
+	}{
+		{"match", "/v1/match", "application/json",
+			`{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`},
+		{"classify", "/v1/classify", "application/javascript", antiadblock.ReferenceBlockAdBlock},
+	}
+	for _, p := range probes {
+		var body []byte
+		got := false
+		for i := 0; i < attempts && !got; i++ {
+			resp, err := client.Post(target+p.path, p.ctype, bytes.NewReader([]byte(p.body)))
+			if err != nil {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+				body, got = b, true
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if !got {
+			fmt.Fprintf(os.Stderr, "loadgen: probe %s: no 2xx in %d attempts\n", p.name, attempts)
+			return 1
+		}
+		fmt.Printf("%s: %s\n", p.name, body)
+	}
+	return 0
+}
+
+// trickleReader feeds its data a few bytes per read, pausing between
+// chunks — the shape of a slow client on a bad link.
+type trickleReader struct {
+	data  []byte
+	chunk int
+	gap   time.Duration
+	off   int
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.EOF
+	}
+	if t.off > 0 {
+		time.Sleep(t.gap)
+	}
+	n := t.chunk
+	if n > len(t.data)-t.off {
+		n = len(t.data) - t.off
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, t.data[t.off:t.off+n])
+	t.off += n
+	return n, nil
+}
+
+// abortReader yields a partial body then dies, so the transport kills the
+// request mid-stream.
+type abortReader struct {
+	data []byte
+	off  int
+}
+
+func (a *abortReader) Read(p []byte) (int, error) {
+	if a.off >= len(a.data) {
+		return 0, fmt.Errorf("loadgen: injected mid-body abort")
+	}
+	n := copy(p, a.data[a.off:])
+	a.off += n
+	return n, nil
 }
 
 // syntheticDomains is the fallback URL pool when no lists snapshot is

@@ -43,10 +43,30 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max items per batch request (0 = default 256)")
 	drain := flag.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default 5s)")
 	portfile := flag.String("portfile", "", "write the bound host:port to this file after listening")
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaos fault-injection seed (0 = chaos disabled unless a rate is set)")
+	chaosLatencyRate := flag.Float64("chaos-latency-rate", 0, "fraction of data-plane requests that get injected latency")
+	chaosLatency := flag.Duration("chaos-latency", 0, "injected latency per latency fault (0 = default 5ms)")
+	chaosCloseRate := flag.Float64("chaos-close-rate", 0, "fraction of data-plane requests whose connection is closed early")
+	chaosTruncateRate := flag.Float64("chaos-truncate-rate", 0, "fraction of data-plane requests whose body read is truncated")
+	chaosPanicRate := flag.Float64("chaos-panic-rate", 0, "fraction of data-plane requests that panic inside the handler")
 	flag.Parse()
 
 	if *model == "" && *lists == "" {
 		log.Fatal("need at least one of -model or -lists")
+	}
+
+	var chaos *serve.ChaosConfig
+	if *chaosLatencyRate > 0 || *chaosCloseRate > 0 || *chaosTruncateRate > 0 || *chaosPanicRate > 0 {
+		chaos = &serve.ChaosConfig{
+			Seed:         *chaosSeed,
+			LatencyRate:  *chaosLatencyRate,
+			Latency:      *chaosLatency,
+			CloseRate:    *chaosCloseRate,
+			TruncateRate: *chaosTruncateRate,
+			PanicRate:    *chaosPanicRate,
+		}
+		fmt.Fprintf(os.Stderr, "adwars-serve: CHAOS MODE on data plane (seed=%d latency=%.2f close=%.2f truncate=%.2f panic=%.2f)\n",
+			chaos.Seed, chaos.LatencyRate, chaos.CloseRate, chaos.TruncateRate, chaos.PanicRate)
 	}
 
 	s := serve.New(serve.Config{
@@ -59,6 +79,7 @@ func main() {
 		MaxBatch:     *maxBatch,
 		DrainTimeout: *drain,
 		MetricsOut:   os.Stderr,
+		Chaos:        chaos,
 	})
 	if err := s.ReloadSnapshots(); err != nil {
 		log.Fatalf("initial snapshot load: %v", err)

@@ -61,6 +61,17 @@ type Report struct {
 	// (1e9 / ns_per_op of ServeMatch); concurrent throughput scales with
 	// the worker pool and is measured live by adwars-loadgen.
 	ServeMatchRPS float64 `json:"serve_match_rps,omitempty"`
+	// ChaosShedRate is the fraction of chaos-mode requests shed as 429
+	// (from adwars-loadgen -chaos -bench via the ChaosLoadgen line).
+	ChaosShedRate float64 `json:"chaos_shed_rate,omitempty"`
+	// ChaosRecoveredPanics is the server's panics_recovered counter after
+	// the chaos run — every injected panic must land here, none may kill
+	// the process. -1 means the loadgen could not read /debug/vars.
+	ChaosRecoveredPanics float64 `json:"chaos_recovered_panics,omitempty"`
+	// ChaosAbortedRequests is how many chaos-mode requests died at the
+	// transport layer (injected closes plus client-side mid-body aborts) —
+	// all individually accounted for by the loadgen's ledger check.
+	ChaosAbortedRequests float64 `json:"chaos_aborted_requests,omitempty"`
 }
 
 func main() {
@@ -151,6 +162,10 @@ func derive(rep *Report) {
 			if b.NsPerOp > 0 {
 				rep.ServeMatchRPS = 1e9 / b.NsPerOp
 			}
+		case "ChaosLoadgen":
+			rep.ChaosShedRate = b.Metrics["shed-rate"]
+			rep.ChaosRecoveredPanics = b.Metrics["recovered-panics"]
+			rep.ChaosAbortedRequests = b.Metrics["aborted-requests"]
 		}
 	}
 	if indexed > 0 && linear > 0 {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"adwars/internal/artifact"
 )
 
 // List snapshots freeze a set of compiled filter lists for the serving
@@ -14,12 +16,20 @@ import (
 // canonical source lines (Rule.Raw) and recompiled on load — Parse is
 // deterministic, so a reloaded list matches byte-identically to the one
 // that was saved (asserted by the round-trip tests).
+//
+// Since schema version 2 every snapshot is sealed with an artifact
+// integrity trailer (CRC64 + payload length): torn writes and bit rot are
+// rejected at load instead of silently changing match decisions.
+// Version-1 files predate the trailer and still load.
 
 const (
 	// ListsSnapshotFormat is the format tag every lists snapshot carries.
 	ListsSnapshotFormat = "adwars-lists"
 	// ListsSnapshotVersion is the current snapshot schema version.
-	ListsSnapshotVersion = 1
+	ListsSnapshotVersion = 2
+	// listsSnapshotSealedVersion is the first schema version that requires
+	// an integrity trailer.
+	listsSnapshotSealedVersion = 2
 )
 
 // ErrSnapshotFormat reports a file that is not a lists snapshot at all.
@@ -60,7 +70,7 @@ type listsSnapshotJSON struct {
 }
 
 // WriteListsSnapshot writes the snapshot to w in the current schema
-// version.
+// version, sealed with an integrity trailer.
 func WriteListsSnapshot(w io.Writer, s *ListsSnapshot) error {
 	doc := listsSnapshotJSON{
 		Format:  ListsSnapshotFormat,
@@ -74,24 +84,45 @@ func WriteListsSnapshot(w io.Writer, s *ListsSnapshot) error {
 		}
 		doc.Lists = append(doc.Lists, lj)
 	}
-	return json.NewEncoder(w).Encode(&doc)
+	payload, err := json.Marshal(&doc)
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	_, err = w.Write(artifact.Seal(payload))
+	return err
 }
 
 // ReadListsSnapshot parses and recompiles a snapshot, rejecting foreign
 // files (ErrSnapshotFormat), unknown schema versions (ErrSnapshotVersion),
-// and snapshots whose rules no longer parse (they would silently change
+// corrupt files — bad checksum, torn length framing, or a sealed-version
+// payload missing its trailer (errors wrap artifact.ErrCorrupt) — and
+// snapshots whose rules no longer parse (they would silently change
 // match decisions).
 func ReadListsSnapshot(r io.Reader) (*ListsSnapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("abp: reading lists snapshot: %w", err)
+	}
+	payload, sealed, err := artifact.Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("abp: lists snapshot: %w", err)
+	}
 	var doc listsSnapshotJSON
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+	if err := json.Unmarshal(payload, &doc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
 	}
 	if doc.Format != ListsSnapshotFormat {
 		return nil, fmt.Errorf("%w: format %q", ErrSnapshotFormat, doc.Format)
 	}
-	if doc.Version != ListsSnapshotVersion {
-		return nil, fmt.Errorf("%w: version %d (supported: %d)",
+	if doc.Version < 1 || doc.Version > ListsSnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: 1..%d)",
 			ErrSnapshotVersion, doc.Version, ListsSnapshotVersion)
+	}
+	if doc.Version >= listsSnapshotSealedVersion && !sealed {
+		return nil, fmt.Errorf("abp: lists snapshot: %w",
+			artifact.Corruptf("missing-trailer",
+				"version %d snapshot has no integrity trailer (truncated?)", doc.Version))
 	}
 	out := &ListsSnapshot{Label: doc.Label}
 	for _, lj := range doc.Lists {

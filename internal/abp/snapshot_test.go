@@ -1,10 +1,13 @@
 package abp
 
 import (
+	"bytes"
 	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"adwars/internal/artifact"
 )
 
 const snapshotTestList = `! Anti-adblock test list
@@ -105,5 +108,87 @@ func TestListsSnapshotRejectsForeignAndFutureFiles(t *testing.T) {
 	bad := `{"format":"adwars-lists","version":1,"lists":[{"name":"x","rules":["##["]}]}`
 	if _, err := ReadListsSnapshot(strings.NewReader(bad)); err == nil {
 		t.Error("unparseable rule must error")
+	}
+}
+
+// sealedListsBytes returns the raw sealed file bytes of a small snapshot.
+func sealedListsBytes(t *testing.T) []byte {
+	t.Helper()
+	l, errs := ParseAndBuild("corruption-list", snapshotTestList)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	var buf bytes.Buffer
+	if err := WriteListsSnapshot(&buf, &ListsSnapshot{Label: "unit", Lists: []*List{l}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestListsSnapshotIsSealed(t *testing.T) {
+	data := sealedListsBytes(t)
+	if !bytes.Contains(data, []byte(artifact.TrailerPrefix)) {
+		t.Fatal("written snapshot carries no integrity trailer")
+	}
+	if !bytes.Contains(data, []byte(`"version":2`)) {
+		t.Fatal("written snapshot is not schema version 2")
+	}
+	if _, err := ReadListsSnapshot(bytes.NewReader(data)); err != nil {
+		t.Fatalf("clean sealed snapshot failed to load: %v", err)
+	}
+}
+
+func TestListsSnapshotCorruptionDetected(t *testing.T) {
+	data := sealedListsBytes(t)
+	trailerAt := bytes.LastIndex(data, []byte(artifact.TrailerPrefix))
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantCRC bool // must wrap artifact.ErrCorrupt specifically
+	}{
+		{"truncated mid-payload", func(b []byte) []byte { return b[:len(b)/3] }, false},
+		{"trailer truncated away", func(b []byte) []byte { return b[:trailerAt] }, true},
+		{"bit flip in payload", func(b []byte) []byte {
+			b = bytes.Clone(b)
+			b[trailerAt/2] ^= 0x01
+			return b
+		}, true},
+		{"bit flip in trailer checksum", func(b []byte) []byte {
+			b = bytes.Clone(b)
+			i := bytes.LastIndex(b, []byte("crc64=")) + len("crc64=")
+			if b[i] == 'f' {
+				b[i] = '0'
+			} else {
+				b[i] = 'f'
+			}
+			return b
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadListsSnapshot(bytes.NewReader(tc.mutate(data)))
+			if err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+			if tc.wantCRC && !errors.Is(err, artifact.ErrCorrupt) {
+				t.Fatalf("err = %v, want artifact.ErrCorrupt", err)
+			}
+			if !tc.wantCRC && !errors.Is(err, artifact.ErrCorrupt) && !errors.Is(err, ErrSnapshotFormat) {
+				t.Fatalf("err = %v, want ErrCorrupt or ErrSnapshotFormat", err)
+			}
+		})
+	}
+}
+
+func TestListsSnapshotLegacyV1StillLoads(t *testing.T) {
+	legacy := `{"format":"adwars-lists","version":1,"label":"old",` +
+		`"lists":[{"name":"legacy","rules":["||ads.example.com^","@@||ads.example.com/ok$script"]}]}` + "\n"
+	snap, err := ReadListsSnapshot(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+	if snap.Label != "old" || snap.Rules() != 2 {
+		t.Fatalf("legacy snapshot mis-parsed: label=%q rules=%d", snap.Label, snap.Rules())
 	}
 }

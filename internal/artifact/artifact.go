@@ -1,0 +1,173 @@
+// Package artifact provides tamper/corruption-evident framing for the
+// snapshot files handed between the offline pipelines and the serving
+// layer. A sealed artifact is the payload bytes followed by a single
+// trailer line carrying the payload length and a CRC64 of the payload:
+//
+//	<payload bytes, typically one JSON document ending in '\n'>
+//	#adwars-integrity v1 len=1234 crc64=75d1b6a6e1a2b3c4
+//
+// The trailer is length-framed (a torn write that loses payload bytes
+// breaks the length check even when the tail happens to survive) and
+// checksummed (a bit flip anywhere in the payload breaks the CRC). The
+// line starts with '#', which can never begin a JSON document, so legacy
+// readers that ignore trailing garbage and new readers agree on where the
+// payload ends. Un-sealed (legacy) files open cleanly with sealed=false;
+// format owners decide whether that is acceptable for the schema version
+// they parsed (version-1 snapshots predate sealing, version-2 snapshots
+// require it — so truncating the trailer off a v2 file is detected).
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"strconv"
+	"strings"
+)
+
+// TrailerPrefix starts every integrity trailer line.
+const TrailerPrefix = "#adwars-integrity "
+
+// TrailerVersion is the current trailer format version.
+const TrailerVersion = 1
+
+// ErrCorrupt is the sentinel every corruption failure wraps: callers use
+// errors.Is(err, ErrCorrupt) to distinguish "this artifact is damaged"
+// from "this is not an artifact of the expected format at all".
+var ErrCorrupt = errors.New("artifact: corrupt")
+
+// CorruptError is the structured corruption report: what check failed and
+// the observed vs expected values. It wraps ErrCorrupt.
+type CorruptError struct {
+	// Reason is a short machine-friendly kind: "trailer-malformed",
+	// "length-mismatch", "checksum-mismatch", "missing-trailer".
+	Reason string
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("artifact: corrupt (%s): %s", e.Reason, e.Detail)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Corruptf builds a CorruptError; format owners use it to report
+// corruption conditions the trailer itself cannot see (e.g. a schema
+// version that requires sealing found without a trailer).
+func Corruptf(reason, format string, args ...any) error {
+	return &CorruptError{Reason: reason, Detail: fmt.Sprintf(format, args...)}
+}
+
+// crcTable is the ECMA polynomial table shared by Seal and Open.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum returns the CRC64 (ECMA) of payload — the value carried in the
+// trailer.
+func Checksum(payload []byte) uint64 { return crc64.Checksum(payload, crcTable) }
+
+// Seal returns payload with an integrity trailer line appended. The
+// payload should end with '\n' (JSON encoders do); if it does not, a
+// newline is inserted so the trailer stays on its own line.
+func Seal(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+64)
+	out = append(out, payload...)
+	if len(out) > 0 && out[len(out)-1] != '\n' {
+		out = append(out, '\n')
+	}
+	out = append(out, fmt.Sprintf("%sv%d len=%d crc64=%016x\n",
+		TrailerPrefix, TrailerVersion, len(payload), Checksum(payload))...)
+	return out
+}
+
+// Open splits data into payload and trailer and verifies the trailer when
+// present. It returns (payload, true, nil) for a sealed artifact that
+// verifies, (data, false, nil) for an un-sealed (legacy) artifact, and a
+// CorruptError when a trailer is present but malformed or fails its
+// length or checksum check.
+func Open(data []byte) (payload []byte, sealed bool, err error) {
+	line, start := lastLine(data)
+	if !strings.HasPrefix(line, TrailerPrefix) {
+		return data, false, nil
+	}
+	wantLen, wantCRC, err := parseTrailer(line)
+	if err != nil {
+		return nil, false, err
+	}
+	payload = data[:start]
+	// The trailer states the exact payload length Seal saw; Seal only adds
+	// a newline when the payload lacked one, so a sealed file's payload
+	// region is either exactly wantLen bytes or wantLen plus that newline.
+	switch {
+	case len(payload) == wantLen:
+	case len(payload) == wantLen+1 && payload[wantLen] == '\n':
+		payload = payload[:wantLen]
+	default:
+		return nil, false, &CorruptError{
+			Reason: "length-mismatch",
+			Detail: fmt.Sprintf("trailer framed %d payload bytes, found %d (torn write?)", wantLen, len(payload)),
+		}
+	}
+	if got := Checksum(payload); got != wantCRC {
+		return nil, false, &CorruptError{
+			Reason: "checksum-mismatch",
+			Detail: fmt.Sprintf("payload crc64 %016x, trailer says %016x (bit rot?)", got, wantCRC),
+		}
+	}
+	return payload, true, nil
+}
+
+// lastLine returns the final non-empty line of data and the offset where
+// it starts (i.e. everything before it).
+func lastLine(data []byte) (line string, start int) {
+	end := len(data)
+	for end > 0 && data[end-1] == '\n' {
+		end--
+	}
+	start = end
+	for start > 0 && data[start-1] != '\n' {
+		start--
+	}
+	return string(data[start:end]), start
+}
+
+// parseTrailer validates one trailer line of the form
+// "#adwars-integrity v1 len=N crc64=HEX".
+func parseTrailer(line string) (length int, crc uint64, err error) {
+	fields := strings.Fields(strings.TrimPrefix(line, TrailerPrefix))
+	if len(fields) != 3 {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("want 3 trailer fields, got %d in %q", len(fields), line)}
+	}
+	ver, ok := strings.CutPrefix(fields[0], "v")
+	if !ok {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("bad trailer version field %q", fields[0])}
+	}
+	v, err2 := strconv.Atoi(ver)
+	if err2 != nil || v < 1 || v > TrailerVersion {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("unsupported trailer version %q (supported: v%d)", fields[0], TrailerVersion)}
+	}
+	lenStr, ok := strings.CutPrefix(fields[1], "len=")
+	if !ok {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("bad trailer length field %q", fields[1])}
+	}
+	length, err2 = strconv.Atoi(lenStr)
+	if err2 != nil || length < 0 {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("bad trailer length %q", lenStr)}
+	}
+	crcStr, ok := strings.CutPrefix(fields[2], "crc64=")
+	if !ok {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("bad trailer checksum field %q", fields[2])}
+	}
+	crc, err2 = strconv.ParseUint(crcStr, 16, 64)
+	if err2 != nil {
+		return 0, 0, &CorruptError{Reason: "trailer-malformed",
+			Detail: fmt.Sprintf("bad trailer checksum %q", crcStr)}
+	}
+	return length, crc, nil
+}

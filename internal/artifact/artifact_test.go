@@ -1,0 +1,120 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	for _, payload := range []string{
+		"{\"hello\":\"world\"}\n",
+		"{\"no-trailing-newline\":true}",
+		"",
+		"line one\nline two\n",
+	} {
+		sealed := Seal([]byte(payload))
+		got, ok, err := Open(sealed)
+		if err != nil {
+			t.Fatalf("payload %q: %v", payload, err)
+		}
+		if !ok {
+			t.Fatalf("payload %q: sealed artifact opened as legacy", payload)
+		}
+		if string(got) != payload {
+			t.Fatalf("payload %q round-tripped to %q", payload, got)
+		}
+	}
+}
+
+func TestOpenLegacyPassthrough(t *testing.T) {
+	legacy := []byte("{\"format\":\"adwars-model\",\"version\":1}\n")
+	got, sealed, err := Open(legacy)
+	if err != nil || sealed {
+		t.Fatalf("legacy open: sealed=%v err=%v", sealed, err)
+	}
+	if !bytes.Equal(got, legacy) {
+		t.Fatalf("legacy payload mutated: %q", got)
+	}
+}
+
+func TestOpenDetectsPayloadBitFlip(t *testing.T) {
+	sealed := Seal([]byte(`{"field":"value","n":12345}` + "\n"))
+	for _, i := range []int{0, 5, 12, 20} {
+		damaged := bytes.Clone(sealed)
+		damaged[i] ^= 0x20
+		_, _, err := Open(damaged)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) || ce.Reason != "checksum-mismatch" {
+			t.Errorf("flip at %d: err = %v, want checksum-mismatch", i, err)
+		}
+	}
+}
+
+func TestOpenDetectsTrailerDamage(t *testing.T) {
+	sealed := string(Seal([]byte("payload\n")))
+	// Flip a checksum hex digit.
+	i := strings.LastIndex(sealed, "crc64=") + len("crc64=")
+	flipped := sealed[:i] + flipHex(sealed[i]) + sealed[i+1:]
+	if _, _, err := Open([]byte(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped crc digit: err = %v, want ErrCorrupt", err)
+	}
+	// Mangle the length field.
+	mangled := strings.Replace(sealed, "len=", "len=9", 1)
+	if _, _, err := Open([]byte(mangled)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mangled length: err = %v, want ErrCorrupt", err)
+	}
+	// Unsupported trailer version.
+	future := strings.Replace(sealed, " v1 ", " v99 ", 1)
+	if _, _, err := Open([]byte(future)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("future trailer version: err = %v, want ErrCorrupt", err)
+	}
+	// Garbage after the prefix.
+	garbage := []byte("payload\n" + TrailerPrefix + "what even is this\n")
+	if _, _, err := Open(garbage); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage trailer: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenDetectsTornPayload(t *testing.T) {
+	payload := []byte(`{"a":1,"b":2,"c":3}` + "\n")
+	sealed := Seal(payload)
+	// Remove bytes from the middle so the trailer survives but frames the
+	// wrong length — the shape of a torn write that lost a block.
+	torn := append(bytes.Clone(sealed[:5]), sealed[10:]...)
+	_, _, err := Open(torn)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != "length-mismatch" {
+		t.Fatalf("torn payload: err = %v, want length-mismatch", err)
+	}
+}
+
+func TestCorruptfWrapsSentinel(t *testing.T) {
+	err := Corruptf("missing-trailer", "version %d requires sealing", 2)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Corruptf result does not wrap ErrCorrupt: %v", err)
+	}
+	if want := "version 2 requires sealing"; !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", err, want)
+	}
+}
+
+func TestSealIsDeterministic(t *testing.T) {
+	p := []byte(fmt.Sprintf("{\"n\":%d}\n", 42))
+	if !bytes.Equal(Seal(p), Seal(p)) {
+		t.Fatal("Seal is not deterministic")
+	}
+}
+
+// flipHex returns a different valid hex digit.
+func flipHex(c byte) string {
+	if c == 'f' {
+		return "0"
+	}
+	return "f"
+}

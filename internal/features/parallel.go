@@ -2,10 +2,30 @@ package features
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"adwars/internal/crawler"
 	"adwars/internal/jsast"
 )
+
+// ErrPanic marks an extraction task that panicked; the panic was confined
+// to that task's slot instead of killing the worker pool (and with it the
+// process — a pool goroutine has no other recover boundary above it).
+var ErrPanic = errors.New("features: panic during extraction")
+
+// runIsolated invokes fn and converts a panic into an error wrapping
+// ErrPanic. It is the per-task recover boundary for worker-pool work: a
+// panicking task must cost exactly its own result, never the pool.
+func runIsolated(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: %v", ErrPanic, v)
+		}
+	}()
+	fn()
+	return nil
+}
 
 // ExtractAll fans unpack+parse+Extract for a script corpus out over the
 // shared crawler worker pool. Results land in caller-visible slots indexed
@@ -14,18 +34,25 @@ import (
 // ExtractSource loop at any worker count.
 //
 // errs[i] is non-nil for scripts that fail to parse (callers typically
-// drop them, as the paper does). The returned error is non-nil only when
-// ctx is cancelled; slots not yet fed keep nil sets and nil errors.
+// drop them, as the paper does) or whose extraction panicked (the panic
+// is recovered per-slot; errs[i] wraps ErrPanic). The returned error is
+// non-nil only when ctx is cancelled; slots not yet fed keep nil sets and
+// nil errors.
 func ExtractAll(ctx context.Context, sources []string, set Set, workers int) (sets []map[string]bool, errs []error, err error) {
 	sets = make([]map[string]bool, len(sources))
 	errs = make([]error, len(sources))
 	err = crawler.ForEach(ctx, clampWorkers(workers), len(sources), func(i int) {
-		prog, _, e := jsast.ParseAndUnpack(sources[i])
-		if e != nil {
-			errs[i] = e
-			return
+		if perr := runIsolated(func() {
+			prog, _, e := jsast.ParseAndUnpack(sources[i])
+			if e != nil {
+				errs[i] = e
+				return
+			}
+			sets[i] = Extract(prog, set)
+		}); perr != nil {
+			sets[i] = nil
+			errs[i] = perr
 		}
-		sets[i] = Extract(prog, set)
 	})
 	return sets, errs, err
 }

@@ -2,8 +2,10 @@ package features
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -53,6 +55,36 @@ func TestExtractAllMatchesSequential(t *testing.T) {
 					t.Fatalf("set %v workers %d: slot %d features diverge", set, workers, i)
 				}
 			}
+		}
+	}
+}
+
+// TestRunIsolatedConfinesPanics: a panicking worker-pool task must turn
+// into an ErrPanic-wrapped error for its own slot, never a process crash.
+func TestRunIsolatedConfinesPanics(t *testing.T) {
+	err := runIsolated(func() { panic("boom in a pool task") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "boom in a pool task") {
+		t.Errorf("panic value lost from error: %v", err)
+	}
+	if err := runIsolated(func() {}); err != nil {
+		t.Fatalf("clean task reported %v", err)
+	}
+	// A panic mid-corpus must not poison neighbouring slots: run a real
+	// fan-out and check every slot still gets its sequential result.
+	srcs := parallelCorpus()
+	sets, errs, err := ExtractAll(context.Background(), srcs, SetAll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srcs {
+		if errs[i] != nil && errors.Is(errs[i], ErrPanic) {
+			t.Fatalf("slot %d: unexpected panic error %v", i, errs[i])
+		}
+		if errs[i] == nil && sets[i] == nil {
+			t.Fatalf("slot %d: no error but nil feature set", i)
 		}
 	}
 }

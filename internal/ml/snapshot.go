@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"adwars/internal/artifact"
 )
 
 // Model snapshots are the wire format between the offline training pipeline
@@ -14,13 +16,22 @@ import (
 // over, in one versioned file. The vocabulary travels with the model because
 // a model is only meaningful against the exact feature indices it saw at
 // training time.
+//
+// Since schema version 2 every snapshot is sealed with an
+// artifact integrity trailer (CRC64 + payload length), so torn writes and
+// bit rot are detected at load instead of silently skewing decisions.
+// Version-1 files predate the trailer and still load.
 
 const (
 	// ModelSnapshotFormat is the format tag every model snapshot carries.
 	ModelSnapshotFormat = "adwars-model"
 	// ModelSnapshotVersion is the current snapshot schema version. Readers
 	// reject snapshots from a newer (unknown) schema instead of guessing.
-	ModelSnapshotVersion = 1
+	ModelSnapshotVersion = 2
+	// modelSnapshotSealedVersion is the first schema version that requires
+	// an integrity trailer; reading such a file without one means the
+	// trailer (and possibly payload) was truncated away.
+	modelSnapshotSealedVersion = 2
 )
 
 // ErrSnapshotFormat reports a file that is not a model snapshot at all.
@@ -61,7 +72,7 @@ type modelSnapshotJSON struct {
 }
 
 // WriteModelSnapshot writes the snapshot to w in the current schema
-// version.
+// version, sealed with an integrity trailer.
 func WriteModelSnapshot(w io.Writer, s *ModelSnapshot) error {
 	if s.Model == nil {
 		return fmt.Errorf("ml: snapshot has no model")
@@ -79,23 +90,44 @@ func WriteModelSnapshot(w io.Writer, s *ModelSnapshot) error {
 		Model:      model,
 		Meta:       s.Meta,
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&doc)
+	payload, err := json.Marshal(&doc)
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	_, err = w.Write(artifact.Seal(payload))
+	return err
 }
 
 // ReadModelSnapshot parses a snapshot, rejecting foreign files
-// (ErrSnapshotFormat) and unknown schema versions (ErrSnapshotVersion).
+// (ErrSnapshotFormat), unknown schema versions (ErrSnapshotVersion), and
+// corrupt files — bad checksum, torn length framing, or a sealed-version
+// payload whose trailer was truncated away (errors wrap
+// artifact.ErrCorrupt).
 func ReadModelSnapshot(r io.Reader) (*ModelSnapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ml: reading model snapshot: %w", err)
+	}
+	payload, sealed, err := artifact.Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("ml: model snapshot: %w", err)
+	}
 	var doc modelSnapshotJSON
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+	if err := json.Unmarshal(payload, &doc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
 	}
 	if doc.Format != ModelSnapshotFormat {
 		return nil, fmt.Errorf("%w: format %q", ErrSnapshotFormat, doc.Format)
 	}
-	if doc.Version != ModelSnapshotVersion {
-		return nil, fmt.Errorf("%w: version %d (supported: %d)",
+	if doc.Version < 1 || doc.Version > ModelSnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (supported: 1..%d)",
 			ErrSnapshotVersion, doc.Version, ModelSnapshotVersion)
+	}
+	if doc.Version >= modelSnapshotSealedVersion && !sealed {
+		return nil, fmt.Errorf("ml: model snapshot: %w",
+			artifact.Corruptf("missing-trailer",
+				"version %d snapshot has no integrity trailer (truncated?)", doc.Version))
 	}
 	if doc.Classifier != "adaboost" {
 		return nil, fmt.Errorf("ml: unknown classifier %q in snapshot", doc.Classifier)

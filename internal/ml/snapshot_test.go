@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"adwars/internal/artifact"
 )
 
 func trainedSnapshot(t *testing.T) *ModelSnapshot {
@@ -84,5 +86,96 @@ func TestModelSnapshotWriteRequiresModel(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteModelSnapshot(&buf, &ModelSnapshot{FeatureSet: "keyword"}); err == nil {
 		t.Error("nil model must error")
+	}
+}
+
+// sealedModelBytes writes the trained snapshot and returns the raw sealed
+// file bytes for corruption tests.
+func sealedModelBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteModelSnapshot(&buf, trainedSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestModelSnapshotIsSealed(t *testing.T) {
+	data := sealedModelBytes(t)
+	if !bytes.Contains(data, []byte(artifact.TrailerPrefix)) {
+		t.Fatal("written snapshot carries no integrity trailer")
+	}
+	if !bytes.Contains(data, []byte(`"version":2`)) {
+		t.Fatal("written snapshot is not schema version 2")
+	}
+	if _, err := ReadModelSnapshot(bytes.NewReader(data)); err != nil {
+		t.Fatalf("clean sealed snapshot failed to load: %v", err)
+	}
+}
+
+func TestModelSnapshotCorruptionDetected(t *testing.T) {
+	data := sealedModelBytes(t)
+	trailerAt := bytes.LastIndex(data, []byte(artifact.TrailerPrefix))
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated mid-payload", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"trailer truncated away", func(b []byte) []byte { return b[:trailerAt] }},
+		{"bit flip in payload", func(b []byte) []byte {
+			b = bytes.Clone(b)
+			b[trailerAt/2] ^= 0x01
+			return b
+		}},
+		{"bit flip in trailer checksum", func(b []byte) []byte {
+			b = bytes.Clone(b)
+			i := bytes.LastIndex(b, []byte("crc64=")) + len("crc64=")
+			if b[i] == 'f' {
+				b[i] = '0'
+			} else {
+				b[i] = 'f'
+			}
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadModelSnapshot(bytes.NewReader(tc.mutate(data)))
+			if err == nil {
+				t.Fatal("corrupt snapshot loaded without error")
+			}
+			if !errors.Is(err, artifact.ErrCorrupt) && !errors.Is(err, ErrSnapshotFormat) {
+				t.Fatalf("err = %v, want ErrCorrupt or ErrSnapshotFormat", err)
+			}
+		})
+	}
+
+	// Corruption classes the trailer can name precisely must wrap
+	// artifact.ErrCorrupt specifically (serving distinguishes "corrupt" from
+	// "foreign file" when counting rejected reloads).
+	for _, name := range []string{"trailer truncated away", "bit flip in payload", "bit flip in trailer checksum"} {
+		for _, tc := range cases {
+			if tc.name != name {
+				continue
+			}
+			if _, err := ReadModelSnapshot(bytes.NewReader(tc.mutate(data))); !errors.Is(err, artifact.ErrCorrupt) {
+				t.Errorf("%s: err = %v, want artifact.ErrCorrupt", name, err)
+			}
+		}
+	}
+}
+
+func TestModelSnapshotLegacyV1StillLoads(t *testing.T) {
+	// A hand-built version-1 file: no trailer, pre-integrity schema.
+	legacy := `{"format":"adwars-model","version":1,"classifier":"adaboost",` +
+		`"feature_set":"keyword","vocab":["Identifier:offsetHeight"],` +
+		`"model":{"alphas":[1],"models":[{"kernel":"linear","bias":-0.5,"coefs":[1],"vectors":[[0]]}]}}` + "\n"
+	snap, err := ReadModelSnapshot(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+	if snap.FeatureSet != "keyword" || len(snap.Vocab) != 1 {
+		t.Fatalf("legacy snapshot mis-parsed: %+v", snap)
 	}
 }

@@ -202,6 +202,14 @@ func (s *Server) admitted(ep string, w http.ResponseWriter, r *http.Request, fn 
 	if s.testDelay > 0 {
 		time.Sleep(s.testDelay)
 	}
+	// Injected chaos latency sleeps here, while holding the worker slot,
+	// so it consumes real capacity and can push admission into shedding.
+	if s.chaos != nil {
+		if d, ok := s.chaos.drawLatency(); ok {
+			s.met.chaos.latencyInjections.Add(1)
+			time.Sleep(d)
+		}
+	}
 	fn()
 	stats.requests.Add(1)
 	stats.latency.Observe(time.Since(start))

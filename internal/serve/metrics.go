@@ -115,6 +115,23 @@ const (
 
 var endpointKeys = []string{epMatch, epMatchBatch, epClassify, epClassifyBatch}
 
+// chaosStats counts the faults the chaos middleware injected, so a chaos
+// run's client-side accounting can be reconciled against what the server
+// actually did.
+type chaosStats struct {
+	latencyInjections atomic.Uint64
+	closeInjections   atomic.Uint64
+	truncateInjection atomic.Uint64
+	panicInjections   atomic.Uint64
+}
+
+type chaosSnapshot struct {
+	LatencyInjections  uint64 `json:"latency_injections"`
+	CloseInjections    uint64 `json:"close_injections"`
+	TruncateInjections uint64 `json:"truncate_injections"`
+	PanicInjections    uint64 `json:"panic_injections"`
+}
+
 // metrics is the server's full counter tree, exported as one JSON object
 // under "adwars_serve" in /debug/vars.
 type metrics struct {
@@ -122,6 +139,16 @@ type metrics struct {
 	queueDepth   *atomic.Int64 // admission queue depth (shared gauge)
 	reloads      atomic.Uint64
 	reloadErrors atomic.Uint64
+	// reloadRejected counts reloads refused because a snapshot file failed
+	// its integrity check (subset of reloadErrors): the last-good snapshots
+	// kept serving.
+	reloadRejected atomic.Uint64
+	// panicsRecovered counts panics converted into structured 500s by the
+	// recovery boundary instead of killing the process.
+	panicsRecovered atomic.Uint64
+	// chaos counters are exported only when fault injection is configured.
+	chaos        chaosStats
+	chaosEnabled bool
 }
 
 func newMetrics(queueDepth *atomic.Int64) *metrics {
@@ -136,17 +163,30 @@ func newMetrics(queueDepth *atomic.Int64) *metrics {
 }
 
 type metricsSnapshot struct {
-	Endpoints    map[string]endpointSnapshot `json:"endpoints"`
-	QueueDepth   int64                       `json:"queue_depth"`
-	Reloads      uint64                      `json:"reloads"`
-	ReloadErrors uint64                      `json:"reload_errors"`
+	Endpoints       map[string]endpointSnapshot `json:"endpoints"`
+	QueueDepth      int64                       `json:"queue_depth"`
+	Reloads         uint64                      `json:"reloads"`
+	ReloadErrors    uint64                      `json:"reload_errors"`
+	ReloadRejected  uint64                      `json:"reload_rejected"`
+	PanicsRecovered uint64                      `json:"panics_recovered"`
+	Chaos           *chaosSnapshot              `json:"chaos,omitempty"`
 }
 
 func (m *metrics) snapshot() metricsSnapshot {
 	out := metricsSnapshot{
-		Endpoints:    make(map[string]endpointSnapshot, len(m.endpoints)),
-		Reloads:      m.reloads.Load(),
-		ReloadErrors: m.reloadErrors.Load(),
+		Endpoints:       make(map[string]endpointSnapshot, len(m.endpoints)),
+		Reloads:         m.reloads.Load(),
+		ReloadErrors:    m.reloadErrors.Load(),
+		ReloadRejected:  m.reloadRejected.Load(),
+		PanicsRecovered: m.panicsRecovered.Load(),
+	}
+	if m.chaosEnabled {
+		out.Chaos = &chaosSnapshot{
+			LatencyInjections:  m.chaos.latencyInjections.Load(),
+			CloseInjections:    m.chaos.closeInjections.Load(),
+			TruncateInjections: m.chaos.truncateInjection.Load(),
+			PanicInjections:    m.chaos.panicInjections.Load(),
+		}
 	}
 	if m.queueDepth != nil {
 		out.QueueDepth = m.queueDepth.Load()

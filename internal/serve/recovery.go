@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"net/http"
+)
+
+// withRecovery is the outermost request boundary: a panic anywhere in
+// per-request work (handler body, parser, matcher — or an injected chaos
+// panic) is converted into a structured 500 envelope and a
+// panics_recovered tick instead of killing the process. net/http would
+// already confine the panic to the one connection, but without this
+// boundary the client sees a bare connection reset and the operator sees
+// nothing; with it the failure is a counted, typed response.
+//
+// http.ErrAbortHandler is re-panicked untouched: it is the sanctioned
+// "abandon this connection silently" signal (used after a hijack) and
+// net/http suppresses it without logging.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(v)
+			}
+			s.met.panicsRecovered.Add(1)
+			if !tw.wrote {
+				writeError(tw, http.StatusInternalServerError, "internal_panic",
+					"panic recovered while handling %s: %v", r.URL.Path, v)
+			}
+			// If the response already started, the envelope cannot be sent;
+			// the partial response is all the client gets, but the process
+			// and every other in-flight request survive.
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackingWriter records whether the response has started, so the
+// recovery boundary knows if it can still write an error envelope. It
+// forwards Hijack and Flush to the underlying writer (the chaos
+// middleware hijacks to inject connection closes).
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+func (t *trackingWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := t.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("serve: underlying ResponseWriter does not support hijacking")
+	}
+	t.wrote = true
+	return hj.Hijack()
+}
+
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -130,3 +130,83 @@ func TestReloadUnderFire(t *testing.T) {
 	t.Logf("reload-under-fire: %d requests (%d ok, %d shed) across %d reloads",
 		sent.Load(), ok200.Load(), shed429.Load(), reloads)
 }
+
+// TestReloadRejectsCorruptSnapshot: a hot reload against a corrupted file
+// must fail with a structured error, tick reload_rejected, and keep the
+// last-good snapshots serving byte-identical answers.
+func TestReloadRejectsCorruptSnapshot(t *testing.T) {
+	checkGoroutineLeaks(t)
+	dir := t.TempDir()
+	modelPath, listsPath := writeSnapshotFiles(t, dir)
+	s := New(Config{ModelPath: modelPath, ListsPath: listsPath})
+	if err := s.ReloadSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	query := `{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`
+	fetch := func() string {
+		resp, err := ts.Client().Post(ts.URL+"/v1/match", "application/json", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match status %d", resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	before := fetch()
+
+	corruptions := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bit-flipped", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[len(b)/3] ^= 0x04
+			return b
+		}},
+	}
+	good, err := os.ReadFile(listsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range corruptions {
+		if err := os.WriteFile(listsPath, c.mutate(good), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Post(ts.URL+"/admin/reload", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: reload status %d (%s), want 400", c.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), `"code":"snapshot"`) {
+			t.Errorf("%s: reload error not structured: %s", c.name, body)
+		}
+		if got := s.met.reloadRejected.Load(); got != uint64(i+1) {
+			t.Errorf("%s: reload_rejected = %d, want %d", c.name, got, i+1)
+		}
+		if after := fetch(); after != before {
+			t.Fatalf("%s: served answer changed after rejected reload:\n%s\nvs\n%s", c.name, after, before)
+		}
+	}
+
+	// Restoring the good file makes the next reload succeed.
+	if err := os.WriteFile(listsPath, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadSnapshots(); err != nil {
+		t.Fatalf("reload after restore: %v", err)
+	}
+	if after := fetch(); after != before {
+		t.Fatalf("answer changed after restore:\n%s\nvs\n%s", after, before)
+	}
+}

@@ -10,6 +10,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"adwars/internal/abp"
+	"adwars/internal/artifact"
 	"adwars/internal/features"
 	"adwars/internal/ml"
 )
@@ -48,6 +50,9 @@ type Config struct {
 	// MetricsOut, when non-nil, receives a final metrics snapshot on
 	// graceful shutdown.
 	MetricsOut io.Writer
+	// Chaos, when non-nil and enabled, injects deterministic faults into
+	// the data plane (see ChaosConfig). Production servers leave it nil.
+	Chaos *ChaosConfig
 }
 
 func (c *Config) workers() int {
@@ -115,9 +120,10 @@ type listsState struct {
 // expose Handler on an http.Server — or use Serve, which also handles
 // graceful drain.
 type Server struct {
-	cfg Config
-	adm *admission
-	met *metrics
+	cfg   Config
+	adm   *admission
+	met   *metrics
+	chaos *chaosState // nil unless cfg.Chaos is enabled
 
 	model atomic.Pointer[modelState]
 	lists atomic.Pointer[listsState]
@@ -137,7 +143,16 @@ func New(cfg Config) *Server {
 		adm: newAdmission(cfg.workers(), cfg.queue(), cfg.queueTimeout()),
 	}
 	s.met = newMetrics(&s.adm.queued)
-	s.mux = s.routes()
+	s.met.chaosEnabled = cfg.Chaos.Enabled()
+	// Middleware order matters: recovery is outermost so it catches panics
+	// from chaos injection and handlers alike; chaos sits between recovery
+	// and the routes so injected faults exercise real handler paths.
+	h := s.routes()
+	if s.met.chaosEnabled {
+		s.chaos = newChaosState(cfg.Chaos)
+		h = s.withChaos(h)
+	}
+	s.mux = s.withRecovery(h)
 	return s
 }
 
@@ -177,37 +192,52 @@ func (s *Server) SetListsSnapshot(snap *abp.ListsSnapshot) error {
 
 // ReloadSnapshots re-reads the configured snapshot paths and installs
 // whatever loads cleanly. On any error the previous snapshots stay
-// installed untouched — a bad reload never degrades a serving process.
+// installed untouched — a bad reload never degrades a serving process. A
+// snapshot rejected for failing its integrity check (torn write, bit rot,
+// missing trailer) additionally ticks reload_rejected, so corruption is
+// distinguishable from operational errors like a missing file.
 func (s *Server) ReloadSnapshots() error {
 	var model *ml.ModelSnapshot
 	var lists *abp.ListsSnapshot
 	var err error
 	if s.cfg.ModelPath != "" {
 		if model, err = ml.LoadModelSnapshot(s.cfg.ModelPath); err != nil {
-			s.met.reloadErrors.Add(1)
-			return err
+			return s.reloadFailed(err)
 		}
 	}
 	if s.cfg.ListsPath != "" {
 		if lists, err = abp.LoadListsSnapshot(s.cfg.ListsPath); err != nil {
-			s.met.reloadErrors.Add(1)
-			return err
+			return s.reloadFailed(err)
 		}
 	}
 	if model != nil {
 		if err := s.SetModelSnapshot(model); err != nil {
-			s.met.reloadErrors.Add(1)
-			return err
+			return s.reloadFailed(err)
 		}
 	}
 	if lists != nil {
 		if err := s.SetListsSnapshot(lists); err != nil {
-			s.met.reloadErrors.Add(1)
-			return err
+			return s.reloadFailed(err)
 		}
 	}
 	s.met.reloads.Add(1)
 	return nil
+}
+
+// reloadFailed records a failed reload in the metrics tree and passes the
+// error through. reload_rejected ticks when the file was there but its
+// content was refused — integrity failure (torn write, bit rot, missing
+// trailer) or an unparseable/foreign payload, which on a path that loaded
+// fine before is the same event: a damaged artifact. Pure I/O errors
+// (missing file, permissions) count only as reload_errors.
+func (s *Server) reloadFailed(err error) error {
+	s.met.reloadErrors.Add(1)
+	if errors.Is(err, artifact.ErrCorrupt) ||
+		errors.Is(err, ml.ErrSnapshotFormat) || errors.Is(err, ml.ErrSnapshotVersion) ||
+		errors.Is(err, abp.ErrSnapshotFormat) || errors.Is(err, abp.ErrSnapshotVersion) {
+		s.met.reloadRejected.Add(1)
+	}
+	return err
 }
 
 // Handler returns the server's HTTP handler tree.

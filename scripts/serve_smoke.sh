@@ -4,14 +4,36 @@
 # adwars-serve on an ephemeral port, fire adwars-loadgen at it for ~2s
 # with a SIGHUP hot-reload mid-run, then drain with SIGTERM. Fails if any
 # request is dropped or 5xx's, if the reload fails, or if the server does
-# not exit cleanly.
+# not exit cleanly. Every wait is bounded: a wedged server is killed hard
+# by the teardown trap rather than hanging the build forever.
 set -eu
 
 GO="${GO:-go}"
 DIR="$(mktemp -d /tmp/adwars-serve-smoke.XXXXXX)"
 SERVER_PID=""
+
+# wait_pid_bounded PID SECONDS — poll until PID exits or the budget runs
+# out; returns 0 if it exited, 1 if it is still alive.
+wait_pid_bounded() {
+    _pid="$1"; _budget=$(( $2 * 10 )); _i=0
+    while kill -0 "$_pid" 2>/dev/null; do
+        _i=$((_i + 1))
+        [ "$_i" -gt "$_budget" ] && return 1
+        sleep 0.1
+    done
+    return 0
+}
+
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        # Give the drain a moment; a server that ignores SIGTERM gets KILLed
+        # so the trap itself can never hang.
+        if ! wait_pid_bounded "$SERVER_PID" 5; then
+            echo "serve-smoke: teardown: server ignored SIGTERM, killing hard" >&2
+            kill -9 "$SERVER_PID" 2>/dev/null || true
+        fi
+    fi
     rm -rf "$DIR"
 }
 trap cleanup EXIT INT TERM
@@ -28,12 +50,14 @@ echo "serve-smoke: freezing snapshots (scale 50)..."
     -portfile "$DIR/port.txt" 2>"$DIR/serve.log" &
 SERVER_PID=$!
 
-# Wait for the port file (the server writes it after binding).
+# Wait for the port file (the server writes it after binding). Timing out
+# here is a hard, loud failure with the server log attached — not a silent
+# hang and not a cascade of confusing connection errors further down.
 i=0
 while [ ! -s "$DIR/port.txt" ]; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
-        echo "serve-smoke: FAIL: server never bound" >&2
+        echo "serve-smoke: FAIL: server never wrote its portfile within 10s" >&2
         cat "$DIR/serve.log" >&2
         exit 1
     fi
@@ -54,6 +78,12 @@ echo "serve-smoke: server on $ADDR"
     -concurrency 4 -lists "$DIR/lists.json" -check
 
 kill -TERM "$SERVER_PID"
+if ! wait_pid_bounded "$SERVER_PID" 15; then
+    echo "serve-smoke: FAIL: server still alive 15s after SIGTERM" >&2
+    cat "$DIR/serve.log" >&2
+    exit 1
+fi
+# The process is gone; collect its exit status.
 if ! wait "$SERVER_PID"; then
     echo "serve-smoke: FAIL: server did not drain cleanly" >&2
     cat "$DIR/serve.log" >&2
