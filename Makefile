@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke chaos-smoke chaos-smoke-short
+.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke chaos-smoke chaos-smoke-short fleet-smoke fleet-smoke-short
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,11 @@ race:
 # smoke run of the replay benchmarks so a broken bench pipeline fails the
 # gate instead of the nightly, an end-to-end smoke of the serving stack
 # (snapshots → adwars-serve → adwars-loadgen with a hot reload mid-fire
-# and a graceful drain), and a shortened chaos run (every fault class
-# injected, hostile load, corrupt-snapshot reload mid-fire).
-verify: build vet test race bench-smoke serve-smoke chaos-smoke-short
+# and a graceful drain), a shortened chaos run (every fault class
+# injected, hostile load, corrupt-snapshot reload mid-fire), and a
+# shortened fleet run (3 replicas behind adwars-gateway with a mid-load
+# SIGKILL/restart and a canary-rollback rollout via adwars-ctl).
+verify: build vet test race bench-smoke serve-smoke chaos-smoke-short fleet-smoke-short
 
 # bench records the rule-engine and replay performance profile in
 # BENCH_replay.json: match and list-compile microbenchmarks from
@@ -79,6 +81,22 @@ chaos-smoke:
 # firing window, bench JSON parked in /tmp instead of the repo root.
 chaos-smoke-short:
 	CHAOS_SHORT=1 CHAOS_BENCH_OUT=/tmp/adwars-bench-chaos-smoke.json sh scripts/chaos_smoke.sh
+
+# fleet-smoke is the multi-process fault-tolerance gate: three
+# adwars-serve replicas behind adwars-gateway, a SIGKILL + restart of one
+# replica mid-load (ledger must balance with zero 5xx and the gateway
+# must report failovers), answers byte-identical to a single-node
+# control, then the adwars-ctl control plane: a corrupt artifact refused
+# locally, a sealed-garbage artifact rejected at the canary and rolled
+# back fleet-wide, and a good v2 rollout converging on all replicas.
+# Emits BENCH_fleet.json (fleet_rps, fleet_failovers, fleet_retries).
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
+# fleet-smoke-short is the verify-speed variant: same gates, shorter
+# firing window, bench JSON parked in /tmp instead of the repo root.
+fleet-smoke-short:
+	FLEET_SHORT=1 FLEET_BENCH_OUT=/tmp/adwars-bench-fleet-smoke.json sh scripts/fleet_smoke.sh
 
 # fault-check exercises the headline robustness claim end to end: the
 # retrospective CLI at a 10% transient fault rate must emit byte-identical

@@ -1,0 +1,95 @@
+// Command adwars-gateway fronts a fleet of adwars-serve replicas: it
+// load-balances /v1/* requests across them with active health checks
+// (each replica's /readyz), passive failure ejection (per-replica circuit
+// breakers), bounded retry/failover, and optional request hedging — so a
+// killed or draining replica costs failover ticks, not client-visible
+// 5xx. The gateway's own /healthz reports fleet routability and
+// /debug/vars exports the failover ledger under "adwars_gateway".
+//
+// Usage:
+//
+//	adwars-gateway -backends host:port,host:port,... [-addr :8090]
+//	               [-health-interval D] [-fail-threshold N] [-cooldown D]
+//	               [-retries N] [-hedge-delay D] [-per-try-timeout D]
+//	               [-drain D] [-portfile PATH]
+//
+// SIGINT/SIGTERM drain in-flight requests and flush a final metrics
+// snapshot to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adwars/internal/artifact"
+	"adwars/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address (host:0 picks an ephemeral port)")
+	backends := flag.String("backends", "", "comma-separated replica base URLs or host:port list (required)")
+	healthInterval := flag.Duration("health-interval", 0, "active /readyz polling cadence (0 = default 250ms)")
+	failThreshold := flag.Int("fail-threshold", 0, "consecutive failures that eject a replica (0 = default 3)")
+	cooldown := flag.Duration("cooldown", 0, "ejection cooldown before the half-open probe (0 = default 1s)")
+	retries := flag.Int("retries", 0, "max distinct replicas tried per request (0 = all)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fire a second attempt on another replica after this delay (0 = hedging off)")
+	perTryTimeout := flag.Duration("per-try-timeout", 0, "timeout for one replica exchange (0 = default 5s)")
+	drain := flag.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default 5s)")
+	portfile := flag.String("portfile", "", "write the bound host:port to this file after listening")
+	flag.Parse()
+
+	if *backends == "" {
+		log.Fatal("need -backends (comma-separated replica addresses)")
+	}
+	g, err := fleet.NewGateway(fleet.GatewayConfig{
+		Backends: strings.Split(*backends, ","),
+		Pool: fleet.PoolConfig{
+			HealthInterval: *healthInterval,
+			FailThreshold:  *failThreshold,
+			Cooldown:       *cooldown,
+		},
+		MaxAttempts:   *retries,
+		HedgeDelay:    *hedgeDelay,
+		PerTryTimeout: *perTryTimeout,
+		DrainTimeout:  *drain,
+		MetricsOut:    os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	if *portfile != "" {
+		if err := artifact.WriteFileAtomic(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("portfile: %v", err)
+		}
+	}
+	var ids []string
+	for _, b := range g.Pool().Backends() {
+		ids = append(ids, b.URL)
+	}
+	fmt.Fprintf(os.Stderr, "adwars-gateway listening on %s, %d backends: %s\n",
+		ln.Addr(), len(ids), strings.Join(ids, " "))
+	if *hedgeDelay > 0 {
+		fmt.Fprintf(os.Stderr, "adwars-gateway hedging after %v\n", *hedgeDelay)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	if err := g.Serve(ctx, ln); err != nil {
+		log.Fatalf("gateway: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "adwars-gateway: drained after %v, bye\n", time.Since(start).Round(time.Millisecond))
+}

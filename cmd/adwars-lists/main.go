@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	dump := flag.String("dump", "", "directory to write the generated filter lists as .txt files")
 	saveSnapshot := flag.String("save-snapshot", "", "write the latest compiled lists as a serving snapshot to this path")
+	label := flag.String("label", "", "override the snapshot label (default \"seed S scale N\"); distinct labels give distinct snapshot versions for staged rollouts")
 	flag.Parse()
 
 	cfg := simworld.DefaultConfig(*seed)
@@ -40,8 +41,12 @@ func main() {
 	lab := experiments.NewLab(cfg)
 
 	if *saveSnapshot != "" {
+		snapLabel := *label
+		if snapLabel == "" {
+			snapLabel = fmt.Sprintf("seed %d scale %d", *seed, *scale)
+		}
 		snap := &abp.ListsSnapshot{
-			Label: fmt.Sprintf("seed %d scale %d", *seed, *scale),
+			Label: snapLabel,
 			Lists: []*abp.List{
 				lab.Lists.AAK.LatestList(),
 				lab.Lists.EasyListAA.LatestList(),

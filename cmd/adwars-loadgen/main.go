@@ -36,6 +36,14 @@
 // chaos run into BENCH_chaos.json. recovered-panics is read back from the
 // server's /debug/vars (the control plane is chaos-exempt).
 //
+// Pointed at an adwars-gateway, the summary additionally attributes
+// answers per replica (X-Adwars-Replica) and per HTTP status, and
+// -bench-fleet emits a `BenchmarkFleetLoadgen` line carrying the
+// gateway's failover/retry/hedge counters for BENCH_fleet.json. The
+// -check accounting gate is unchanged behind a gateway: retries and
+// hedges happen inside it, so every client-visible request still ends as
+// exactly one 2xx or 429.
+//
 // -probe sends one canonical /v1/match and one canonical /v1/classify
 // request, retrying each until it gets a 2xx (bounded attempts), and
 // prints the response bodies. Two probes against equivalent servers —
@@ -77,6 +85,24 @@ type counters struct {
 	backoffs     int64
 	backoffTotal time.Duration
 	latencies    []time.Duration
+	// perReplica attributes answered requests by the X-Adwars-Replica
+	// header, and perStatus by HTTP status — behind a gateway these show
+	// the balance across the fleet and exactly what every request became.
+	perReplica map[string]int64
+	perStatus  map[int]int64
+}
+
+func (c *counters) observe(status int, replica string) {
+	if c.perStatus == nil {
+		c.perStatus = make(map[int]int64)
+	}
+	c.perStatus[status]++
+	if replica != "" {
+		if c.perReplica == nil {
+			c.perReplica = make(map[string]int64)
+		}
+		c.perReplica[replica]++
+	}
 }
 
 func (c *counters) add(o *counters) {
@@ -90,6 +116,18 @@ func (c *counters) add(o *counters) {
 	c.backoffs += o.backoffs
 	c.backoffTotal += o.backoffTotal
 	c.latencies = append(c.latencies, o.latencies...)
+	for k, v := range o.perReplica {
+		if c.perReplica == nil {
+			c.perReplica = make(map[string]int64)
+		}
+		c.perReplica[k] += v
+	}
+	for k, v := range o.perStatus {
+		if c.perStatus == nil {
+			c.perStatus = make(map[int]int64)
+		}
+		c.perStatus[k] += v
+	}
 }
 
 // faultKind enumerates the hostile request shapes of chaos mode.
@@ -117,6 +155,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "mix hostile requests (malformed/oversized/trickle/abort) into the workload")
 	faultFrac := flag.Float64("fault-frac", 0.25, "with -chaos, fraction of requests made hostile")
 	bench := flag.Bool("bench", false, "emit a BenchmarkChaosLoadgen line for benchjson")
+	benchFleet := flag.Bool("bench-fleet", false, "emit a BenchmarkFleetLoadgen line (target must be an adwars-gateway)")
 	probe := flag.Bool("probe", false, "send canonical requests, retry to 2xx, print bodies, exit")
 	probeAttempts := flag.Int("probe-attempts", 50, "max retries per canonical probe request")
 	flag.Parse()
@@ -187,6 +226,7 @@ func main() {
 				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				c.latencies = append(c.latencies, time.Since(t0))
+				c.observe(resp.StatusCode, resp.Header.Get("X-Adwars-Replica"))
 				switch {
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					c.ok2xx++
@@ -244,9 +284,13 @@ func main() {
 			total.latencies[n*99/100].Round(time.Microsecond),
 			total.latencies[n-1].Round(time.Microsecond))
 	}
+	printBreakdowns(&total)
 
 	if *bench {
 		emitBenchLine(client, *target, &total, elapsed)
+	}
+	if *benchFleet {
+		emitFleetBenchLine(client, *target, &total, elapsed)
 	}
 
 	if *check {
@@ -398,6 +442,87 @@ func emitBenchLine(client *http.Client, target string, total *counters, elapsed 
 	}
 	fmt.Printf("BenchmarkChaosLoadgen %d %.0f ns/op %.4f shed-rate %.0f recovered-panics %d aborted-requests\n",
 		total.sent, nsPerOp, shedRate, recovered, total.aborted)
+}
+
+// printBreakdowns renders the per-status and per-replica attribution of
+// everything the run received.
+func printBreakdowns(total *counters) {
+	if len(total.perStatus) > 0 {
+		statuses := make([]int, 0, len(total.perStatus))
+		for s := range total.perStatus {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		fmt.Printf("  by status:")
+		for _, s := range statuses {
+			fmt.Printf("  %d=%d", s, total.perStatus[s])
+		}
+		fmt.Println()
+	}
+	if len(total.perReplica) > 0 {
+		names := make([]string, 0, len(total.perReplica))
+		for n := range total.perReplica {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var answered int64
+		for _, n := range names {
+			answered += total.perReplica[n]
+		}
+		fmt.Printf("  by replica:")
+		for _, n := range names {
+			fmt.Printf("  %s=%d (%.0f%%)", n, total.perReplica[n],
+				100*float64(total.perReplica[n])/float64(answered))
+		}
+		fmt.Println()
+	}
+}
+
+// emitFleetBenchLine prints the fleet benchmark result: throughput through
+// the gateway plus the gateway's own failover ledger (failovers, retries,
+// hedges) read from its /debug/vars.
+func emitFleetBenchLine(client *http.Client, target string, total *counters, elapsed time.Duration) {
+	failovers, retries, hedges := float64(-1), float64(-1), float64(-1)
+	if gw, err := fetchGatewayVars(client, target); err == nil {
+		failovers, retries, hedges = gw.Failovers, gw.Retries, gw.Hedges
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: warning: gateway /debug/vars unreadable: %v\n", err)
+	}
+	nsPerOp := float64(elapsed.Nanoseconds())
+	if total.sent > 0 {
+		nsPerOp /= float64(total.sent)
+	}
+	fmt.Printf("BenchmarkFleetLoadgen %d %.0f ns/op %.0f failovers %.0f retries %.0f hedges %d replicas-seen\n",
+		total.sent, nsPerOp, failovers, retries, hedges, len(total.perReplica))
+}
+
+// gatewayVars is the slice of the gateway's "adwars_gateway" expvar tree
+// the fleet benchmark reports.
+type gatewayVars struct {
+	Failovers float64 `json:"failovers"`
+	Retries   float64 `json:"retries"`
+	Hedges    float64 `json:"hedges"`
+}
+
+func fetchGatewayVars(client *http.Client, target string) (*gatewayVars, error) {
+	resp, err := client.Get(target + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var vars struct {
+		Gateway *gatewayVars `json:"adwars_gateway"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, err
+	}
+	if vars.Gateway == nil {
+		return nil, fmt.Errorf("no adwars_gateway tree (target is not a gateway?)")
+	}
+	return vars.Gateway, nil
 }
 
 // fetchPanicsRecovered reads panics_recovered from the server's expvar

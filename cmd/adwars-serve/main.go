@@ -9,6 +9,12 @@
 //	adwars-serve -model model.json -lists lists.json [-addr :8080]
 //	             [-workers N] [-queue N] [-queue-timeout D]
 //	             [-max-body N] [-max-batch N] [-drain D] [-portfile PATH]
+//	             [-replica ID] [-drain-announce D]
+//
+// Behind adwars-gateway, -replica names this process in the
+// X-Adwars-Replica response header and /healthz, and -drain-announce
+// holds the listener open for a beat after /readyz flips to 503 so the
+// gateway's health poller routes traffic away before connections close.
 //
 // SIGHUP (or POST /admin/reload) atomically re-reads both snapshots from
 // disk without dropping in-flight requests; SIGINT/SIGTERM drain in-flight
@@ -29,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"adwars/internal/artifact"
 	"adwars/internal/serve"
 )
 
@@ -42,6 +49,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 1MiB)")
 	maxBatch := flag.Int("max-batch", 0, "max items per batch request (0 = default 256)")
 	drain := flag.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default 5s)")
+	drainAnnounce := flag.Duration("drain-announce", 0, "pause between flipping /readyz to 503 and closing the listener, so gateways route away first")
+	replica := flag.String("replica", "", "replica identity reported in X-Adwars-Replica and /healthz")
 	portfile := flag.String("portfile", "", "write the bound host:port to this file after listening")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaos fault-injection seed (0 = chaos disabled unless a rate is set)")
 	chaosLatencyRate := flag.Float64("chaos-latency-rate", 0, "fraction of data-plane requests that get injected latency")
@@ -70,16 +79,18 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		ModelPath:    *model,
-		ListsPath:    *lists,
-		Workers:      *workers,
-		Queue:        *queue,
-		QueueTimeout: *queueTimeout,
-		MaxBody:      *maxBody,
-		MaxBatch:     *maxBatch,
-		DrainTimeout: *drain,
-		MetricsOut:   os.Stderr,
-		Chaos:        chaos,
+		ModelPath:     *model,
+		ListsPath:     *lists,
+		Workers:       *workers,
+		Queue:         *queue,
+		QueueTimeout:  *queueTimeout,
+		MaxBody:       *maxBody,
+		MaxBatch:      *maxBatch,
+		DrainTimeout:  *drain,
+		DrainAnnounce: *drainAnnounce,
+		ReplicaID:     *replica,
+		MetricsOut:    os.Stderr,
+		Chaos:         chaos,
 	})
 	if err := s.ReloadSnapshots(); err != nil {
 		log.Fatalf("initial snapshot load: %v", err)
@@ -93,7 +104,9 @@ func main() {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
 	if *portfile != "" {
-		if err := os.WriteFile(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+		// Atomic so a watcher polling the portfile never reads a torn
+		// half-written address.
+		if err := artifact.WriteFileAtomic(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
 			log.Fatalf("portfile: %v", err)
 		}
 	}

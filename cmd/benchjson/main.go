@@ -72,6 +72,21 @@ type Report struct {
 	// transport layer (injected closes plus client-side mid-body aborts) —
 	// all individually accounted for by the loadgen's ledger check.
 	ChaosAbortedRequests float64 `json:"chaos_aborted_requests,omitempty"`
+	// FleetRPS is the client-visible throughput through adwars-gateway
+	// (1e9 / ns_per_op of the FleetLoadgen line) while replicas were being
+	// killed and restarted under it.
+	FleetRPS float64 `json:"fleet_rps,omitempty"`
+	// FleetFailovers / FleetRetries / FleetHedges are the gateway's own
+	// counters after the run: how many requests survived a replica failure
+	// by moving to another one, how many extra attempts that took, and how
+	// many hedge chains fired. -1 means the loadgen could not read the
+	// gateway's /debug/vars.
+	FleetFailovers float64 `json:"fleet_failovers,omitempty"`
+	FleetRetries   float64 `json:"fleet_retries,omitempty"`
+	FleetHedges    float64 `json:"fleet_hedges,omitempty"`
+	// FleetReplicasSeen is how many distinct replica identities answered
+	// through the gateway during the run.
+	FleetReplicasSeen float64 `json:"fleet_replicas_seen,omitempty"`
 }
 
 func main() {
@@ -166,6 +181,14 @@ func derive(rep *Report) {
 			rep.ChaosShedRate = b.Metrics["shed-rate"]
 			rep.ChaosRecoveredPanics = b.Metrics["recovered-panics"]
 			rep.ChaosAbortedRequests = b.Metrics["aborted-requests"]
+		case "FleetLoadgen":
+			if b.NsPerOp > 0 {
+				rep.FleetRPS = 1e9 / b.NsPerOp
+			}
+			rep.FleetFailovers = b.Metrics["failovers"]
+			rep.FleetRetries = b.Metrics["retries"]
+			rep.FleetHedges = b.Metrics["hedges"]
+			rep.FleetReplicasSeen = b.Metrics["replicas-seen"]
 		}
 	}
 	if indexed > 0 && linear > 0 {

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -115,6 +117,43 @@ func Open(data []byte) (payload []byte, sealed bool, err error) {
 		}
 	}
 	return payload, true, nil
+}
+
+// Version derives the content version of an artifact: the CRC64 of its
+// payload rendered as 16 hex digits. The trailer is excluded, so a sealed
+// artifact and the legacy file it was sealed from version identically,
+// and re-sealing an unchanged payload never changes its version. The
+// serving fleet and the snapshot control plane both use this as the
+// snapshot identity they compare during rollouts. Corrupt artifacts have
+// no version.
+func Version(data []byte) (string, error) {
+	payload, _, err := Open(data)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", Checksum(payload)), nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so concurrent readers (hot-reloading replicas,
+// portfile-polling scripts) never observe a torn file.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), perm); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // lastLine returns the final non-empty line of data and the offset where

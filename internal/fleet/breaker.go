@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic flows,
+// failures counted), open (traffic blocked until the cooldown elapses),
+// half-open (exactly one probe in flight decides reopen vs close).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is a per-backend circuit breaker: `threshold` consecutive
+// failures eject the backend for `cooldown`; after the cooldown a single
+// probe request is admitted, and its outcome re-admits the backend or
+// re-ejects it for another cooldown. It is driven by real proxied traffic
+// (the active health poller flips a separate availability bit).
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may be sent through this circuit. An
+// open circuit admits exactly one probe once its cooldown has elapsed;
+// while that probe is in flight further requests are refused.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// success records a completed request; it closes a half-open circuit and
+// clears the consecutive-failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+}
+
+// failure records a failed request and returns true when it ejected the
+// backend (tripped the circuit open), either by completing the
+// consecutive-failure streak or by failing the half-open probe.
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.consecutive = 0
+		return true
+	}
+	return false
+}
+
+// current returns the state for metrics.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,444 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"adwars/internal/artifact"
+	"adwars/internal/serve"
+)
+
+// ErrBadArtifact marks a rollout refused locally: the candidate artifact
+// failed its integrity check before a single byte reached the fleet.
+var ErrBadArtifact = errors.New("fleet: artifact refused locally")
+
+// ErrRolledBack marks a rollout that was pushed, failed at some stage,
+// and was automatically reverted to the captured last-good snapshots.
+var ErrRolledBack = errors.New("fleet: rollout rolled back")
+
+// Controller is the snapshot control plane: it versions sealed snapshot
+// artifacts and pushes them through the fleet in stages (canary first),
+// rolling back to last-good when a stage rejects or degrades.
+type Controller struct {
+	// Replicas are the replica base URLs in stage order: the first
+	// Canaries entries form the canary stage.
+	Replicas []string
+	// Canaries is the canary stage size (0 = 1; capped at len(Replicas)).
+	Canaries int
+	// Bake is how long the canary is observed after installing before the
+	// fleet stage proceeds (0 = 500ms).
+	Bake time.Duration
+	// Poll is the observation cadence during bake and convergence
+	// (0 = 100ms).
+	Poll time.Duration
+	// Watch bounds the post-rollout convergence check (0 = 5s).
+	Watch time.Duration
+	// Timeout bounds one replica HTTP exchange (0 = 3s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (nil = default transport).
+	Client *http.Client
+	// Log, when non-nil, receives rollout progress lines.
+	Log io.Writer
+}
+
+func (c *Controller) canaries() int {
+	n := c.Canaries
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(c.Replicas) {
+		n = len(c.Replicas)
+	}
+	return n
+}
+
+func (c *Controller) bake() time.Duration {
+	if c.Bake > 0 {
+		return c.Bake
+	}
+	return 500 * time.Millisecond
+}
+
+func (c *Controller) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *Controller) watch() time.Duration {
+	if c.Watch > 0 {
+		return c.Watch
+	}
+	return 5 * time.Second
+}
+
+func (c *Controller) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 3 * time.Second
+}
+
+func (c *Controller) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+func normalizeURL(u string) string {
+	u = strings.TrimSpace(u)
+	if u == "" {
+		return u
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimSuffix(u, "/")
+}
+
+// ReplicaStatus is one replica's view in a fleet status report.
+type ReplicaStatus struct {
+	URL       string        `json:"url"`
+	Reachable bool          `json:"reachable"`
+	Err       string        `json:"error,omitempty"`
+	Health    *serve.Health `json:"health,omitempty"`
+}
+
+// Status polls every replica's /healthz.
+func (c *Controller) Status(ctx context.Context) []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(c.Replicas))
+	for _, r := range c.Replicas {
+		url := normalizeURL(r)
+		st := ReplicaStatus{URL: url}
+		var h serve.Health
+		if err := c.getJSON(ctx, url+"/healthz", &h); err != nil {
+			st.Err = err.Error()
+		} else {
+			st.Reachable = true
+			st.Health = &h
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// RolloutResult summarizes one staged rollout attempt.
+type RolloutResult struct {
+	Kind       string   `json:"kind"`
+	Version    string   `json:"version"`
+	Canaries   []string `json:"canaries"`
+	Updated    []string `json:"updated"`
+	RolledBack bool     `json:"rolled_back,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+}
+
+// Rollout pushes the sealed artifact data as the fleet's new snapshot of
+// the given kind ("lists" or "model"), canary stage first. Returns
+// ErrBadArtifact when the artifact fails local verification (nothing
+// pushed), and ErrRolledBack when a stage failed and every replica that
+// had installed the new version was reverted to its last-good bytes.
+func (c *Controller) Rollout(ctx context.Context, kind string, data []byte) (*RolloutResult, error) {
+	if len(c.Replicas) == 0 {
+		return nil, errors.New("fleet: no replicas configured")
+	}
+	// Stage 0: local verification. The controller treats the payload as
+	// opaque (replicas parse it), but a broken seal never leaves this
+	// process.
+	version, err := artifact.Version(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	res := &RolloutResult{Kind: kind, Version: version}
+	c.logf("rollout %s version=%s replicas=%d canaries=%d", kind, version, len(c.Replicas), c.canaries())
+
+	// Stage 1: capture last-good bytes from every replica so rollback has
+	// something to restore. A replica without an artifact-backed snapshot
+	// (404) simply has nothing to roll back to.
+	lastGood := make(map[string][]byte, len(c.Replicas))
+	for _, r := range c.Replicas {
+		url := normalizeURL(r)
+		raw, err := c.pull(ctx, url, kind)
+		if err != nil {
+			c.logf("  last-good capture %s: %v (no rollback target for this replica)", url, err)
+			continue
+		}
+		lastGood[url] = raw
+	}
+
+	nCanary := c.canaries()
+	for _, r := range c.Replicas[:nCanary] {
+		res.Canaries = append(res.Canaries, normalizeURL(r))
+	}
+
+	fail := func(stage, replica string, cause error) (*RolloutResult, error) {
+		res.Reason = fmt.Sprintf("%s stage failed at %s: %v", stage, replica, cause)
+		c.logf("  %s — rolling back %d replica(s)", res.Reason, len(res.Updated))
+		c.rollback(ctx, kind, res.Updated, lastGood)
+		res.RolledBack = true
+		res.Updated = nil
+		return res, fmt.Errorf("%w: %s", ErrRolledBack, res.Reason)
+	}
+
+	// Stage 2: canary push + bake. The reload-counter baseline is taken
+	// before the push: a successful install ticks neither failure counter,
+	// so anything that does tick during the bake — including damage the
+	// push itself set off — reads as degradation.
+	baseline := make(map[string]*replicaVitals, len(res.Canaries))
+	for _, url := range res.Canaries {
+		v, err := c.vitals(ctx, url)
+		if err != nil {
+			return fail("canary", url, err)
+		}
+		baseline[url] = v
+	}
+	// Push is synchronous verification — the replica verifies, parses,
+	// persists, and installs before answering — so a 422 here is the
+	// canary refusing the snapshot.
+	for _, url := range res.Canaries {
+		if err := c.push(ctx, url, kind, version, data); err != nil {
+			return fail("canary", url, err)
+		}
+		res.Updated = append(res.Updated, url)
+		c.logf("  canary %s installed %s", url, version)
+	}
+	if bad, err := c.observe(ctx, res.Canaries, kind, version, c.bake(), baseline); err != nil {
+		return fail("bake", bad, err)
+	}
+	c.logf("  canary bake ok (%s)", c.bake())
+
+	// Stage 3: fleet push.
+	for _, r := range c.Replicas[nCanary:] {
+		url := normalizeURL(r)
+		if err := c.push(ctx, url, kind, version, data); err != nil {
+			return fail("fleet", url, err)
+		}
+		res.Updated = append(res.Updated, url)
+		c.logf("  replica %s installed %s", url, version)
+	}
+
+	// Stage 4: convergence — every replica must report the new version
+	// healthy before the rollout is declared done.
+	if bad, err := c.converge(ctx, res.Updated, kind, version); err != nil {
+		return fail("convergence", bad, err)
+	}
+	c.logf("rollout %s complete: %d replica(s) on %s", kind, len(res.Updated), version)
+	return res, nil
+}
+
+// ---- stage primitives ----
+
+// push POSTs the sealed bytes to one replica and checks the installed
+// version echoes back.
+func (c *Controller) push(ctx context.Context, url, kind, version string, data []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/admin/snapshot/"+kind, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var pr struct {
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return fmt.Errorf("decoding push response: %w", err)
+	}
+	if pr.Version != version {
+		return fmt.Errorf("replica installed version %s, want %s", pr.Version, version)
+	}
+	return nil
+}
+
+// pull GETs a replica's installed raw snapshot bytes for the kind.
+func (c *Controller) pull(ctx context.Context, url, kind string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/admin/snapshot/"+kind, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica answered %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// replicaVitals is the per-replica signal the controller watches: health
+// plus the reload failure counters from /debug/vars.
+type replicaVitals struct {
+	health         serve.Health
+	reloadRejected uint64
+	reloadErrors   uint64
+}
+
+func (c *Controller) vitals(ctx context.Context, url string) (*replicaVitals, error) {
+	var v replicaVitals
+	if err := c.getJSON(ctx, url+"/healthz", &v.health); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	var vars struct {
+		Serve struct {
+			ReloadRejected uint64 `json:"reload_rejected"`
+			ReloadErrors   uint64 `json:"reload_errors"`
+		} `json:"adwars_serve"`
+	}
+	if err := c.getJSON(ctx, url+"/debug/vars", &vars); err != nil {
+		return nil, fmt.Errorf("debug/vars: %w", err)
+	}
+	v.reloadRejected = vars.Serve.ReloadRejected
+	v.reloadErrors = vars.Serve.ReloadErrors
+	return &v, nil
+}
+
+// check verifies one replica is healthy and actually serving the target
+// version of the kind.
+func (c *Controller) check(ctx context.Context, url, kind, version string) error {
+	v, err := c.vitals(ctx, url)
+	if err != nil {
+		return err
+	}
+	if v.health.Status != "ok" {
+		return fmt.Errorf("health status %q", v.health.Status)
+	}
+	got := v.health.ListsVersion
+	if kind == "model" {
+		got = v.health.ModelVersion
+	}
+	if got != version {
+		return fmt.Errorf("serving version %s, want %s", got, version)
+	}
+	if lr := v.health.LastReload; lr != nil && !lr.OK {
+		return fmt.Errorf("last reload failed (%s): %s", lr.Source, lr.Error)
+	}
+	return nil
+}
+
+// observe watches the given replicas for the bake window, polling health,
+// served version, and the reload failure counters against the pre-push
+// baseline. Any regression — unreachable, unhealthy, wrong version,
+// reload_rejected/reload_errors ticking — fails the bake and names the
+// offending replica.
+func (c *Controller) observe(ctx context.Context, urls []string, kind, version string, window time.Duration, baseline map[string]*replicaVitals) (string, error) {
+	deadline := time.Now().Add(window)
+	for {
+		for _, url := range urls {
+			if err := c.check(ctx, url, kind, version); err != nil {
+				return url, err
+			}
+			v, err := c.vitals(ctx, url)
+			if err != nil {
+				return url, err
+			}
+			base := baseline[url]
+			if v.reloadRejected > base.reloadRejected {
+				return url, fmt.Errorf("reload_rejected ticked %d -> %d during bake", base.reloadRejected, v.reloadRejected)
+			}
+			if v.reloadErrors > base.reloadErrors {
+				return url, fmt.Errorf("reload_errors ticked %d -> %d during bake", base.reloadErrors, v.reloadErrors)
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", nil
+		}
+		select {
+		case <-ctx.Done():
+			return urls[0], ctx.Err()
+		case <-time.After(c.poll()):
+		}
+	}
+}
+
+// converge polls until every replica reports the target version healthy,
+// bounded by the watch window.
+func (c *Controller) converge(ctx context.Context, urls []string, kind, version string) (string, error) {
+	deadline := time.Now().Add(c.watch())
+	for {
+		badURL, lastErr := "", error(nil)
+		for _, url := range urls {
+			if err := c.check(ctx, url, kind, version); err != nil {
+				badURL, lastErr = url, err
+				break
+			}
+		}
+		if lastErr == nil {
+			return "", nil
+		}
+		if time.Now().After(deadline) {
+			return badURL, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return badURL, ctx.Err()
+		case <-time.After(c.poll()):
+		}
+	}
+}
+
+// rollback restores captured last-good bytes on every replica that
+// installed the failed version. Errors are logged, not fatal: rollback is
+// best-effort damage control and must visit every replica regardless.
+func (c *Controller) rollback(ctx context.Context, kind string, updated []string, lastGood map[string][]byte) {
+	for _, url := range updated {
+		raw, ok := lastGood[url]
+		if !ok {
+			c.logf("  rollback %s: no last-good bytes captured, leaving as-is", url)
+			continue
+		}
+		version, err := artifact.Version(raw)
+		if err != nil {
+			c.logf("  rollback %s: captured last-good is corrupt: %v", url, err)
+			continue
+		}
+		if err := c.push(ctx, url, kind, version, raw); err != nil {
+			c.logf("  rollback %s: push failed: %v", url, err)
+			continue
+		}
+		c.logf("  rollback %s restored %s", url, version)
+	}
+}
+
+func (c *Controller) getJSON(ctx context.Context, url string, v any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// /healthz deliberately answers 503 with a full body when degraded;
+	// decode whatever came back and let the caller judge.
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"adwars/internal/artifact"
+	"adwars/internal/serve"
+)
+
+func newController(reps []string) *Controller {
+	return &Controller{
+		Replicas: reps,
+		Bake:     50 * time.Millisecond,
+		Poll:     10 * time.Millisecond,
+		Watch:    2 * time.Second,
+		Log:      io.Discard,
+	}
+}
+
+func TestRolloutConvergesFleet(t *testing.T) {
+	v1 := sealedLists(t, "v1")
+	reps := []*replica{
+		newReplica(t, "r1", v1),
+		newReplica(t, "r2", v1),
+		newReplica(t, "r3", v1),
+	}
+	ctl := newController(urls(reps))
+
+	v2 := sealedLists(t, "v2")
+	wantVersion, err := artifact.Version(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctl.Rollout(context.Background(), "lists", v2)
+	if err != nil {
+		t.Fatalf("rollout: %v", err)
+	}
+	if res.Version != wantVersion || res.RolledBack || len(res.Updated) != 3 {
+		t.Fatalf("result = %+v, want 3 updated on %s", res, wantVersion)
+	}
+	if len(res.Canaries) != 1 || res.Canaries[0] != reps[0].ts.URL {
+		t.Errorf("canaries = %v, want [%s]", res.Canaries, reps[0].ts.URL)
+	}
+	for _, r := range reps {
+		h := healthOf(t, r.ts.URL)
+		if h.ListsVersion != wantVersion {
+			t.Errorf("%s serves %s, want %s", r.id, h.ListsVersion, wantVersion)
+		}
+	}
+	// Answers stay byte-identical across replicas after the rollout.
+	_, want, _ := matchVia(t, reps[0].ts.URL)
+	for _, r := range reps[1:] {
+		if _, got, _ := matchVia(t, r.ts.URL); !bytes.Equal(got, want) {
+			t.Errorf("%s answers differently after rollout", r.id)
+		}
+	}
+}
+
+func TestRolloutRefusesCorruptArtifactLocally(t *testing.T) {
+	v1 := sealedLists(t, "v1")
+	reps := []*replica{newReplica(t, "r1", v1), newReplica(t, "r2", v1)}
+	ctl := newController(urls(reps))
+	before := healthOf(t, reps[0].ts.URL).ListsVersion
+
+	bad := bytes.Clone(sealedLists(t, "v2"))
+	bad[len(bad)/4] ^= 0x01
+	_, err := ctl.Rollout(context.Background(), "lists", bad)
+	if !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("err = %v, want ErrBadArtifact", err)
+	}
+	// Nothing was pushed: both replicas untouched.
+	for _, r := range reps {
+		if got := healthOf(t, r.ts.URL).ListsVersion; got != before {
+			t.Errorf("%s version changed to %s after local refusal", r.id, got)
+		}
+	}
+}
+
+func TestRolloutCanaryRejectionStopsAndFleetStaysGood(t *testing.T) {
+	v1 := sealedLists(t, "v1")
+	reps := []*replica{
+		newReplica(t, "r1", v1),
+		newReplica(t, "r2", v1),
+		newReplica(t, "r3", v1),
+	}
+	ctl := newController(urls(reps))
+	goodVersion := healthOf(t, reps[0].ts.URL).ListsVersion
+
+	// A correctly sealed artifact whose payload is not a lists snapshot:
+	// it passes the controller's integrity check, so only the canary's
+	// parse can catch it — exactly the staged-rollout failure mode.
+	poison := artifact.Seal([]byte(`{"format":"adwars-lists","version":1,"lists":`))
+	res, err := ctl.Rollout(context.Background(), "lists", poison)
+	if !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("err = %v, want ErrRolledBack", err)
+	}
+	if !res.RolledBack || len(res.Updated) != 0 {
+		t.Fatalf("result = %+v, want rolled back with nothing left updated", res)
+	}
+
+	// The canary rejected (reload_rejected ticked, last reload recorded);
+	// every replica — canary included — still serves last-good.
+	ch := healthOf(t, reps[0].ts.URL)
+	if ch.LastReload == nil || ch.LastReload.OK || !ch.LastReload.Rejected {
+		t.Errorf("canary last_reload = %+v, want rejected", ch.LastReload)
+	}
+	for _, r := range reps {
+		if got := healthOf(t, r.ts.URL).ListsVersion; got != goodVersion {
+			t.Errorf("%s serves %s after canary rejection, want %s", r.id, got, goodVersion)
+		}
+		if status, _, _ := matchVia(t, r.ts.URL); status != http.StatusOK {
+			t.Errorf("%s data plane broken after canary rejection", r.id)
+		}
+	}
+	// Non-canary replicas never saw a push.
+	for _, r := range reps[1:] {
+		if h := healthOf(t, r.ts.URL); h.LastReload != nil && h.LastReload.Rejected {
+			t.Errorf("%s saw a rejected push — rollout did not stop at the canary", r.id)
+		}
+	}
+}
+
+// fakeReplica accepts pushes like a real replica but lets the test script
+// its vitals, to exercise bake-window degradation rollback — the one path
+// a healthy real replica can't produce on demand.
+type fakeReplica struct {
+	mu             sync.Mutex
+	installed      []byte
+	reloadRejected uint64
+	degradeOnce    bool // tick reload_rejected after the next push
+	ts             *httptest.Server
+}
+
+func newFakeReplica(t *testing.T, seed []byte) *fakeReplica {
+	f := &fakeReplica{installed: seed}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/snapshot/lists", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		switch r.Method {
+		case http.MethodGet:
+			w.Write(f.installed)
+		case http.MethodPost:
+			body, _ := io.ReadAll(r.Body)
+			version, err := artifact.Version(body)
+			if err != nil {
+				w.WriteHeader(http.StatusUnprocessableEntity)
+				return
+			}
+			f.installed = body
+			if f.degradeOnce {
+				f.degradeOnce = false
+				f.reloadRejected++ // as if a concurrent disk reload rejected
+			}
+			json.NewEncoder(w).Encode(map[string]any{"installed": true, "kind": "lists", "version": version})
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		version, _ := artifact.Version(f.installed)
+		json.NewEncoder(w).Encode(serve.Health{
+			Status: "ok", Replica: "fake", Ready: true, Lists: true, ListsVersion: version,
+		})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		fmt.Fprintf(w, `{"adwars_serve":{"reload_rejected":%d,"reload_errors":0}}`, f.reloadRejected)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func TestRolloutBakeDegradationRollsBackCanary(t *testing.T) {
+	v1 := sealedLists(t, "v1")
+	canary := newFakeReplica(t, v1)
+	canary.degradeOnce = true
+	follower := newReplica(t, "r2", v1)
+	ctl := newController([]string{canary.ts.URL, follower.ts.URL})
+	goodVersion, err := artifact.Version(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := sealedLists(t, "v2")
+	res, err := ctl.Rollout(context.Background(), "lists", v2)
+	if !errors.Is(err, ErrRolledBack) {
+		t.Fatalf("err = %v, want ErrRolledBack from bake degradation", err)
+	}
+	if !res.RolledBack {
+		t.Fatalf("result = %+v, want rolled back", res)
+	}
+
+	// The canary was restored to last-good bytes, and the follower — never
+	// pushed — still serves last-good too.
+	canary.mu.Lock()
+	restored := bytes.Clone(canary.installed)
+	canary.mu.Unlock()
+	if !bytes.Equal(restored, v1) {
+		t.Error("canary not restored to last-good bytes after bake failure")
+	}
+	if got := healthOf(t, follower.ts.URL).ListsVersion; got != goodVersion {
+		t.Errorf("follower serves %s, want untouched last-good %s", got, goodVersion)
+	}
+}
+
+func TestStatusReportsFleet(t *testing.T) {
+	v1 := sealedLists(t, "v1")
+	r1 := newReplica(t, "r1", v1)
+	dead := "http://127.0.0.1:1" // nothing listens on port 1
+	ctl := newController([]string{r1.ts.URL, dead})
+
+	sts := ctl.Status(context.Background())
+	if len(sts) != 2 {
+		t.Fatalf("status entries = %d, want 2", len(sts))
+	}
+	if !sts[0].Reachable || sts[0].Health == nil || sts[0].Health.Replica != "r1" {
+		t.Errorf("live replica status = %+v", sts[0])
+	}
+	if sts[1].Reachable || sts[1].Err == "" {
+		t.Errorf("dead replica status = %+v, want unreachable with error", sts[1])
+	}
+}

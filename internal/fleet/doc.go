@@ -1,0 +1,26 @@
+// Package fleet is the multi-replica serving layer over internal/serve:
+// a gateway that load-balances /v1/* traffic across N replicas, and a
+// snapshot control plane that rolls artifact-sealed snapshots through the
+// fleet in stages with automatic rollback.
+//
+// The gateway (Gateway) fronts a Pool of replica backends. Failure
+// handling is layered: active health checks poll each replica's /readyz
+// (which replicas flip to 503 at drain start, so planned shutdowns are
+// routed around before any connection breaks); passive detection ejects a
+// replica after consecutive errors through a per-replica circuit breaker
+// with half-open re-admission; and every /v1 request — all of them
+// idempotent pure functions — is retried on another replica after a
+// transport error or replica-side 5xx, with optional hedging that fires a
+// second attempt when the first is slow. A killed replica therefore costs
+// retries and failover ticks, not user-visible 5xx.
+//
+// The control plane (Controller) treats a snapshot as an opaque sealed
+// artifact (the CRC64 framing from internal/artifact is the wire format).
+// A rollout verifies the artifact locally, captures last-good bytes from
+// the fleet, pushes to a canary stage first, watches the canary's health
+// and reload_rejected/reload_errors expvars through a bake window, then
+// pushes to the rest — and rolls every updated replica back to last-good
+// the moment any stage rejects or degrades, keeping the whole fleet on
+// one consistent list version (mixed versions would silently skew
+// measured coverage across replicas).
+package fleet

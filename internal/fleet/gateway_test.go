@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestGateway fronts the given backends on a real listener.
+func newTestGateway(t *testing.T, cfg GatewayConfig) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func TestGatewayBalancesAndIsByteIdentical(t *testing.T) {
+	seed := sealedLists(t, "v1")
+	reps := []*replica{
+		newReplica(t, "r1", seed),
+		newReplica(t, "r2", seed),
+		newReplica(t, "r3", seed),
+	}
+	g, ts := newTestGateway(t, GatewayConfig{Backends: urls(reps)})
+
+	// A direct replica answer is the control; every gateway answer must be
+	// byte-identical to it (same snapshot version everywhere).
+	_, control, _ := matchVia(t, reps[0].ts.URL)
+
+	seen := map[string]int{}
+	for i := 0; i < 9; i++ {
+		status, body, rid := matchVia(t, ts.URL)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		if !bytes.Equal(body, control) {
+			t.Fatalf("request %d: gateway body differs from direct replica body\n got: %s\nwant: %s", i, body, control)
+		}
+		seen[rid]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("9 requests hit %d replicas (%v), want all 3", len(seen), seen)
+	}
+	snap := g.met.snapshotFor(g.pool)
+	if snap.Requests != 9 || snap.Proxied != 9 || snap.Retries != 0 || snap.NoBackend != 0 {
+		t.Errorf("metrics = %+v, want 9 clean proxied", snap)
+	}
+}
+
+func TestGatewayFailoverOnDeadBackend(t *testing.T) {
+	seed := sealedLists(t, "v1")
+	reps := []*replica{
+		newReplica(t, "r1", seed),
+		newReplica(t, "r2", seed),
+		newReplica(t, "r3", seed),
+	}
+	g, ts := newTestGateway(t, GatewayConfig{Backends: urls(reps)})
+
+	// Kill one replica without telling the gateway (no health loop
+	// running): passive detection must absorb it with retries.
+	reps[1].ts.Close()
+
+	for i := 0; i < 12; i++ {
+		status, _, _ := matchVia(t, ts.URL)
+		if status != http.StatusOK {
+			t.Fatalf("request %d after kill: status %d, want 200 (failover)", i, status)
+		}
+	}
+	snap := g.met.snapshotFor(g.pool)
+	if snap.Retries == 0 || snap.Failovers == 0 {
+		t.Errorf("retries=%d failovers=%d, want both > 0 after a dead backend", snap.Retries, snap.Failovers)
+	}
+	if snap.NoBackend != 0 {
+		t.Errorf("no_backend_5xx = %d, want 0", snap.NoBackend)
+	}
+	// The dead backend's breaker ejected it after the fail threshold, so
+	// later requests stopped paying the connection-refused tax.
+	var dead backendSnapshot
+	for _, b := range snap.Backends {
+		if b.URL == reps[1].ts.URL {
+			dead = b
+		}
+	}
+	if dead.Ejections == 0 {
+		t.Errorf("dead backend never ejected: %+v", dead)
+	}
+}
+
+func TestGatewayAllBackendsDead(t *testing.T) {
+	seed := sealedLists(t, "v1")
+	r1 := newReplica(t, "r1", seed)
+	g, ts := newTestGateway(t, GatewayConfig{Backends: []string{r1.ts.URL}})
+	r1.ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader(`{"url":"http://x/a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "no_backend") {
+		t.Errorf("502 body = %s, want no_backend envelope", body)
+	}
+	if snap := g.met.snapshotFor(g.pool); snap.NoBackend != 1 {
+		t.Errorf("no_backend_5xx = %d, want 1", snap.NoBackend)
+	}
+}
+
+func TestGateway429PassthroughNoRetry(t *testing.T) {
+	// A shedding replica is backpressure, not failure: the gateway must
+	// relay the 429 untouched instead of amplifying load with retries.
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"queue full"}}`))
+	}))
+	defer shedder.Close()
+	spare := newReplica(t, "spare", sealedLists(t, "v1"))
+
+	g, ts := newTestGateway(t, GatewayConfig{Backends: []string{shedder.URL, spare.ts.URL}})
+	sawShed := false
+	for i := 0; i < 8 && !sawShed; i++ {
+		resp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader(`{"url":"http://x/a"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			sawShed = true
+		case http.StatusOK:
+		default:
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if !sawShed {
+		t.Fatal("round-robin never surfaced the shedding backend's 429")
+	}
+	snap := g.met.snapshotFor(g.pool)
+	if snap.Passthrough == 0 {
+		t.Errorf("passthrough_429 = 0, want > 0")
+	}
+	if snap.Retries != 0 {
+		t.Errorf("retries = %d, want 0 (429 must not be retried)", snap.Retries)
+	}
+}
+
+func TestGatewayHedgeWinsOverSlowBackend(t *testing.T) {
+	// Slow enough that the hedge always beats it, bounded so the test
+	// server can drain; the answer it eventually gives is a retryable 503
+	// in case a pathologically slow hedge ever loses the race.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(300 * time.Millisecond):
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	fast := newReplica(t, "fast", sealedLists(t, "v1"))
+
+	g, err := NewGateway(GatewayConfig{
+		Backends:   []string{slow.URL, fast.ts.URL},
+		HedgeDelay: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// Whichever backend the primary chain draws, within a few requests it
+	// lands on the stuck one — and the hedge chain must still win every
+	// time within the per-try budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.met.hedgeWins.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no hedge win within 5s")
+		}
+		status, _, rid := matchVia(t, ts.URL)
+		if status != http.StatusOK {
+			t.Fatalf("hedged request: status %d", status)
+		}
+		if rid != "fast" {
+			t.Fatalf("winner replica = %q, want fast", rid)
+		}
+	}
+	snap := g.met.snapshotFor(g.pool)
+	if snap.Hedges == 0 || snap.HedgeWins == 0 {
+		t.Errorf("hedges=%d hedge_wins=%d, want both > 0", snap.Hedges, snap.HedgeWins)
+	}
+}
+
+func TestGatewayHealthLoopRoutesAroundDrain(t *testing.T) {
+	seed := sealedLists(t, "v1")
+	reps := []*replica{newReplica(t, "r1", seed), newReplica(t, "r2", seed)}
+	g, ts := newTestGateway(t, GatewayConfig{Backends: urls(reps)})
+
+	// One active check pass learns IDs and readiness.
+	g.pool.checkAll(context.Background())
+	for _, b := range g.pool.Backends() {
+		if !b.healthy.Load() {
+			t.Fatalf("backend %s unhealthy after first check", b.URL)
+		}
+	}
+
+	// r1 announces drain: /readyz flips 503, the next check pass must
+	// eject it from rotation before its listener ever closes.
+	reps[0].srv.StartDrain()
+	g.pool.checkAll(context.Background())
+
+	for i := 0; i < 6; i++ {
+		status, _, rid := matchVia(t, ts.URL)
+		if status != http.StatusOK {
+			t.Fatalf("request %d during drain: status %d", i, status)
+		}
+		if rid != "r2" {
+			t.Fatalf("request %d routed to %q, want r2 only while r1 drains", i, rid)
+		}
+	}
+	snap := g.met.snapshotFor(g.pool)
+	if snap.Retries != 0 {
+		t.Errorf("retries = %d, want 0 — drain routing is proactive, not reactive", snap.Retries)
+	}
+
+	// Gateway /healthz still reports routable (one backend left).
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("gateway healthz = %d with one live backend, want 200", resp.StatusCode)
+	}
+}
+
+func TestGatewayDebugVarsExposesTree(t *testing.T) {
+	r1 := newReplica(t, "r1", sealedLists(t, "v1"))
+	_, ts := newTestGateway(t, GatewayConfig{Backends: []string{r1.ts.URL}})
+	if status, _, _ := matchVia(t, ts.URL); status != http.StatusOK {
+		t.Fatal("warmup request failed")
+	}
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Gateway gatewaySnapshot `json:"adwars_gateway"`
+	}
+	if err := jsonDecode(resp.Body, &vars); err != nil {
+		t.Fatalf("debug/vars not valid JSON: %v", err)
+	}
+	if vars.Gateway.Requests != 1 || vars.Gateway.Proxied != 1 {
+		t.Errorf("adwars_gateway tree = %+v, want 1 request proxied", vars.Gateway)
+	}
+	if len(vars.Gateway.Backends) != 1 || vars.Gateway.Backends[0].Replica != "r1" {
+		t.Errorf("backends = %+v, want learned replica id r1", vars.Gateway.Backends)
+	}
+}

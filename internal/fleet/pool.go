@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is one serve replica behind the gateway: its base URL, the
+// availability verdicts (active health bit + passive circuit breaker),
+// and its traffic counters.
+type Backend struct {
+	// URL is the replica base URL, e.g. "http://127.0.0.1:8081".
+	URL string
+
+	// id is the replica's self-reported identity (X-Adwars-Replica /
+	// healthz "replica" field), learned from the first health check or
+	// proxied response; falls back to the URL until known.
+	id atomic.Value // string
+
+	// healthy is the active checker's last verdict. Backends start
+	// healthy so a gateway serves immediately after boot; the first
+	// health pass corrects any optimism within one interval.
+	healthy atomic.Bool
+
+	br *breaker
+
+	requests  atomic.Uint64 // proxied requests sent to this backend
+	failures  atomic.Uint64 // transport errors + replica 5xx
+	ejections atomic.Uint64 // circuit-breaker trips
+	unready   atomic.Uint64 // active health checks that came back not-ready
+}
+
+func newBackend(url string, failThreshold int, cooldown time.Duration) *Backend {
+	b := &Backend{URL: url, br: newBreaker(failThreshold, cooldown)}
+	b.healthy.Store(true)
+	return b
+}
+
+// ID returns the replica identity if learned, else the base URL.
+func (b *Backend) ID() string {
+	if v, ok := b.id.Load().(string); ok && v != "" {
+		return v
+	}
+	return b.URL
+}
+
+func (b *Backend) learnID(id string) {
+	if id != "" {
+		b.id.Store(id)
+	}
+}
+
+// fail records a failed exchange on this backend.
+func (b *Backend) fail() {
+	b.failures.Add(1)
+	if b.br.failure() {
+		b.ejections.Add(1)
+	}
+}
+
+// PoolConfig parameterizes backend availability tracking.
+type PoolConfig struct {
+	// HealthInterval is the active /readyz polling cadence (0 = 250ms).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (0 = HealthInterval).
+	HealthTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// backend (0 = 3).
+	FailThreshold int
+	// Cooldown is how long an ejected backend sits out before its
+	// half-open probe (0 = 1s).
+	Cooldown time.Duration
+}
+
+func (c *PoolConfig) healthInterval() time.Duration {
+	if c.HealthInterval > 0 {
+		return c.HealthInterval
+	}
+	return 250 * time.Millisecond
+}
+
+func (c *PoolConfig) healthTimeout() time.Duration {
+	if c.HealthTimeout > 0 {
+		return c.HealthTimeout
+	}
+	return c.healthInterval()
+}
+
+// Pool is the gateway's set of replica backends with round-robin
+// selection over the currently available ones.
+type Pool struct {
+	cfg      PoolConfig
+	backends []*Backend
+	rr       atomic.Uint64
+	client   *http.Client
+}
+
+// NewPool builds a pool over the given base URLs (scheme-less entries get
+// "http://"). All backends start available; the health loop (HealthLoop)
+// and passive failure detection take it from there.
+func NewPool(urls []string, cfg PoolConfig) *Pool {
+	p := &Pool{
+		cfg: cfg,
+		client: &http.Client{
+			Timeout: cfg.healthTimeout(),
+		},
+	}
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		p.backends = append(p.backends, newBackend(strings.TrimSuffix(u, "/"), cfg.FailThreshold, cfg.Cooldown))
+	}
+	return p
+}
+
+// Backends returns the pool members (fixed after construction).
+func (p *Pool) Backends() []*Backend { return p.backends }
+
+// pick returns the next backend that is healthy, not circuit-ejected,
+// and not in tried — or, when every backend looks down (health checker
+// lagging reality, e.g. right after a mass restart), any breaker-allowed
+// backend, so the gateway degrades to trying rather than refusing.
+// Returns nil when nothing is willing to take traffic.
+func (p *Pool) pick(tried map[*Backend]bool) *Backend {
+	n := len(p.backends)
+	if n == 0 {
+		return nil
+	}
+	start := int(p.rr.Add(1))
+	for i := 0; i < n; i++ {
+		b := p.backends[(start+i)%n]
+		if tried[b] || !b.healthy.Load() {
+			continue
+		}
+		if b.br.allow() {
+			return b
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := p.backends[(start+i)%n]
+		if tried[b] {
+			continue
+		}
+		if b.br.allow() {
+			return b
+		}
+	}
+	return nil
+}
+
+// HealthLoop polls every backend's /readyz on the configured cadence
+// until ctx is cancelled. A 200 marks the backend healthy and teaches the
+// pool its replica ID; anything else (including a draining replica's 503)
+// marks it unhealthy so pick routes around it before connections fail.
+func (p *Pool) HealthLoop(ctx context.Context) {
+	ticker := time.NewTicker(p.cfg.healthInterval())
+	defer ticker.Stop()
+	p.checkAll(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			p.checkAll(ctx)
+		}
+	}
+}
+
+func (p *Pool) checkAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			p.checkOne(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (p *Pool) checkOne(ctx context.Context, b *Backend) {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.healthTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/readyz", nil)
+	if err != nil {
+		b.healthy.Store(false)
+		b.unready.Add(1)
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		b.healthy.Store(false)
+		b.unready.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Replica string `json:"replica"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&h) == nil {
+		b.learnID(h.Replica)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.healthy.Store(false)
+		b.unready.Add(1)
+		return
+	}
+	b.healthy.Store(true)
+}

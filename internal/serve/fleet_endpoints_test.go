@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adwars/internal/abp"
+	"adwars/internal/artifact"
+)
+
+// listsArtifact renders the fixture lists snapshot (with the given label)
+// as sealed wire bytes — what the control plane pushes.
+func listsArtifact(t *testing.T, label string) []byte {
+	t.Helper()
+	snap := testListsSnapshot(t)
+	snap.Label = label
+	var buf bytes.Buffer
+	if err := abp.WriteListsSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeHealth(t *testing.T, body []byte) Health {
+	t.Helper()
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("health body %q: %v", body, err)
+	}
+	return h
+}
+
+func TestReadyzDrainFlip(t *testing.T) {
+	s := newTestServer(t, Config{ReplicaID: "r1"})
+	rec := do(t, s, "GET", "/readyz", "")
+	if rec.Code != 200 {
+		t.Fatalf("readyz = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("X-Adwars-Replica"); got != "r1" {
+		t.Errorf("X-Adwars-Replica = %q, want r1", got)
+	}
+	h := decodeHealth(t, rec.Body.Bytes())
+	if !h.Ready || h.Replica != "r1" {
+		t.Errorf("health = %+v, want ready replica r1", h)
+	}
+
+	s.StartDrain()
+	rec = do(t, s, "GET", "/readyz", "")
+	if rec.Code != 503 {
+		t.Fatalf("readyz after StartDrain = %d, want 503", rec.Code)
+	}
+	h = decodeHealth(t, rec.Body.Bytes())
+	if h.Ready || !h.Draining || h.Status != "draining" {
+		t.Errorf("draining health = %+v", h)
+	}
+	// Liveness and the data plane stay up through the drain window.
+	if rec := do(t, s, "GET", "/healthz", ""); rec.Code != 200 {
+		t.Errorf("healthz while draining = %d, want 200", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/match", `{"url":"http://x.example/a.js"}`); rec.Code != 200 {
+		t.Errorf("match while draining = %d, want 200", rec.Code)
+	}
+}
+
+func TestReadyzNoSnapshots(t *testing.T) {
+	if rec := do(t, New(Config{}), "GET", "/readyz", ""); rec.Code != 503 {
+		t.Fatalf("empty readyz = %d, want 503", rec.Code)
+	}
+}
+
+func TestSnapshotPushInstallsPersistsAndVersions(t *testing.T) {
+	dir := t.TempDir()
+	listsPath := filepath.Join(dir, "lists.json")
+	s := newTestServer(t, Config{ListsPath: listsPath})
+
+	art := listsArtifact(t, "pushed-v2")
+	wantVersion, err := artifact.Version(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, "POST", "/admin/snapshot/lists", string(art))
+	if rec.Code != 200 {
+		t.Fatalf("push = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var pr pushResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Installed || pr.Kind != "lists" || pr.Version != wantVersion {
+		t.Fatalf("push response = %+v, want version %s", pr, wantVersion)
+	}
+
+	// Installed: healthz reports the pushed version and the label serves.
+	h := decodeHealth(t, do(t, s, "GET", "/healthz", "").Body.Bytes())
+	if h.ListsVersion != wantVersion {
+		t.Errorf("lists_version = %q, want %q", h.ListsVersion, wantVersion)
+	}
+	if h.LastReload == nil || !h.LastReload.OK || h.LastReload.Source != "push" {
+		t.Errorf("last_reload = %+v, want ok push", h.LastReload)
+	}
+
+	// Persisted atomically: disk bytes are exactly the pushed artifact.
+	onDisk, err := os.ReadFile(listsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, art) {
+		t.Error("persisted snapshot differs from pushed bytes")
+	}
+
+	// Pull returns the same bytes with the version header — the control
+	// plane's last-good capture path.
+	rec = do(t, s, "GET", "/admin/snapshot/lists", "")
+	if rec.Code != 200 || !bytes.Equal(rec.Body.Bytes(), art) {
+		t.Fatalf("pull = %d, bytes match = %v", rec.Code, bytes.Equal(rec.Body.Bytes(), art))
+	}
+	if got := rec.Header().Get("X-Adwars-Snapshot-Version"); got != wantVersion {
+		t.Errorf("pull version header = %q, want %q", got, wantVersion)
+	}
+}
+
+func TestSnapshotPushRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{ListsPath: filepath.Join(dir, "lists.json")})
+	good := listsArtifact(t, "v1")
+	if rec := do(t, s, "POST", "/admin/snapshot/lists", string(good)); rec.Code != 200 {
+		t.Fatalf("seed push = %d", rec.Code)
+	}
+	before := decodeHealth(t, do(t, s, "GET", "/healthz", "").Body.Bytes()).ListsVersion
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"bit-flip", func() []byte { b := bytes.Clone(good); b[len(b)/3] ^= 0x20; return b }()},
+		{"truncated", good[:len(good)/2]},
+		{"unsealed", []byte(`{"format":"adwars-lists","version":1,"lists":[{"name":"x","rules":["||a.example^"]}]}`)},
+		{"sealed-garbage", artifact.Seal([]byte(`{"this is": not json`))},
+	}
+	rejected := s.met.reloadRejected.Load()
+	for _, tc := range cases {
+		rec := do(t, s, "POST", "/admin/snapshot/lists", string(tc.body))
+		if rec.Code != 422 {
+			t.Errorf("%s: push = %d, want 422 (%s)", tc.name, rec.Code, rec.Body.Bytes())
+		}
+	}
+	if got := s.met.reloadRejected.Load(); got != rejected+uint64(len(cases)) {
+		t.Errorf("reload_rejected = %d, want %d", got, rejected+uint64(len(cases)))
+	}
+	// Last-good kept serving: version unchanged, pull returns good bytes.
+	after := decodeHealth(t, do(t, s, "GET", "/healthz", "").Body.Bytes())
+	if after.ListsVersion != before {
+		t.Errorf("lists_version changed across rejected pushes: %q → %q", before, after.ListsVersion)
+	}
+	if after.LastReload == nil || after.LastReload.OK || !after.LastReload.Rejected {
+		t.Errorf("last_reload = %+v, want rejected", after.LastReload)
+	}
+	if rec := do(t, s, "GET", "/admin/snapshot/lists", ""); !bytes.Equal(rec.Body.Bytes(), good) {
+		t.Error("pull after rejected pushes is not the last good artifact")
+	}
+}
+
+func TestSnapshotPushUnconfiguredAndUnknownKind(t *testing.T) {
+	s := newTestServer(t, Config{}) // no paths configured
+	if rec := do(t, s, "POST", "/admin/snapshot/lists", string(listsArtifact(t, "x"))); rec.Code != 400 {
+		t.Errorf("push without path = %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/admin/snapshot/nope", "x"); rec.Code != 404 {
+		t.Errorf("unknown kind = %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/admin/snapshot/model", ""); rec.Code != 404 {
+		t.Errorf("pull with no artifact-backed model = %d, want 404", rec.Code)
+	}
+}

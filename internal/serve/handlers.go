@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,10 +9,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"adwars/internal/abp"
+	"adwars/internal/artifact"
 	"adwars/internal/features"
+	"adwars/internal/ml"
 )
 
 // ---- wire types ----
@@ -49,18 +53,23 @@ type ClassifyResult struct {
 	Error       string  `json:"error,omitempty"`
 }
 
-// ModelInfo describes the installed model snapshot.
+// ModelInfo describes the installed model snapshot. Version is the
+// artifact payload CRC the snapshot was loaded from; snapshots installed
+// directly in-process (tests, embedders) have none and omit it, so golden
+// bodies from Set*Snapshot servers are unchanged.
 type ModelInfo struct {
 	FeatureSet string `json:"feature_set"`
 	Vocab      int    `json:"vocab"`
 	Rounds     int    `json:"rounds"`
+	Version    string `json:"version,omitempty"`
 }
 
 // ListsInfo describes the installed lists snapshot.
 type ListsInfo struct {
-	Label string `json:"label,omitempty"`
-	Lists int    `json:"lists"`
-	Rules int    `json:"rules"`
+	Label   string `json:"label,omitempty"`
+	Lists   int    `json:"lists"`
+	Rules   int    `json:"rules"`
+	Version string `json:"version,omitempty"`
 }
 
 // SnapshotInfo identifies the snapshots a response was served from.
@@ -169,13 +178,15 @@ func (s *Server) snapshotInfo() SnapshotInfo {
 			FeatureSet: ms.snap.FeatureSet,
 			Vocab:      ms.vocab.Len(),
 			Rounds:     ms.snap.Model.Rounds(),
+			Version:    ms.version,
 		}
 	}
 	if ls := s.lists.Load(); ls != nil {
 		info.Lists = &ListsInfo{
-			Label: ls.snap.Label,
-			Lists: len(ls.snap.Lists),
-			Rules: ls.rules,
+			Label:   ls.snap.Label,
+			Lists:   len(ls.snap.Lists),
+			Rules:   ls.rules,
+			Version: ls.version,
 		}
 	}
 	return info
@@ -234,7 +245,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/v1/classify", s.handleClassify)
 	mux.HandleFunc("/v1/classify/batch", s.handleClassifyBatch)
 	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/admin/snapshot/", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint: %s", r.URL.Path)
@@ -498,19 +511,215 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reloadResponse{Reloaded: true, Snapshot: s.snapshotInfo()})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	type health struct {
-		Status string `json:"status"`
-		Model  bool   `json:"model"`
-		Lists  bool   `json:"lists"`
+// Health is the /healthz and /readyz response body: liveness, readiness,
+// per-snapshot versions, and the last reload outcome — everything the
+// gateway's health poller and the control plane's rollout watcher need in
+// one fetch.
+type Health struct {
+	Status       string         `json:"status"`
+	Replica      string         `json:"replica,omitempty"`
+	Ready        bool           `json:"ready"`
+	Draining     bool           `json:"draining,omitempty"`
+	Model        bool           `json:"model"`
+	Lists        bool           `json:"lists"`
+	ModelVersion string         `json:"model_version,omitempty"`
+	ListsVersion string         `json:"lists_version,omitempty"`
+	LastReload   *ReloadOutcome `json:"last_reload,omitempty"`
+}
+
+// health assembles the shared health/readiness report.
+func (s *Server) health() Health {
+	h := Health{
+		Status:   "ok",
+		Replica:  s.cfg.ReplicaID,
+		Draining: s.draining.Load(),
 	}
-	h := health{Status: "ok", Model: s.model.Load() != nil, Lists: s.lists.Load() != nil}
+	if ms := s.model.Load(); ms != nil {
+		h.Model = true
+		h.ModelVersion = ms.version
+	}
+	if ls := s.lists.Load(); ls != nil {
+		h.Lists = true
+		h.ListsVersion = ls.version
+	}
+	h.LastReload = s.lastReload.Load()
+	h.Ready = (h.Model || h.Lists) && !h.Draining
+	switch {
+	case !h.Model && !h.Lists:
+		h.Status = "no snapshots"
+	case h.Draining:
+		h.Status = "draining"
+	}
+	return h
+}
+
+// handleHealthz is liveness: 200 as long as the process can answer and
+// has any snapshot, even while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
 	status := http.StatusOK
 	if !h.Model && !h.Lists {
-		h.Status = "no snapshots"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
+}
+
+// handleReadyz is routability: 503 once drain is announced (or before any
+// snapshot is loaded), so gateways stop sending traffic here while the
+// data plane finishes the requests it already has.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// pushResponse answers a successful control-plane snapshot push.
+type pushResponse struct {
+	Installed bool   `json:"installed"`
+	Kind      string `json:"kind"`
+	Version   string `json:"version"`
+}
+
+// handleSnapshot is the control-plane snapshot exchange, keyed by
+// /admin/snapshot/{lists,model}:
+//
+//   - POST installs a pushed artifact: the body is the sealed wire format
+//     (the same CRC64 framing snapshots carry on disk). It is verified,
+//     parsed, persisted atomically to the configured path, and installed —
+//     in that order, so a replica restart always finds what it was last
+//     serving. A damaged or unsealed push is refused with 422 and ticks
+//     reload_rejected, exactly like a corrupt disk reload.
+//   - GET returns the raw sealed bytes of the installed snapshot, which is
+//     how the control plane captures last-good before a rollout so it can
+//     roll back without any other storage.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	kind := strings.TrimPrefix(r.URL.Path, "/admin/snapshot/")
+	if kind != "lists" && kind != "model" {
+		writeError(w, http.StatusNotFound, "not_found", "unknown snapshot kind %q", kind)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleSnapshotGet(w, kind)
+	case http.MethodPost:
+		s.handleSnapshotPush(w, r, kind)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s requires GET or POST", r.URL.Path)
+	}
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, kind string) {
+	var raw []byte
+	var version string
+	switch kind {
+	case "lists":
+		if ls := s.lists.Load(); ls != nil {
+			raw, version = ls.raw, ls.version
+		}
+	case "model":
+		if ms := s.model.Load(); ms != nil {
+			raw, version = ms.raw, ms.version
+		}
+	}
+	if len(raw) == 0 {
+		writeError(w, http.StatusNotFound, "no_snapshot",
+			"no artifact-backed %s snapshot installed", kind)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Adwars-Snapshot-Version", version)
+	w.Write(raw)
+}
+
+func (s *Server) handleSnapshotPush(w http.ResponseWriter, r *http.Request, kind string) {
+	path := s.cfg.ListsPath
+	if kind == "model" {
+		path = s.cfg.ModelPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "snapshot",
+			"no %s snapshot path configured on this replica", kind)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxSnapshot()))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"snapshot exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", "reading snapshot body: %v", err)
+		}
+		return
+	}
+	// The wire format is the artifact framing itself: an unsealed push has
+	// no integrity story over the network, so it is refused outright.
+	version, verr := artifact.Version(data)
+	if verr == nil {
+		if _, sealed, _ := artifact.Open(data); !sealed {
+			verr = artifact.Corruptf("missing-trailer", "pushed %s snapshot is not sealed", kind)
+		}
+	}
+	if verr != nil {
+		s.reloadFailed("push", verr)
+		writeError(w, http.StatusUnprocessableEntity, "corrupt_artifact",
+			"pushed %s snapshot refused: %v", kind, verr)
+		return
+	}
+	// Parse before persisting so a schema-broken artifact never reaches
+	// disk, then persist before installing so disk and memory can only
+	// disagree in the direction of "disk newer, reload pending".
+	switch kind {
+	case "lists":
+		snap, err := abp.ReadListsSnapshot(bytes.NewReader(data))
+		if err != nil {
+			s.reloadFailed("push", err)
+			writeError(w, http.StatusUnprocessableEntity, "corrupt_artifact",
+				"pushed lists snapshot refused: %v", err)
+			return
+		}
+		if err := artifact.WriteFileAtomic(path, data, 0o644); err != nil {
+			s.reloadFailed("push", err)
+			writeError(w, http.StatusInternalServerError, "persist_failed",
+				"persisting pushed snapshot: %v", err)
+			return
+		}
+		if err := s.installLists(snap, version, data); err != nil {
+			s.reloadFailed("push", err)
+			writeError(w, http.StatusUnprocessableEntity, "corrupt_artifact",
+				"pushed lists snapshot refused: %v", err)
+			return
+		}
+	case "model":
+		snap, err := ml.ReadModelSnapshot(bytes.NewReader(data))
+		if err != nil {
+			s.reloadFailed("push", err)
+			writeError(w, http.StatusUnprocessableEntity, "corrupt_artifact",
+				"pushed model snapshot refused: %v", err)
+			return
+		}
+		if err := artifact.WriteFileAtomic(path, data, 0o644); err != nil {
+			s.reloadFailed("push", err)
+			writeError(w, http.StatusInternalServerError, "persist_failed",
+				"persisting pushed snapshot: %v", err)
+			return
+		}
+		if err := s.installModel(snap, version, data); err != nil {
+			s.reloadFailed("push", err)
+			writeError(w, http.StatusUnprocessableEntity, "corrupt_artifact",
+				"pushed model snapshot refused: %v", err)
+			return
+		}
+	}
+	s.met.reloads.Add(1)
+	s.met.pushes.Add(1)
+	s.lastReload.Store(&ReloadOutcome{OK: true, Source: "push"})
+	writeJSON(w, http.StatusOK, pushResponse{Installed: true, Kind: kind, Version: version})
 }
 
 // handleDebugVars renders the process-global expvar registry plus this

@@ -143,6 +143,9 @@ type metrics struct {
 	// its integrity check (subset of reloadErrors): the last-good snapshots
 	// kept serving.
 	reloadRejected atomic.Uint64
+	// pushes counts snapshots installed via control-plane push
+	// (/admin/snapshot POST), a subset of reloads.
+	pushes atomic.Uint64
 	// panicsRecovered counts panics converted into structured 500s by the
 	// recovery boundary instead of killing the process.
 	panicsRecovered atomic.Uint64
@@ -168,6 +171,7 @@ type metricsSnapshot struct {
 	Reloads         uint64                      `json:"reloads"`
 	ReloadErrors    uint64                      `json:"reload_errors"`
 	ReloadRejected  uint64                      `json:"reload_rejected"`
+	Pushes          uint64                      `json:"pushes"`
 	PanicsRecovered uint64                      `json:"panics_recovered"`
 	Chaos           *chaosSnapshot              `json:"chaos,omitempty"`
 }
@@ -178,6 +182,7 @@ func (m *metrics) snapshot() metricsSnapshot {
 		Reloads:         m.reloads.Load(),
 		ReloadErrors:    m.reloadErrors.Load(),
 		ReloadRejected:  m.reloadRejected.Load(),
+		Pushes:          m.pushes.Load(),
 		PanicsRecovered: m.panicsRecovered.Load(),
 	}
 	if m.chaosEnabled {

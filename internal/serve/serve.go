@@ -9,12 +9,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,19 @@ type Config struct {
 	// Chaos, when non-nil and enabled, injects deterministic faults into
 	// the data plane (see ChaosConfig). Production servers leave it nil.
 	Chaos *ChaosConfig
+	// ReplicaID, when set, identifies this replica in the fleet: every
+	// response carries it in an X-Adwars-Replica header and /healthz
+	// reports it, so gateways and load generators can attribute traffic.
+	ReplicaID string
+	// DrainAnnounce is how long Serve keeps accepting (and answering)
+	// requests after flipping /readyz to not-ready at drain start, giving
+	// health-polling gateways time to stop routing here before connection
+	// teardown begins (0 = no announcement window).
+	DrainAnnounce time.Duration
+	// MaxSnapshot bounds the body of a control-plane snapshot push in
+	// bytes (0 = 64 MiB). Snapshots are far larger than data-plane request
+	// bodies, so they get their own cap.
+	MaxSnapshot int64
 }
 
 func (c *Config) workers() int {
@@ -97,6 +112,13 @@ func (c *Config) drainTimeout() time.Duration {
 	return 5 * time.Second
 }
 
+func (c *Config) maxSnapshot() int64 {
+	if c.MaxSnapshot > 0 {
+		return c.MaxSnapshot
+	}
+	return 64 << 20
+}
+
 // modelState is a loaded model snapshot prepared for the hot path: the
 // ensemble, the vocabulary projector, and the parsed feature set. It is
 // immutable after construction; the server swaps whole states atomically.
@@ -105,14 +127,35 @@ type modelState struct {
 	vocab    *features.Vocab
 	set      features.Set
 	alphaSum float64
+	// version is the artifact payload CRC of the bytes this state loaded
+	// from (empty when installed directly via SetModelSnapshot); raw is
+	// those bytes, served back to the control plane for rollback.
+	version string
+	raw     []byte
 }
 
 // listsState is a loaded lists snapshot. Compiled lists are immutable and
 // safe for concurrent matchers, so a state is shared freely across
 // requests.
 type listsState struct {
-	snap  *abp.ListsSnapshot
-	rules int
+	snap    *abp.ListsSnapshot
+	rules   int
+	version string
+	raw     []byte
+}
+
+// ReloadOutcome records what happened to the most recent snapshot
+// (re)load attempt, exposed on /healthz so the control plane can see not
+// just counters but the shape of the last failure.
+type ReloadOutcome struct {
+	OK bool `json:"ok"`
+	// Rejected means the snapshot content was refused (integrity or
+	// format failure) while the previous snapshots kept serving.
+	Rejected bool   `json:"rejected,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Source is where the snapshot came from: "disk" (startup, SIGHUP,
+	// /admin/reload) or "push" (control-plane POST /admin/snapshot/*).
+	Source string `json:"source"`
 }
 
 // Server is the online serving engine. Create with New, then load
@@ -127,6 +170,11 @@ type Server struct {
 
 	model atomic.Pointer[modelState]
 	lists atomic.Pointer[listsState]
+
+	// draining flips /readyz to 503 at drain start so health-polling
+	// gateways route away before connections start tearing down.
+	draining   atomic.Bool
+	lastReload atomic.Pointer[ReloadOutcome]
 
 	mux http.Handler
 
@@ -152,8 +200,22 @@ func New(cfg Config) *Server {
 		s.chaos = newChaosState(cfg.Chaos)
 		h = s.withChaos(h)
 	}
-	s.mux = s.withRecovery(h)
+	h = s.withRecovery(h)
+	if cfg.ReplicaID != "" {
+		// Outermost so even recovered-panic envelopes carry the replica
+		// attribution the gateway and loadgen key on.
+		h = s.withReplicaHeader(h)
+	}
+	s.mux = h
 	return s
+}
+
+// withReplicaHeader stamps every response with this replica's identity.
+func (s *Server) withReplicaHeader(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Adwars-Replica", s.cfg.ReplicaID)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Metrics returns the server's metrics tree as an expvar-compatible Var
@@ -165,6 +227,12 @@ func (s *Server) Metrics() fmt.Stringer { return s.met }
 // requests keep the state they already loaded; new requests see the new
 // snapshot — no request ever observes a half-installed model.
 func (s *Server) SetModelSnapshot(snap *ml.ModelSnapshot) error {
+	return s.installModel(snap, "", nil)
+}
+
+// installModel validates snap and swaps it in, remembering the version
+// and raw bytes when it came from an artifact.
+func (s *Server) installModel(snap *ml.ModelSnapshot, version string, raw []byte) error {
 	set, err := features.SetFromString(snap.FeatureSet)
 	if err != nil {
 		return fmt.Errorf("serve: model snapshot: %w", err)
@@ -177,17 +245,44 @@ func (s *Server) SetModelSnapshot(snap *ml.ModelSnapshot) error {
 		vocab:    features.NewVocab(snap.Vocab),
 		set:      set,
 		alphaSum: snap.Model.AlphaSum(),
+		version:  version,
+		raw:      raw,
 	})
 	return nil
 }
 
 // SetListsSnapshot installs a compiled-lists snapshot atomically.
 func (s *Server) SetListsSnapshot(snap *abp.ListsSnapshot) error {
+	return s.installLists(snap, "", nil)
+}
+
+func (s *Server) installLists(snap *abp.ListsSnapshot, version string, raw []byte) error {
 	if len(snap.Lists) == 0 {
 		return fmt.Errorf("serve: lists snapshot has no lists")
 	}
-	s.lists.Store(&listsState{snap: snap, rules: snap.Rules()})
+	s.lists.Store(&listsState{snap: snap, rules: snap.Rules(), version: version, raw: raw})
 	return nil
+}
+
+// loadedArtifact is one snapshot file read and parsed but not yet
+// installed, so a two-file reload can be all-or-nothing.
+type loadedArtifact struct {
+	raw     []byte
+	version string
+}
+
+// readArtifactFile reads path and derives its version. The parse happens
+// at the caller per format; version derivation only needs the framing.
+func readArtifactFile(path string) (loadedArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return loadedArtifact{}, err
+	}
+	version, err := artifact.Version(data)
+	if err != nil {
+		return loadedArtifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return loadedArtifact{raw: data, version: version}, nil
 }
 
 // ReloadSnapshots re-reads the configured snapshot paths and installs
@@ -195,32 +290,43 @@ func (s *Server) SetListsSnapshot(snap *abp.ListsSnapshot) error {
 // installed untouched — a bad reload never degrades a serving process. A
 // snapshot rejected for failing its integrity check (torn write, bit rot,
 // missing trailer) additionally ticks reload_rejected, so corruption is
-// distinguishable from operational errors like a missing file.
+// distinguishable from operational errors like a missing file. Each
+// installed state remembers the artifact version (payload CRC64) it was
+// loaded from; /healthz reports it and the control plane compares it
+// during rollouts.
 func (s *Server) ReloadSnapshots() error {
 	var model *ml.ModelSnapshot
 	var lists *abp.ListsSnapshot
+	var modelArt, listsArt loadedArtifact
 	var err error
 	if s.cfg.ModelPath != "" {
-		if model, err = ml.LoadModelSnapshot(s.cfg.ModelPath); err != nil {
-			return s.reloadFailed(err)
+		if modelArt, err = readArtifactFile(s.cfg.ModelPath); err != nil {
+			return s.reloadFailed("disk", err)
+		}
+		if model, err = ml.ReadModelSnapshot(bytes.NewReader(modelArt.raw)); err != nil {
+			return s.reloadFailed("disk", fmt.Errorf("%s: %w", s.cfg.ModelPath, err))
 		}
 	}
 	if s.cfg.ListsPath != "" {
-		if lists, err = abp.LoadListsSnapshot(s.cfg.ListsPath); err != nil {
-			return s.reloadFailed(err)
+		if listsArt, err = readArtifactFile(s.cfg.ListsPath); err != nil {
+			return s.reloadFailed("disk", err)
+		}
+		if lists, err = abp.ReadListsSnapshot(bytes.NewReader(listsArt.raw)); err != nil {
+			return s.reloadFailed("disk", fmt.Errorf("%s: %w", s.cfg.ListsPath, err))
 		}
 	}
 	if model != nil {
-		if err := s.SetModelSnapshot(model); err != nil {
-			return s.reloadFailed(err)
+		if err := s.installModel(model, modelArt.version, modelArt.raw); err != nil {
+			return s.reloadFailed("disk", err)
 		}
 	}
 	if lists != nil {
-		if err := s.SetListsSnapshot(lists); err != nil {
-			return s.reloadFailed(err)
+		if err := s.installLists(lists, listsArt.version, listsArt.raw); err != nil {
+			return s.reloadFailed("disk", err)
 		}
 	}
 	s.met.reloads.Add(1)
+	s.lastReload.Store(&ReloadOutcome{OK: true, Source: "disk"})
 	return nil
 }
 
@@ -230,22 +336,39 @@ func (s *Server) ReloadSnapshots() error {
 // trailer) or an unparseable/foreign payload, which on a path that loaded
 // fine before is the same event: a damaged artifact. Pure I/O errors
 // (missing file, permissions) count only as reload_errors.
-func (s *Server) reloadFailed(err error) error {
+func (s *Server) reloadFailed(source string, err error) error {
 	s.met.reloadErrors.Add(1)
-	if errors.Is(err, artifact.ErrCorrupt) ||
+	rejected := errors.Is(err, artifact.ErrCorrupt) ||
 		errors.Is(err, ml.ErrSnapshotFormat) || errors.Is(err, ml.ErrSnapshotVersion) ||
-		errors.Is(err, abp.ErrSnapshotFormat) || errors.Is(err, abp.ErrSnapshotVersion) {
+		errors.Is(err, abp.ErrSnapshotFormat) || errors.Is(err, abp.ErrSnapshotVersion)
+	if rejected {
 		s.met.reloadRejected.Add(1)
 	}
+	s.lastReload.Store(&ReloadOutcome{Rejected: rejected, Error: err.Error(), Source: source})
 	return err
 }
+
+// LastReload returns the outcome of the most recent snapshot (re)load
+// attempt, or nil if none has happened yet.
+func (s *Server) LastReload() *ReloadOutcome { return s.lastReload.Load() }
+
+// StartDrain flips readiness off: /readyz answers 503 from now on while
+// the data plane keeps serving, so gateways that poll readiness stop
+// routing new traffic here before connections tear down. Serve calls it
+// at drain start; it is exported for fleet tests and embedders.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether drain has been announced.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the server's HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Serve accepts connections on ln until ctx is cancelled, then drains
-// in-flight requests (bounded by DrainTimeout) and flushes a final metrics
-// snapshot to MetricsOut. It returns nil on a clean drain.
+// Serve accepts connections on ln until ctx is cancelled, then announces
+// drain (readiness flips to 503 and stays that way for DrainAnnounce so
+// polling gateways route away first), drains in-flight requests (bounded
+// by DrainTimeout), and flushes a final metrics snapshot to MetricsOut.
+// It returns nil on a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
@@ -254,6 +377,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	s.StartDrain()
+	if d := s.cfg.DrainAnnounce; d > 0 {
+		time.Sleep(d)
 	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
 	defer cancel()
