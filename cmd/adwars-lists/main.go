@@ -9,7 +9,10 @@
 //
 // -scale shrinks the world by N× (1 = paper scale, slow; 20 = quick).
 // -save-snapshot PATH freezes the latest version of the three anti-adblock
-// filter lists as a versioned snapshot for adwars-serve.
+// filter lists as a versioned snapshot for adwars-serve; by default the
+// snapshot embeds each list's compiled match automaton (schema v3) so
+// loaders attach it instead of recompiling — -compile=false writes the
+// JSON-only v2 form.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	dump := flag.String("dump", "", "directory to write the generated filter lists as .txt files")
 	saveSnapshot := flag.String("save-snapshot", "", "write the latest compiled lists as a serving snapshot to this path")
+	compile := flag.Bool("compile", true, "embed compiled match automata in the snapshot (schema v3); false writes JSON-only v2")
 	label := flag.String("label", "", "override the snapshot label (default \"seed S scale N\"); distinct labels give distinct snapshot versions for staged rollouts")
 	flag.Parse()
 
@@ -53,11 +57,17 @@ func main() {
 				lab.Lists.AWRL.LatestList(),
 			},
 		}
-		if err := abp.SaveListsSnapshot(*saveSnapshot, snap); err != nil {
+		save := abp.SaveListsSnapshot
+		kind := "lists snapshot"
+		if *compile {
+			save = abp.SaveListsSnapshotCompiled
+			kind = "compiled lists snapshot"
+		}
+		if err := save(*saveSnapshot, snap); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote lists snapshot %s (%d lists, %d rules)\n",
-			*saveSnapshot, len(snap.Lists), snap.Rules())
+		fmt.Fprintf(os.Stderr, "wrote %s %s (%d lists, %d rules)\n",
+			kind, *saveSnapshot, len(snap.Lists), snap.Rules())
 	}
 
 	fmt.Println(experiments.Fig1(lab.Lists.AAK, lab.World.Cfg.End).Render())

@@ -53,6 +53,26 @@ type Report struct {
 	// kernel-cached parallel pipeline over the uncached sequential
 	// reference (must be ≥ 2 on a full benchmark run).
 	MLSpeedupCachedVsSequential float64 `json:"ml_speedup_cached_vs_sequential,omitempty"`
+	// MatchAutomatonP50Ns is the median single-request List.MatchRequest
+	// latency through the compiled automaton (ListMatchAutomaton's p50-ns
+	// metric) — the acceptance gate is < 1000 ns with 0 allocs/op.
+	MatchAutomatonP50Ns float64 `json:"match_automaton_p50_ns,omitempty"`
+	// MatchNoMatchAllocsPerOp is allocs/op on the pure-miss match path
+	// (ListMatchNoMatch) — must be 0: the common case in production since
+	// the overwhelming majority of rules never fire. A pointer so the
+	// meaningful zero is emitted when the benchmark ran but the field
+	// disappears from reports that never measured it.
+	MatchNoMatchAllocsPerOp *float64 `json:"match_nomatch_allocs_per_op,omitempty"`
+	// MatchSpeedupAutomatonVsToken is ns/op(ListMatchTokenIndex) divided by
+	// ns/op(ListMatchAutomaton) — the probe-stage win of the compiled
+	// automaton over the token-hash index it replaced.
+	MatchSpeedupAutomatonVsToken float64 `json:"match_speedup_automaton_vs_token,omitempty"`
+	// ListLoadSpeedupVsCompile is ns/op(ListCompile) divided by
+	// ns/op(ListLoad): how much faster attaching a serialized automaton is
+	// than rebuilding it. The Large variant is the same ratio at 4× the
+	// rules — it should grow with list size, since load cost is near-flat.
+	ListLoadSpeedupVsCompile      float64 `json:"list_load_speedup_vs_compile,omitempty"`
+	ListLoadSpeedupVsCompileLarge float64 `json:"list_load_speedup_vs_compile_large,omitempty"`
 	// ServeMatchP50Ns / ServeMatchP99Ns are the single-request /v1/match
 	// latency quantiles from the serving benchmark's custom metrics.
 	ServeMatchP50Ns float64 `json:"serve_match_p50_ns,omitempty"`
@@ -161,6 +181,7 @@ func parse(sc *bufio.Scanner, rep *Report) error {
 // derive computes the headline cross-benchmark figures.
 func derive(rep *Report) {
 	var indexed, linear, mlSeq, mlCached float64
+	var auto, token, compile, load, compileLarge, loadLarge float64
 	for _, b := range rep.Benchmarks {
 		switch b.Name {
 		case "ReplayIndexed":
@@ -171,6 +192,22 @@ func derive(rep *Report) {
 			mlSeq = b.NsPerOp
 		case "MLTrainCVCached":
 			mlCached = b.NsPerOp
+		case "ListMatchAutomaton":
+			auto = b.NsPerOp
+			rep.MatchAutomatonP50Ns = b.Metrics["p50-ns"]
+		case "ListMatchTokenIndex":
+			token = b.NsPerOp
+		case "ListMatchNoMatch":
+			allocs := b.AllocsPerOp
+			rep.MatchNoMatchAllocsPerOp = &allocs
+		case "ListCompile":
+			compile = b.NsPerOp
+		case "ListLoad":
+			load = b.NsPerOp
+		case "ListCompileLarge":
+			compileLarge = b.NsPerOp
+		case "ListLoadLarge":
+			loadLarge = b.NsPerOp
 		case "ServeMatch":
 			rep.ServeMatchP50Ns = b.Metrics["p50-ns"]
 			rep.ServeMatchP99Ns = b.Metrics["p99-ns"]
@@ -196,6 +233,15 @@ func derive(rep *Report) {
 	}
 	if mlSeq > 0 && mlCached > 0 {
 		rep.MLSpeedupCachedVsSequential = mlSeq / mlCached
+	}
+	if auto > 0 && token > 0 {
+		rep.MatchSpeedupAutomatonVsToken = token / auto
+	}
+	if compile > 0 && load > 0 {
+		rep.ListLoadSpeedupVsCompile = compile / load
+	}
+	if compileLarge > 0 && loadLarge > 0 {
+		rep.ListLoadSpeedupVsCompileLarge = compileLarge / loadLarge
 	}
 }
 

@@ -1,0 +1,614 @@
+package abp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"unsafe"
+
+	"adwars/internal/artifact"
+)
+
+// This file is the compiled multi-pattern match core: an Aho–Corasick
+// automaton over rule pattern substrings, laid out as a double-array trie
+// in ONE contiguous little-endian []byte region. The region is the unit of
+// serialization — it goes into the lists snapshot behind the artifact
+// integrity trailer verbatim and is reattached on load (by mmap or plain
+// read) without rebuilding, so startup cost for a compiled list is O(map)
+// plus validation instead of O(rules) index construction.
+//
+// Role in matching: the automaton replaces the token-hash keyword index as
+// the probe stage. Scanning the request URL once (O(len) amortized, byte
+// class table folds ASCII case so the raw URL is scanned — no lower-cased
+// copy is ever allocated on this path) yields the ordinals of every rule
+// whose automaton keyword occurs in the URL. Those ordinals, plus the few
+// keyword-less generic rules, are a superset of all rules that can match;
+// each candidate is then verified with the full rule matcher in insertion
+// order, which makes the automaton path's answers — decision, winning
+// rule, and all-matches set — identical to the linear reference scan (and
+// therefore to the token index; see the differential tests and
+// FuzzMatchDifferential).
+//
+// Memory layout (all integers little-endian, fixed width):
+//
+//	off 0   magic "AWDA" (4 bytes)
+//	off 4   u32 version (currently 1)
+//	off 8   u32 numSlots       double-array length
+//	off 12  u32 root           root state's slot (always 0)
+//	off 16  u32 numOutputs     total output-list entries
+//	off 20  u32 numGeneric     rules without a usable keyword
+//	off 24  u32 numRules       rule count the output ordinals index
+//	off 28  u32 reserved (0)
+//	off 32  u64 rulesCRC       CRC-64 of the canonical rule lines
+//	off 40  u64 reserved (0)   (keeps the arrays 8-byte aligned)
+//	off 48  base    [numSlots]u32
+//	        check   [numSlots]u32   (0xFFFFFFFF = empty slot)
+//	        fail    [numSlots]u32
+//	        outIdx  [numSlots+1]u32 (prefix offsets into outputs)
+//	        outputs [numOutputs]u32 (rule ordinals)
+//	        generic [numGeneric]u32 (rule ordinals, ascending)
+//
+// rulesCRC binds a serialized automaton to the exact rule set it was
+// compiled from: a snapshot whose JSON rules were edited without
+// recompiling the section is refused at load instead of silently matching
+// against stale states.
+const (
+	acMagic   = "AWDA"
+	acVersion = 1
+
+	// acAlpha is the scan alphabet: class 0 is every byte that can never
+	// appear in a keyword (resets the scan to the root), classes 1..37 are
+	// the keyword characters a-z, 0-9, '%' (upper-case ASCII folds onto
+	// the lower-case class, so the automaton scans raw URLs).
+	acAlpha = 38
+
+	// acMinKeyword matches the token index's floor: shorter runs are too
+	// unselective to be worth automaton states.
+	acMinKeyword = 3
+
+	acHeaderSize = 48
+	acEmptySlot  = ^uint32(0)
+)
+
+// acClass maps a URL byte to its scan symbol. Upper- and lower-case ASCII
+// letters share a class, which is what lets the scan run over the raw
+// request URL while rule keywords are stored lower-cased.
+var acClass [256]byte
+
+func init() {
+	for c := 'a'; c <= 'z'; c++ {
+		acClass[c] = byte(c-'a') + 1
+		acClass[c-'a'+'A'] = byte(c-'a') + 1
+	}
+	for c := '0'; c <= '9'; c++ {
+		acClass[c] = byte(c-'0') + 27
+	}
+	acClass['%'] = 37
+}
+
+// hostLittleEndian reports whether native u32 loads read the serialized
+// little-endian arrays correctly, enabling the zero-copy view.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// automaton is the decoded view over one contiguous region. The u32
+// slices alias blob when the host is little-endian and the region is
+// 4-byte aligned (always true for the in-memory builder and the mmap
+// path, whose sections are 8-aligned in the file); otherwise they are
+// decoded copies, so matching is correct on any host.
+type automaton struct {
+	blob []byte
+
+	base    []uint32
+	check   []uint32
+	fail    []uint32
+	outIdx  []uint32
+	outputs []uint32
+	generic []uint32
+
+	numSlots uint32
+	root     uint32
+	numRules uint32
+	rulesCRC uint64
+}
+
+// Bytes returns the automaton's contiguous serialized region. The slice
+// aliases the automaton's backing memory and must not be modified.
+func (a *automaton) Bytes() []byte { return a.blob }
+
+// AutomatonKeyword returns the longest run of keyword characters in the
+// rule's pattern (lower-cased, minimum length 3), or "" when none exists.
+// Unlike Keyword, the run needs no token boundaries: every such run is a
+// contiguous literal span of the pattern, so any URL the rule matches must
+// contain it as a substring — exactly the occurrence an Aho–Corasick scan
+// detects. That drains the token index's generic bucket: rules like
+// "/detect123*.js", whose best run touches a '*', are indexable here.
+func (r *Rule) AutomatonKeyword() string {
+	if !r.IsHTTP() {
+		return ""
+	}
+	pat := strings.ToLower(r.Pattern)
+	best := ""
+	for i := 0; i < len(pat); {
+		if !keywordChar(pat[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(pat) && keywordChar(pat[j]) {
+			j++
+		}
+		if j-i >= acMinKeyword && j-i > len(best) {
+			best = pat[i:j]
+		}
+		i = j
+	}
+	return best
+}
+
+// rulesChecksum is the canonical CRC-64 over a compiled rule set: the raw
+// lines in ordinal order, newline-terminated. It is stored inside the
+// serialized automaton and re-derived at load to refuse stale sections.
+func rulesChecksum(rules []*Rule) uint64 {
+	var buf []byte
+	for _, r := range rules {
+		buf = append(buf, r.Raw...)
+		buf = append(buf, '\n')
+	}
+	return artifact.Checksum(buf)
+}
+
+// acTrieNode is a build-time trie node; children are indexed by scan
+// class 1..37 (class 0 never appears in a keyword).
+type acTrieNode struct {
+	child [acAlpha]int32 // -1 = absent; index 0 unused
+	fail  int32
+	out   []uint32
+}
+
+// buildAutomaton compiles the automaton for a rule set and returns its
+// decoded form. The build is deterministic — trie insertion in ordinal
+// order, BFS in symbol order, first-fit slot placement — so the same rule
+// set always serializes to the same bytes (snapshot versions are content
+// CRCs; a rebuild must not change them).
+func buildAutomaton(rules []*Rule, rulesCRC uint64) *automaton {
+	type kw struct {
+		s   string
+		ord uint32
+	}
+	var kws []kw
+	var generic []uint32
+	for ord, r := range rules {
+		if !r.IsHTTP() {
+			continue
+		}
+		if s := r.AutomatonKeyword(); s != "" {
+			kws = append(kws, kw{s, uint32(ord)})
+		} else {
+			generic = append(generic, uint32(ord))
+		}
+	}
+
+	// Trie construction.
+	nodes := []acTrieNode{newTrieNode()}
+	for _, k := range kws {
+		cur := int32(0)
+		for i := 0; i < len(k.s); i++ {
+			c := acClass[k.s[i]]
+			if nodes[cur].child[c] < 0 {
+				nodes = append(nodes, newTrieNode())
+				nodes[cur].child[c] = int32(len(nodes) - 1)
+			}
+			cur = nodes[cur].child[c]
+		}
+		nodes[cur].out = append(nodes[cur].out, k.ord)
+	}
+
+	// BFS: fail links, then outputs merged down the fail chain so the
+	// scan never walks fail links to collect outputs.
+	queue := make([]int32, 0, len(nodes))
+	for c := 1; c < acAlpha; c++ {
+		if ch := nodes[0].child[c]; ch >= 0 {
+			nodes[ch].fail = 0
+			queue = append(queue, ch)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		for c := 1; c < acAlpha; c++ {
+			ch := nodes[n].child[c]
+			if ch < 0 {
+				continue
+			}
+			f := nodes[n].fail
+			for f != 0 && nodes[f].child[c] < 0 {
+				f = nodes[f].fail
+			}
+			if t := nodes[f].child[c]; t >= 0 && t != ch {
+				nodes[ch].fail = t
+			} else {
+				nodes[ch].fail = 0
+			}
+			queue = append(queue, ch)
+		}
+		if f := nodes[n].fail; len(nodes[f].out) > 0 {
+			nodes[n].out = append(nodes[n].out, nodes[f].out...)
+		}
+	}
+
+	// Double-array placement: BFS order, first-fit base search. slot[i]
+	// is trie node i's slot; root is slot 0.
+	slot := make([]int32, len(nodes))
+	baseOf := make([]int32, len(nodes))
+	used := []bool{true} // slot 0 = root
+	minFree := 1
+	order := append([]int32{0}, queue...)
+	for _, n := range order {
+		placeNode(nodes, n, slot, baseOf, &used, &minFree)
+	}
+
+	numSlots := len(used)
+	base := make([]uint32, numSlots)
+	check := make([]uint32, numSlots)
+	fail := make([]uint32, numSlots)
+	outCount := make([]uint32, numSlots)
+	for i := range check {
+		check[i] = acEmptySlot
+	}
+	check[0] = 0
+	fail[0] = 0
+	totalOut := 0
+	for n := range nodes {
+		s := slot[n]
+		base[s] = uint32(baseOf[n])
+		fail[s] = uint32(slot[nodes[n].fail])
+		outCount[s] = uint32(len(nodes[n].out))
+		totalOut += len(nodes[n].out)
+		for c := 1; c < acAlpha; c++ {
+			if ch := nodes[n].child[c]; ch >= 0 {
+				check[slot[ch]] = uint32(s)
+			}
+		}
+	}
+
+	// Serialize into the contiguous little-endian region.
+	size := acHeaderSize + 4*(3*numSlots+(numSlots+1)+totalOut+len(generic))
+	blob := alignedBytes(size)
+	copy(blob, acMagic)
+	le := binary.LittleEndian
+	le.PutUint32(blob[4:], acVersion)
+	le.PutUint32(blob[8:], uint32(numSlots))
+	le.PutUint32(blob[12:], 0) // root
+	le.PutUint32(blob[16:], uint32(totalOut))
+	le.PutUint32(blob[20:], uint32(len(generic)))
+	le.PutUint32(blob[24:], uint32(len(rules)))
+	le.PutUint64(blob[32:], rulesCRC)
+	off := acHeaderSize
+	put := func(v uint32) {
+		le.PutUint32(blob[off:], v)
+		off += 4
+	}
+	for _, v := range base {
+		put(v)
+	}
+	for _, v := range check {
+		put(v)
+	}
+	for _, v := range fail {
+		put(v)
+	}
+	// outIdx prefix sums, then outputs grouped by slot in slot order.
+	sum := uint32(0)
+	for s := 0; s < numSlots; s++ {
+		put(sum)
+		sum += outCount[s]
+	}
+	put(sum)
+	outBySlot := make([][]uint32, numSlots)
+	for n := range nodes {
+		outBySlot[slot[n]] = nodes[n].out
+	}
+	for _, outs := range outBySlot {
+		for _, o := range outs {
+			put(o)
+		}
+	}
+	for _, g := range generic {
+		put(g)
+	}
+
+	a, err := openAutomaton(blob, len(rules), rulesCRC)
+	if err != nil {
+		panic(fmt.Sprintf("abp: internal: freshly built automaton failed validation: %v", err))
+	}
+	return a
+}
+
+// placeNode finds a first-fit base for one trie node's children and
+// claims their slots.
+func placeNode(nodes []acTrieNode, n int32, slot, baseOf []int32, used *[]bool, minFree *int) {
+	first := -1
+	for c := 1; c < acAlpha; c++ {
+		if nodes[n].child[c] >= 0 {
+			first = c
+			break
+		}
+	}
+	if first < 0 {
+		baseOf[n] = 0
+		return
+	}
+	u := *used
+	for pos := *minFree; ; pos++ {
+		for pos < len(u) && u[pos] {
+			pos++
+		}
+		b := pos - first
+		if b < 0 {
+			continue
+		}
+		ok := true
+		for c := first; c < acAlpha; c++ {
+			if nodes[n].child[c] < 0 {
+				continue
+			}
+			if s := b + c; s < len(u) && u[s] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for c := first; c < acAlpha; c++ {
+			ch := nodes[n].child[c]
+			if ch < 0 {
+				continue
+			}
+			s := b + c
+			for s >= len(u) {
+				u = append(u, false)
+			}
+			u[s] = true
+			slot[ch] = int32(s)
+		}
+		baseOf[n] = int32(b)
+		*used = u
+		for *minFree < len(u) && u[*minFree] {
+			*minFree++
+		}
+		return
+	}
+}
+
+func newTrieNode() acTrieNode {
+	var n acTrieNode
+	for i := range n.child {
+		n.child[i] = -1
+	}
+	return n
+}
+
+// alignedBytes allocates an 8-byte-aligned byte slice so the in-memory
+// build always qualifies for the zero-copy u32 view.
+func alignedBytes(n int) []byte {
+	w := make([]uint64, (n+7)/8)
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), n)
+}
+
+// u32view reinterprets a little-endian u32 array. Zero-copy when the host
+// is little-endian and the bytes are 4-aligned; decoded copy otherwise.
+func u32view(b []byte) []uint32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// openAutomaton decodes and validates a serialized region against the
+// rule set it will index. Validation is what makes scanning a hostile or
+// stale blob safe: every structural invariant the scan loop relies on —
+// in-bounds bases, parents, fail links that strictly decrease depth
+// (termination), monotone output offsets, ordinals inside the rule set —
+// is checked once here, so the hot path needs no defensive code beyond
+// its natural bounds checks. Errors wrap artifact.ErrCorrupt: a blob that
+// fails here is a damaged or mismatched artifact, not a format novelty.
+func openAutomaton(blob []byte, wantRules int, wantCRC uint64) (*automaton, error) {
+	corrupt := func(format string, args ...any) error {
+		return artifact.Corruptf("automaton-invalid", format, args...)
+	}
+	if len(blob) < acHeaderSize {
+		return nil, corrupt("region too short: %d bytes", len(blob))
+	}
+	if string(blob[:4]) != acMagic {
+		return nil, corrupt("bad magic %q", blob[:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(blob[4:]); v != acVersion {
+		return nil, corrupt("unsupported automaton version %d", v)
+	}
+	numSlots := le.Uint32(blob[8:])
+	root := le.Uint32(blob[12:])
+	numOut := le.Uint32(blob[16:])
+	numGen := le.Uint32(blob[20:])
+	numRules := le.Uint32(blob[24:])
+	rulesCRC := le.Uint64(blob[32:])
+	if numSlots == 0 || root != 0 {
+		return nil, corrupt("bad geometry: slots=%d root=%d", numSlots, root)
+	}
+	want := uint64(acHeaderSize) + 4*(3*uint64(numSlots)+uint64(numSlots)+1+uint64(numOut)+uint64(numGen))
+	if uint64(len(blob)) != want {
+		return nil, corrupt("region is %d bytes, header frames %d", len(blob), want)
+	}
+	if int(numRules) != wantRules {
+		return nil, corrupt("compiled for %d rules, list has %d", numRules, wantRules)
+	}
+	if rulesCRC != wantCRC {
+		return nil, corrupt("compiled against different rules (crc %016x, list %016x)", rulesCRC, wantCRC)
+	}
+
+	a := &automaton{
+		blob:     blob,
+		numSlots: numSlots,
+		root:     root,
+		numRules: numRules,
+		rulesCRC: rulesCRC,
+	}
+	off := uint64(acHeaderSize)
+	next := func(n uint64) []uint32 {
+		v := u32view(blob[off : off+4*n])
+		off += 4 * n
+		return v
+	}
+	a.base = next(uint64(numSlots))
+	a.check = next(uint64(numSlots))
+	a.fail = next(uint64(numSlots))
+	a.outIdx = next(uint64(numSlots) + 1)
+	a.outputs = next(uint64(numOut))
+	a.generic = next(uint64(numGen))
+
+	if a.check[root] != root || a.fail[root] != root || a.base[root] >= numSlots+acAlpha {
+		return nil, corrupt("malformed root slot")
+	}
+	// Depth-validate occupied slots: parents in bounds and consistent with
+	// their base, fail links pointing strictly shallower. depth doubles as
+	// the cycle detector (unresolvable parent chains never terminate in a
+	// well-formed trie and are bounded here by numSlots).
+	const depthUnknown = ^uint32(0)
+	depth := make([]uint32, numSlots)
+	for i := range depth {
+		depth[i] = depthUnknown
+	}
+	depth[root] = 0
+	var chain []uint32
+	for s := uint32(0); s < numSlots; s++ {
+		if a.check[s] == acEmptySlot || depth[s] != depthUnknown {
+			continue
+		}
+		chain = chain[:0]
+		t := s
+		for depth[t] == depthUnknown {
+			p := a.check[t]
+			if p >= numSlots || a.check[p] == acEmptySlot {
+				return nil, corrupt("slot %d has invalid parent %d", t, p)
+			}
+			sym := int64(t) - int64(a.base[p])
+			if sym < 1 || sym >= acAlpha {
+				return nil, corrupt("slot %d inconsistent with parent %d base %d", t, p, a.base[p])
+			}
+			if uint32(len(chain)) > numSlots {
+				return nil, corrupt("parent cycle at slot %d", s)
+			}
+			chain = append(chain, t)
+			t = p
+		}
+		d := depth[t]
+		for i := len(chain) - 1; i >= 0; i-- {
+			d++
+			depth[chain[i]] = d
+		}
+	}
+	for s := uint32(0); s < numSlots; s++ {
+		if a.check[s] == acEmptySlot {
+			if a.outIdx[s+1] != a.outIdx[s] {
+				return nil, corrupt("empty slot %d carries outputs", s)
+			}
+			continue
+		}
+		if a.base[s] >= numSlots+acAlpha {
+			return nil, corrupt("slot %d base %d out of range", s, a.base[s])
+		}
+		f := a.fail[s]
+		if f >= numSlots || a.check[f] == acEmptySlot {
+			return nil, corrupt("slot %d fail %d invalid", s, f)
+		}
+		if s != root && depth[f] >= depth[s] {
+			return nil, corrupt("slot %d fail %d does not decrease depth", s, f)
+		}
+		if a.outIdx[s+1] < a.outIdx[s] {
+			return nil, corrupt("output index not monotone at slot %d", s)
+		}
+	}
+	if a.outIdx[numSlots] != numOut {
+		return nil, corrupt("output index frames %d entries, header says %d", a.outIdx[numSlots], numOut)
+	}
+	for _, o := range a.outputs {
+		if o >= numRules {
+			return nil, corrupt("output ordinal %d out of range (%d rules)", o, numRules)
+		}
+	}
+	for i, g := range a.generic {
+		if g >= numRules {
+			return nil, corrupt("generic ordinal %d out of range (%d rules)", g, numRules)
+		}
+		if i > 0 && a.generic[i-1] >= g {
+			return nil, corrupt("generic ordinals not ascending at %d", i)
+		}
+	}
+	return a, nil
+}
+
+// collect scans the request URL once and fills the context's candidate
+// scratch with the ordinals of every rule whose keyword occurs in the URL
+// plus the generic (keyword-less) rules, sorted ascending and deduplicated
+// — i.e. insertion order, which is what makes candidate verification
+// reproduce the linear scan exactly. It reports ok=false for URLs with
+// non-ASCII bytes: Unicode case folding can materialize ASCII letters the
+// raw-byte scan cannot see (e.g. the Kelvin sign lowers to 'k'), so those
+// rare URLs take the token-index path, which matches on the lower-cased
+// copy. The common path allocates nothing: the scratch is part of the
+// stack-allocated matchCtx and only overflows into a heap spill beyond
+// matchScratchCap candidates.
+func (a *automaton) collect(c *matchCtx) (cands []uint32, ok bool) {
+	c.ncand = 0
+	c.spill = c.spill[:0]
+	s := c.q.URL
+	st := a.root
+	base, check, fail := a.base, a.check, a.fail
+	outIdx := a.outIdx
+	numSlots := uint32(len(check))
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 {
+			return nil, false
+		}
+		cls := uint32(acClass[b])
+		if cls == 0 {
+			st = a.root
+			continue
+		}
+		for {
+			t := base[st] + cls
+			if t < numSlots && check[t] == st {
+				st = t
+				break
+			}
+			if st == a.root {
+				break
+			}
+			st = fail[st]
+		}
+		if lo, hi := outIdx[st], outIdx[st+1]; hi > lo {
+			for _, ord := range a.outputs[lo:hi] {
+				c.pushCand(ord)
+			}
+		}
+	}
+	for _, g := range a.generic {
+		c.pushCand(g)
+	}
+	return c.sortedCands(), true
+}

@@ -1,0 +1,259 @@
+package abp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"adwars/internal/artifact"
+)
+
+func isCorrupt(err error) bool { return errors.Is(err, artifact.ErrCorrupt) }
+
+func TestAutomatonKeyword(t *testing.T) {
+	cases := map[string]string{
+		"||pagefair.com^$third-party": "pagefair",
+		"/ads.js?":                    "ads",
+		"||a^":                        "",
+		"*^*":                         "",
+		// Keyword() rejects both runs here (the star can extend "abdetect007"
+		// and "js" ends an unanchored pattern); AutomatonKeyword needs no
+		// boundaries — any URL this rule matches contains "abdetect007".
+		"/abdetect007*.js$script":    "abdetect007",
+		"|http://x.com/detect.js|":   "detect",
+		"||cdn.example^adsbygoogle^": "adsbygoogle",
+		"/AdFrame/ADS.JS":            "adframe",
+		"/ab^":                       "",
+		"smashboards.com###notice":   "", // element hiding: never indexed
+	}
+	for line, want := range cases {
+		r, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		if got := r.AutomatonKeyword(); got != want {
+			t.Errorf("AutomatonKeyword(%q) = %q, want %q", line, got, want)
+		}
+	}
+}
+
+// TestAutomatonKeywordIsSubstringOfMatches pins the soundness property the
+// probe stage rests on: whenever a rule matches a URL, the rule's automaton
+// keyword occurs in the lower-cased URL as a plain substring.
+func TestAutomatonKeywordIsSubstringOfMatches(t *testing.T) {
+	rules := benchRules(2000)
+	for _, u := range benchURLs {
+		q := Request{URL: u, Type: TypeScript, PageDomain: "page.com"}
+		low := strings.ToLower(u)
+		for _, r := range rules {
+			if !r.IsHTTP() || !r.MatchRequest(q) {
+				continue
+			}
+			if kw := r.AutomatonKeyword(); kw != "" && !strings.Contains(low, kw) {
+				t.Errorf("rule %q matches %q but keyword %q is not a substring", r.Raw, u, kw)
+			}
+		}
+	}
+}
+
+// TestAutomatonRoundTrip proves the serialized region is self-contained:
+// reattaching a list's own bytes (NewListCompiled) reproduces the exact
+// decisions and serializes back to identical bytes.
+func TestAutomatonRoundTrip(t *testing.T) {
+	rules := benchRules(1000)
+	orig := NewList("rt", rules)
+	blob := orig.AutomatonBytes()
+	re, err := NewListCompiled("rt", rules, blob)
+	if err != nil {
+		t.Fatalf("NewListCompiled: %v", err)
+	}
+	if got := re.AutomatonBytes(); string(got) != string(blob) {
+		t.Fatal("reattached automaton serializes to different bytes")
+	}
+	// Determinism: compiling the same rules again yields identical bytes.
+	if again := NewList("rt", rules).AutomatonBytes(); string(again) != string(blob) {
+		t.Fatal("recompiling the same rules produced different bytes")
+	}
+	for _, u := range benchURLs {
+		q := Request{URL: u, Type: TypeScript, PageDomain: "page.com"}
+		d1, r1 := orig.MatchRequest(q)
+		d2, r2 := re.MatchRequest(q)
+		if d1 != d2 || (r1 == nil) != (r2 == nil) || (r1 != nil && r1.Raw != r2.Raw) {
+			t.Fatalf("%q: original (%v) != reattached (%v)", u, d1, d2)
+		}
+	}
+}
+
+// TestAutomatonRejectsCorruption is the openAutomaton corruption matrix:
+// every structural damage class the validator guards is refused with an
+// ErrCorrupt-wrapping error rather than accepted or panicking.
+func TestAutomatonRejectsCorruption(t *testing.T) {
+	rules := benchRules(500)
+	list := NewList("c", rules)
+	good := list.AutomatonBytes()
+	crc := rulesChecksum(list.Rules())
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = f(b)
+		if _, err := openAutomaton(b, list.Len(), crc); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		} else if !isCorrupt(err) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+	mutate("truncated-header", func(b []byte) []byte { return b[:acHeaderSize-1] })
+	mutate("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("bad-version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("truncated-body", func(b []byte) []byte { return b[:len(b)-4] })
+	mutate("inflated-slots", func(b []byte) []byte { b[8]++; return b })
+	mutate("nonzero-root", func(b []byte) []byte { b[12] = 1; return b })
+	mutate("stale-rules-crc", func(b []byte) []byte { b[32] ^= 0xFF; return b })
+	mutate("ordinal-overflow", func(b []byte) []byte {
+		// The last u32 is a generic or output ordinal; push it past numRules.
+		for i := 0; i < 4; i++ {
+			b[len(b)-4+i] = 0xFF
+		}
+		return b
+	})
+
+	// Wrong rule count / rule content at the call site.
+	if _, err := openAutomaton(append([]byte(nil), good...), list.Len()-1, crc); err == nil {
+		t.Error("rule-count mismatch accepted")
+	}
+	if _, err := openAutomaton(append([]byte(nil), good...), list.Len(), crc^1); err == nil {
+		t.Error("rule-CRC mismatch accepted")
+	}
+	// The pristine blob must still open.
+	if _, err := openAutomaton(append([]byte(nil), good...), list.Len(), crc); err != nil {
+		t.Fatalf("pristine blob refused: %v", err)
+	}
+}
+
+// TestAutomatonNonASCIIFallback: URLs with non-ASCII bytes must take the
+// token-index path (byte-wise case folding is unsound for them — the Kelvin
+// sign lowers to ASCII 'k') and still agree with the linear reference.
+func TestAutomatonNonASCIIFallback(t *testing.T) {
+	l := buildList(t, "nonascii",
+		"/kelvin-probe.js",
+		"||example.com^",
+		"@@||example.com/ok",
+	)
+	urls := []string{
+		"http://example.com/Kelvin-probe.js", // Kelvin sign folds to 'k'
+		"http://example.com/ok/über.js",
+		"http://example.com/café.png",
+	}
+	for _, u := range urls {
+		q := Request{URL: u, Type: TypeScript, PageDomain: "page.com"}
+		gd, gr := l.MatchRequest(q)
+		ld, lr := l.MatchRequestLinear(q)
+		if gd != ld || gr != lr {
+			t.Errorf("%q: MatchRequest (%v) != linear (%v)", u, gd, ld)
+		}
+		got := l.MatchingHTTPRules(q)
+		want := l.MatchingHTTPRulesLinear(q)
+		if len(got) != len(want) {
+			t.Errorf("%q: all-matches %d != linear %d", u, len(got), len(want))
+		}
+	}
+}
+
+// TestNoMatchZeroAllocs is the hot-path allocation gate: a miss through the
+// automaton must not allocate at all. Skipped under the race detector,
+// whose instrumentation allocates.
+func TestNoMatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	list := NewList("gate", benchRules(2000))
+	q := Request{URL: "http://cdn.unrelated.net/static/app.js", Type: TypeScript, PageDomain: "page.com"}
+	allocs := testing.AllocsPerRun(200, func() {
+		if d, _ := list.MatchRequest(q); d != NoMatch {
+			t.Fatal("URL must not match")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("no-match MatchRequest allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestMatchZeroAllocs extends the gate to matching lookups: candidate
+// verification through stack scratch must stay allocation-free too.
+func TestMatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	list := NewList("gate", benchRules(2000))
+	qs := make([]Request, len(benchURLs))
+	for i, u := range benchURLs {
+		qs[i] = Request{URL: u, Type: TypeScript, PageDomain: "page.com"}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		list.MatchRequest(qs[i%len(qs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchRequest allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAppendMatchingHTTPRulesZeroAllocs gates the serving data plane's
+// all-matches path: with a caller-provided buffer it must not allocate.
+func TestAppendMatchingHTTPRulesZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	list := NewList("gate", benchRules(2000))
+	qs := make([]Request, len(benchURLs))
+	for i, u := range benchURLs {
+		qs[i] = Request{URL: u, Type: TypeScript, PageDomain: "page.com"}
+	}
+	buf := make([]*Rule, 0, 16)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = list.AppendMatchingHTTPRules(buf[:0], qs[i%len(qs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMatchingHTTPRules allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAutomatonSpeedupFloor asserts the automaton actually beats the token
+// index it replaced — a regression here means the probe stage rotted.
+func TestAutomatonSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing is unrepresentative under -race")
+	}
+	list := NewList("gate", benchRules(2000))
+	list.tokenIndexes()
+	q := func(i int) Request {
+		return Request{URL: benchURLs[i%len(benchURLs)], Type: TypeScript, PageDomain: "page.com"}
+	}
+	auto := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			list.MatchRequest(q(i))
+		}
+	})
+	tok := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			list.MatchRequestTokenIndex(q(i))
+		}
+	})
+	an, tn := auto.NsPerOp(), tok.NsPerOp()
+	// The measured gap on dev hardware is ~95×; 1.5× leaves room for noisy
+	// CI while still catching an automaton that silently degrades to the
+	// fallback path.
+	if an <= 0 || float64(tn) < 1.5*float64(an) {
+		t.Fatalf("automaton %d ns/op vs token index %d ns/op: speedup %.2fx below 1.5x floor",
+			an, tn, float64(tn)/float64(an))
+	}
+	if p50 := matchP50ns(list); p50 >= 1000 {
+		t.Fatalf("p50 MatchRequest = %.0f ns, want < 1µs", p50)
+	}
+}

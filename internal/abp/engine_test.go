@@ -79,8 +79,11 @@ func TestExceptionBeatsBlockThroughIndex(t *testing.T) {
 
 // TestIndexedMatchesEqualLinearOverBenchRules is the package-local
 // differential test: over a large generated rule set and a URL population
-// hitting every bucket shape, the indexed all-matches path must return the
-// exact slice the linear scan returns — same rules, same order.
+// hitting every bucket shape, all three probe stages — the compiled
+// automaton (production), the token-hash keyword index (fallback), and the
+// index-free linear scan (reference) — must return the exact same answers:
+// same decision, same winning rule, same all-matches slice in the same
+// order.
 func TestIndexedMatchesEqualLinearOverBenchRules(t *testing.T) {
 	l := NewList("diff", benchRules(1500))
 	var urls []string
@@ -111,11 +114,27 @@ func TestIndexedMatchesEqualLinearOverBenchRules(t *testing.T) {
 							u, p, typ, i, got[i].Raw, want[i].Raw)
 					}
 				}
+				tok := l.MatchingHTTPRulesTokenIndex(q)
+				if len(tok) != len(want) {
+					t.Fatalf("%q on %q (%s): token index %d rules, linear %d",
+						u, p, typ, len(tok), len(want))
+				}
+				for i := range tok {
+					if tok[i] != want[i] {
+						t.Fatalf("%q on %q (%s): token-index rule %d differs: %q vs %q",
+							u, p, typ, i, tok[i].Raw, want[i].Raw)
+					}
+				}
 				gd, gr := l.MatchRequest(q)
+				td, tr := l.MatchRequestTokenIndex(q)
 				ld, lr := l.MatchRequestLinear(q)
 				if gd != ld || gr != lr {
-					t.Fatalf("%q on %q (%s): MatchRequest indexed (%v) != linear (%v)",
+					t.Fatalf("%q on %q (%s): MatchRequest automaton (%v) != linear (%v)",
 						u, p, typ, gd, ld)
+				}
+				if td != ld || tr != lr {
+					t.Fatalf("%q on %q (%s): MatchRequest token index (%v) != linear (%v)",
+						u, p, typ, td, ld)
 				}
 			}
 		}

@@ -1,0 +1,89 @@
+package abp
+
+import "testing"
+
+// FuzzMatchDifferential throws arbitrary (rule line, URL, page domain)
+// triples at the three probe stages and fails on any divergence: the
+// compiled automaton, the token-hash keyword index, and the index-free
+// linear scan must return the same decision, the same winning rule, and the
+// same all-matches slice. The fuzzed rule is compiled into a list alongside
+// a fixed rule mix so candidate ordering, exception precedence, and the
+// generic bucket are all exercised; the list's serialized automaton is also
+// reattached via NewListCompiled to prove the round trip changes nothing.
+func FuzzMatchDifferential(f *testing.F) {
+	f.Add("||pagefair.com^$third-party", "http://pagefair.com/score.js", "news.com")
+	f.Add("/ads.js?", "http://numerama.com/ads.js?v=2", "numerama.com")
+	f.Add("@@||numerama.com/ads.js", "http://numerama.com/ads.js?v=2", "numerama.com")
+	f.Add("/detect*.js$script", "http://cdn.net/detect-v2.js", "site.com")
+	f.Add("||example.com^", "http://user:pw@example.com/x", "page.com")
+	f.Add("|http://x.com/a.js|", "http://x.com/a.js", "x.com")
+	f.Add("/a*a*a*b", "http://x.com/aaaaaaac", "x.com")
+	f.Add("/KKlvin", "http://x.com/KKlvin.js", "x.com") // Kelvin sign: non-ASCII fold
+	f.Add("*^*", "http://x.com/", "x.com")
+
+	fixed := []string{
+		"||vendor.com^$third-party",
+		"/ads.js?",
+		"@@||benign.com/ads.js",
+		"/detect007*.js$script",
+		"||cdn.example^adsbygoogle^",
+	}
+
+	f.Fuzz(func(t *testing.T, line, url, page string) {
+		lines := append(append([]string(nil), fixed...), line)
+		var rules []*Rule
+		for _, ln := range lines {
+			if r, err := Parse(ln); err == nil {
+				rules = append(rules, r)
+			}
+		}
+		list := NewList("fuzz", rules)
+		re, err := NewListCompiled("fuzz", rules, list.AutomatonBytes())
+		if err != nil {
+			t.Fatalf("round-trip rejected own bytes: %v", err)
+		}
+
+		q := Request{URL: url, Type: TypeScript, PageDomain: page}
+		ld, lr := list.MatchRequestLinear(q)
+		check := func(name string, d Decision, r *Rule) {
+			if d != ld || r != lr {
+				t.Fatalf("%s: rule %q url %q page %q: (%v, %v) != linear (%v, %v)",
+					name, line, url, page, d, raw(r), ld, raw(lr))
+			}
+		}
+		ad, ar := list.MatchRequest(q)
+		check("automaton", ad, ar)
+		td, tr := list.MatchRequestTokenIndex(q)
+		check("token-index", td, tr)
+		rd, rr := re.MatchRequest(q)
+		check("reattached", rd, rr)
+
+		want := list.MatchingHTTPRulesLinear(q)
+		for _, probe := range []struct {
+			name string
+			got  []*Rule
+		}{
+			{"automaton", list.MatchingHTTPRules(q)},
+			{"token-index", list.MatchingHTTPRulesTokenIndex(q)},
+			{"reattached", re.MatchingHTTPRules(q)},
+		} {
+			if len(probe.got) != len(want) {
+				t.Fatalf("%s all-matches: rule %q url %q: %d rules != linear %d",
+					probe.name, line, url, len(probe.got), len(want))
+			}
+			for i := range probe.got {
+				if probe.got[i] != want[i] {
+					t.Fatalf("%s all-matches: rule %q url %q: rule %d %q != %q",
+						probe.name, line, url, i, probe.got[i].Raw, want[i].Raw)
+				}
+			}
+		}
+	})
+}
+
+func raw(r *Rule) string {
+	if r == nil {
+		return "<nil>"
+	}
+	return r.Raw
+}

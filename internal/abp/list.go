@@ -2,6 +2,7 @@ package abp
 
 import (
 	"sort"
+	"sync"
 )
 
 // Decision is the outcome of matching a request against a List.
@@ -28,18 +29,30 @@ func (d Decision) String() string {
 	}
 }
 
-// List is a compiled filter list: rules split by kind, with a keyword index
-// over HTTP rules and a selector-id index over element hiding rules so that
-// matching inspects only a few candidates. Build lists with NewList; every
-// rule matcher is precompiled there, so a List is safe for concurrent
-// readers — nothing is written after NewList returns.
+// List is a compiled filter list: rules split by kind, with an Aho–Corasick
+// automaton over HTTP-rule keywords as the probe stage (the token-hash
+// keyword index is kept as a differential baseline and as the fallback for
+// the rare non-ASCII URL), and a selector-id index over element hiding
+// rules so that matching inspects only a few candidates. Build lists with
+// NewList (compiles the automaton) or NewListCompiled (attaches a
+// serialized one); every rule matcher is precompiled there, so a List is
+// safe for concurrent readers — nothing is written after construction.
 type List struct {
 	// Name identifies the list (e.g. "Anti-Adblock Killer").
 	Name string
 
-	rules      []*Rule
-	blockIdx   *keywordIndex
-	exceptIdx  *keywordIndex
+	rules    []*Rule
+	auto     *automaton
+	rulesCRC uint64
+
+	// The token-hash indexes are built lazily (tokenIndexes): the
+	// automaton serves every ASCII URL, so most processes never touch
+	// them, and skipping their construction is what keeps a compiled
+	// snapshot's load cost at attach-and-validate.
+	tokenOnce sync.Once
+	blockIdx  *keywordIndex
+	exceptIdx *keywordIndex
+
 	elemHide   []*Rule
 	elemExcept []*Rule
 
@@ -55,11 +68,29 @@ type List struct {
 // (idempotent for rules built by Parse), which is what makes the returned
 // List read-only and therefore safe for concurrent matchers.
 func NewList(name string, rules []*Rule) *List {
-	l := &List{
-		Name:      name,
-		blockIdx:  newKeywordIndex(),
-		exceptIdx: newKeywordIndex(),
+	l, err := newList(name, rules, nil)
+	if err != nil {
+		// Unreachable: with no serialized region there is nothing to
+		// validate, and a freshly built automaton panics internally rather
+		// than returning an error.
+		panic(err)
 	}
+	return l
+}
+
+// NewListCompiled is NewList for a snapshot load path that carries a
+// serialized automaton region: instead of rebuilding the probe automaton
+// from the rules (O(rules·keyword)), the region is validated and attached
+// (O(states) bounds checks over memory that may be an mmap view). The
+// region must have been compiled from exactly these rules — a checksum
+// mismatch or any structural damage is refused with an error wrapping
+// artifact.ErrCorrupt.
+func NewListCompiled(name string, rules []*Rule, auto []byte) (*List, error) {
+	return newList(name, rules, auto)
+}
+
+func newList(name string, rules []*Rule, auto []byte) (*List, error) {
+	l := &List{Name: name}
 	for _, r := range rules {
 		switch r.Kind {
 		case KindHTTPBlock, KindHTTPException, KindElemHide, KindElemHideException:
@@ -67,13 +98,9 @@ func NewList(name string, rules []*Rule) *List {
 			continue
 		}
 		r.Precompile()
-		ord := len(l.rules)
 		l.rules = append(l.rules, r)
 		switch r.Kind {
-		case KindHTTPBlock:
-			l.blockIdx.add(r, ord)
 		case KindHTTPException:
-			l.exceptIdx.add(r, ord)
 			if r.DisableElemHide || r.DisableGenericHide {
 				l.hideToggles = append(l.hideToggles, r)
 			}
@@ -84,8 +111,42 @@ func NewList(name string, rules []*Rule) *List {
 			l.elemExcept = append(l.elemExcept, r)
 		}
 	}
-	return l
+	l.rulesCRC = rulesChecksum(l.rules)
+	if auto == nil {
+		l.auto = buildAutomaton(l.rules, l.rulesCRC)
+	} else {
+		a, err := openAutomaton(auto, len(l.rules), l.rulesCRC)
+		if err != nil {
+			return nil, err
+		}
+		l.auto = a
+	}
+	return l, nil
 }
+
+// tokenIndexes returns the token-hash keyword indexes, building them on
+// first use. The sync.Once keeps the List safe for concurrent matchers:
+// the build races nothing, and every reader observes fully built indexes.
+func (l *List) tokenIndexes() (block, except *keywordIndex) {
+	l.tokenOnce.Do(func() {
+		b, e := newKeywordIndex(), newKeywordIndex()
+		for ord, r := range l.rules {
+			switch r.Kind {
+			case KindHTTPBlock:
+				b.add(r, ord)
+			case KindHTTPException:
+				e.add(r, ord)
+			}
+		}
+		l.blockIdx, l.exceptIdx = b, e
+	})
+	return l.blockIdx, l.exceptIdx
+}
+
+// AutomatonBytes returns the list's compiled automaton as its contiguous
+// serialized region — the exact bytes NewListCompiled accepts. The slice
+// aliases the list's automaton and must not be modified.
+func (l *List) AutomatonBytes() []byte { return l.auto.Bytes() }
 
 // ParseAndBuild parses a filter list body and compiles it in one step,
 // returning the list together with any per-line parse errors.
@@ -103,16 +164,71 @@ func (l *List) Rules() []*Rule { return l.rules }
 
 // MatchRequest evaluates the request against the list. Exception rules
 // override blocking rules, mirroring adblocker semantics. The rule that
-// determined the decision is returned (nil for NoMatch).
+// determined the decision is returned (nil for NoMatch): the first
+// matching exception in insertion order, else the first matching block in
+// insertion order — the same rule MatchRequestLinear returns.
+//
+// The probe stage is the compiled automaton: one case-folded scan of the
+// raw URL yields every candidate rule ordinal into stack scratch, so the
+// common no-match lookup performs zero heap allocations. Non-ASCII URLs
+// (where byte-wise case folding is unsound) take the token-index path
+// instead, which matches on a properly lowered copy.
 func (l *List) MatchRequest(q Request) (Decision, *Rule) {
 	c := newMatchCtx(q)
-	if r := l.exceptIdx.match(&c); r != nil {
+	cands, ok := l.auto.collect(&c)
+	if !ok {
+		return l.matchTokenIndexCtx(&c)
+	}
+	for _, ord := range cands {
+		if r := l.rules[ord]; r.Kind == KindHTTPException && r.matchCtx(&c) {
+			return Allowed, r
+		}
+	}
+	for _, ord := range cands {
+		if r := l.rules[ord]; r.Kind == KindHTTPBlock && r.matchCtx(&c) {
+			return Blocked, r
+		}
+	}
+	return NoMatch, nil
+}
+
+// MatchRequestTokenIndex is MatchRequest served by the token-hash keyword
+// index instead of the automaton. It is kept as a differential baseline
+// for the automaton (see FuzzMatchDifferential) and as the fallback
+// MatchRequest takes for non-ASCII URLs; production callers use
+// MatchRequest.
+func (l *List) MatchRequestTokenIndex(q Request) (Decision, *Rule) {
+	c := newMatchCtx(q)
+	return l.matchTokenIndexCtx(&c)
+}
+
+func (l *List) matchTokenIndexCtx(c *matchCtx) (Decision, *Rule) {
+	// Buckets are probed in token-scan order, so the lowest ordinal among
+	// the matches is taken explicitly — that is the rule the linear scan
+	// returns, which keeps this path interchangeable with the automaton in
+	// the differential tests.
+	blockIdx, exceptIdx := l.tokenIndexes()
+	var scratch [matchScratchCap]indexedRule
+	if r := firstByOrdinal(exceptIdx.appendMatches(c, scratch[:0])); r != nil {
 		return Allowed, r
 	}
-	if r := l.blockIdx.match(&c); r != nil {
+	if r := firstByOrdinal(blockIdx.appendMatches(c, scratch[:0])); r != nil {
 		return Blocked, r
 	}
 	return NoMatch, nil
+}
+
+// firstByOrdinal returns the matched rule with the lowest insertion
+// ordinal, or nil for an empty set.
+func firstByOrdinal(hits []indexedRule) *Rule {
+	var best *Rule
+	bestOrd := 0
+	for _, h := range hits {
+		if best == nil || h.ord < bestOrd {
+			best, bestOrd = h.r, h.ord
+		}
+	}
+	return best
 }
 
 // MatchRequestLinear is MatchRequest without the keyword index: every HTTP
@@ -136,25 +252,68 @@ func (l *List) MatchRequestLinear(q Request) (Decision, *Rule) {
 
 // MatchingHTTPRules returns every HTTP rule (blocking and exception) that
 // matches the request, in insertion order. The coverage measurement uses
-// this to record which rules triggered on a crawl. The lookup goes through
-// the keyword index in all-matches mode: each rule lives in exactly one
-// bucket, so collecting the matching buckets and sorting by insertion
-// ordinal reproduces the linear scan's output exactly (see
-// MatchingHTTPRulesLinear and the differential tests).
+// this to record which rules triggered on a crawl. It is
+// AppendMatchingHTTPRules with a fresh result slice; hot callers (the
+// serving data plane) pass their own reusable buffer instead.
 func (l *List) MatchingHTTPRules(q Request) []*Rule {
+	return l.AppendMatchingHTTPRules(nil, q)
+}
+
+// AppendMatchingHTTPRules appends every matching HTTP rule to dst in
+// insertion order and returns the extended slice. The automaton's
+// candidates arrive already sorted by insertion ordinal, so verified
+// matches append in linear-scan order directly — no sort, and with a
+// pre-sized dst no allocation at all. Non-ASCII URLs fall back to the
+// token index.
+func (l *List) AppendMatchingHTTPRules(dst []*Rule, q Request) []*Rule {
 	c := newMatchCtx(q)
-	var hits []indexedRule
-	hits = l.exceptIdx.appendMatches(&c, hits)
-	hits = l.blockIdx.appendMatches(&c, hits)
+	cands, ok := l.auto.collect(&c)
+	if !ok {
+		return l.appendMatchingTokenIndexCtx(&c, dst)
+	}
+	for _, ord := range cands {
+		if r := l.rules[ord]; r.matchCtx(&c) {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// MatchingHTTPRulesTokenIndex is MatchingHTTPRules served by the
+// token-hash keyword index: each rule lives in exactly one bucket, so
+// collecting the matching buckets and restoring insertion order by
+// ordinal reproduces the linear scan's output exactly. Kept as the
+// automaton's differential baseline and non-ASCII fallback.
+func (l *List) MatchingHTTPRulesTokenIndex(q Request) []*Rule {
+	c := newMatchCtx(q)
+	return l.appendMatchingTokenIndexCtx(&c, nil)
+}
+
+func (l *List) appendMatchingTokenIndexCtx(c *matchCtx, dst []*Rule) []*Rule {
+	blockIdx, exceptIdx := l.tokenIndexes()
+	var scratch [matchScratchCap]indexedRule
+	hits := scratch[:0]
+	hits = exceptIdx.appendMatches(c, hits)
+	hits = blockIdx.appendMatches(c, hits)
 	if len(hits) == 0 {
-		return nil
+		return dst
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].ord < hits[j].ord })
-	out := make([]*Rule, len(hits))
-	for i, h := range hits {
-		out[i] = h.r
+	// Matching sets are tiny (a handful of rules): a small-N insertion
+	// sort over the stack scratch restores insertion order without the
+	// closure and interface allocations sort.Slice would cost per call.
+	for i := 1; i < len(hits); i++ {
+		h := hits[i]
+		j := i - 1
+		for j >= 0 && hits[j].ord > h.ord {
+			hits[j+1] = hits[j]
+			j--
+		}
+		hits[j+1] = h
 	}
-	return out
+	for _, h := range hits {
+		dst = append(dst, h.r)
+	}
+	return dst
 }
 
 // MatchingHTTPRulesLinear is the index-free reference implementation of
@@ -415,41 +574,6 @@ func (idx *keywordIndex) add(r *Rule, ord int) {
 	idx.byKeyword[kw] = append(idx.byKeyword[kw], indexedRule{r, ord})
 }
 
-// match returns the first matching rule in token-scan order (which rule
-// wins is irrelevant to the Decision; any match settles it). The URL's
-// token runs are walked inline rather than materialized: a duplicate token
-// merely re-probes a bucket whose rules already failed, so no
-// deduplication (and no allocation) is needed on this path.
-func (idx *keywordIndex) match(c *matchCtx) *Rule {
-	if len(idx.byKeyword) > 0 {
-		s := c.lowered
-		for i := 0; i < len(s); {
-			if !keywordChar(s[i]) {
-				i++
-				continue
-			}
-			j := i + 1
-			for j < len(s) && keywordChar(s[j]) {
-				j++
-			}
-			if j-i >= 3 {
-				for _, ir := range idx.byKeyword[s[i:j]] {
-					if ir.r.matchCtx(c) {
-						return ir.r
-					}
-				}
-			}
-			i = j
-		}
-	}
-	for _, ir := range idx.generic {
-		if ir.r.matchCtx(c) {
-			return ir.r
-		}
-	}
-	return nil
-}
-
 // appendMatches collects every matching rule into out (all-matches mode).
 // Buckets are disjoint, but a token that occurs twice in the URL probes its
 // bucket twice, so matches are deduplicated by ordinal against this call's
@@ -458,7 +582,7 @@ func (idx *keywordIndex) match(c *matchCtx) *Rule {
 func (idx *keywordIndex) appendMatches(c *matchCtx, out []indexedRule) []indexedRule {
 	base := len(out)
 	if len(idx.byKeyword) > 0 {
-		s := c.lowered
+		s := c.low()
 		for i := 0; i < len(s); {
 			if !keywordChar(s[i]) {
 				i++

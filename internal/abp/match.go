@@ -1,6 +1,9 @@
 package abp
 
-import "strings"
+import (
+	"strings"
+	"unsafe"
+)
 
 // Request describes a single HTTP request as seen by the adblocker: the
 // request URL, the resource type, and the domain of the page that issued it.
@@ -66,26 +69,150 @@ func domainWithin(host, domain string) bool {
 	return host == domain || strings.HasSuffix(host, "."+domain)
 }
 
+// matchScratchCap sizes the matchCtx candidate scratch. Automaton probe
+// stages rarely yield more than a handful of candidate rules per URL;
+// anything beyond the scratch spills to a heap slice, trading one
+// allocation for correctness on pathological inputs.
+const matchScratchCap = 48
+
 // matchCtx caches the per-request derived values — the lower-cased URL, the
 // request host, the third-party verdict — that every candidate rule of a
-// List lookup would otherwise recompute. It is built once per request and
-// threaded through the keyword index; it never escapes a single call.
+// List lookup would otherwise recompute, plus the candidate-ordinal scratch
+// the automaton probe stage writes into. It is built once per request on
+// the caller's stack and never escapes a single call, which is what makes
+// the no-match hot path allocation-free: the URL is lowered lazily (and
+// in-place into lowBuf when it is ASCII), candidates live in the inline
+// array, and nothing here reaches the heap unless an exotic input forces
+// the spill or a non-ASCII lowering.
 type matchCtx struct {
-	q       Request
-	lowered string // strings.ToLower(q.URL)
+	q Request
+
+	lowered  string // valid when lowState == lowIsString
+	lowState uint8
+	lowN     int // valid when lowState == lowIsBuf
 
 	host     string
 	hasHost  bool
 	third    bool
 	hasThird bool
+
+	ncand int
+	spill []uint32
+	cand  [matchScratchCap]uint32
+
+	lowBuf [192]byte
 }
 
-// newMatchCtx normalizes the request and pre-lowers its URL.
+// low() states. The buffer-backed form is recorded as (lowIsBuf, lowN)
+// rather than as a stored string: a string header pointing into lowBuf
+// written back into the context would be a self-referential store, which
+// escape analysis must treat as a heap store — it alone would move every
+// context to the heap and cost the hot path its zero-alloc property. The
+// view is rematerialized on each call instead (two instructions).
+const (
+	lowUnset uint8 = iota
+	lowIsString
+	lowIsBuf
+)
+
+// newMatchCtx normalizes the request. Lowering is deferred to the first
+// rule that needs a case-insensitive view (see low): the automaton scans
+// the raw URL through its case-folding byte classes, so a no-match lookup
+// often never lowers at all.
 func newMatchCtx(q Request) matchCtx {
 	if q.Type == "" {
 		q.Type = TypeOther
 	}
-	return matchCtx{q: q, lowered: strings.ToLower(q.URL)}
+	return matchCtx{q: q}
+}
+
+// low returns strings.ToLower(q.URL), computed at most once per context.
+// ASCII URLs never allocate: an already-lower URL is returned as is, and
+// one with upper-case letters is folded into the context's own buffer
+// (falling back to an allocated copy only when it outgrows the buffer).
+// The unsafe.String view is sound because it aliases the context, which
+// outlives every use of the string — nothing retains it past the call.
+func (c *matchCtx) low() string {
+	switch c.lowState {
+	case lowIsString:
+		return c.lowered
+	case lowIsBuf:
+		return unsafe.String(&c.lowBuf[0], c.lowN)
+	}
+	s := c.q.URL
+	hasUpper := false
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x80 {
+			ascii = false
+			break
+		}
+		if 'A' <= b && b <= 'Z' {
+			hasUpper = true
+		}
+	}
+	switch {
+	case !ascii:
+		c.lowered = strings.ToLower(s)
+	case !hasUpper:
+		c.lowered = s
+	case len(s) <= len(c.lowBuf):
+		for i := 0; i < len(s); i++ {
+			b := s[i]
+			if 'A' <= b && b <= 'Z' {
+				b += 'a' - 'A'
+			}
+			c.lowBuf[i] = b
+		}
+		c.lowState = lowIsBuf
+		c.lowN = len(s)
+		return unsafe.String(&c.lowBuf[0], len(s))
+	default:
+		c.lowered = strings.ToLower(s)
+	}
+	c.lowState = lowIsString
+	return c.lowered
+}
+
+// pushCand records a candidate rule ordinal from the automaton scan,
+// spilling past the inline scratch only on pathological inputs.
+func (c *matchCtx) pushCand(ord uint32) {
+	if c.ncand < matchScratchCap {
+		c.cand[c.ncand] = ord
+		c.ncand++
+		return
+	}
+	c.spill = append(c.spill, ord)
+}
+
+// sortedCands returns the pushed candidates sorted ascending and
+// deduplicated, i.e. in list insertion order — the order that makes
+// candidate verification reproduce the linear reference scan. Candidate
+// sets are small, so an in-place insertion sort beats sort.Slice and,
+// unlike it, allocates nothing.
+func (c *matchCtx) sortedCands() []uint32 {
+	v := c.cand[:c.ncand]
+	if len(c.spill) > 0 {
+		c.spill = append(c.spill, v...)
+		v = c.spill
+	}
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func (c *matchCtx) hostOf() string {
@@ -209,7 +336,7 @@ func (r *Rule) matchURLCtx(c *matchCtx) bool {
 	m := r.matcherRef()
 	u := c.q.URL
 	if !m.matchCase {
-		u = c.lowered
+		u = c.low()
 	}
 	switch {
 	case r.DomainAnchor:
@@ -235,6 +362,15 @@ func matchDomainAnchored(pat, u string, endAnchor bool) bool {
 	hostEnd := len(u)
 	if i := strings.IndexAny(u[hostStart:], "/?#"); i >= 0 {
 		hostEnd = hostStart + i
+	}
+	// RFC 3986 userinfo: "||" anchors to the host, which begins after the
+	// last '@' of the authority. The cut is bounded to [hostStart, hostEnd)
+	// so an '@' in the path, query, or fragment can never shift the anchor
+	// (HostOf bounds its credential cut the same way). Without the cut,
+	// "||host.com" both misses "http://user@host.com/" and false-matches
+	// "http://host.com@evil.com/".
+	if i := strings.LastIndexByte(u[hostStart:hostEnd], '@'); i >= 0 {
+		hostStart += i + 1
 	}
 	if globMatch(pat, u[hostStart:], endAnchor, false) {
 		return true

@@ -28,6 +28,17 @@ func TestHostOf(t *testing.T) {
 		"//[fe80::1]/asset.js":              "fe80::1",
 		"http://[broken":                    "",
 		"http://user:pw@example.com:8080/p": "example.com",
+		// '@' outside the authority: the credential cut is bounded to
+		// before the first '/', '?', or '#', so an '@' in the path, query,
+		// or fragment must never shift the host.
+		"http://host.com/pa@th":            "host.com",
+		"http://host.com/p?a@b":            "host.com",
+		"http://host.com#f@g":              "host.com",
+		"http://host.com/pa@th?a@b#c@d":    "host.com",
+		"http://host.com?redir=x@y.com":    "host.com",
+		"http://u@host.com/p@q":            "host.com",
+		"http://a@b@host.com/":             "host.com",
+		"//user:pw@cdn.example.com/lib.js": "cdn.example.com",
 	}
 	for in, want := range cases {
 		if got := HostOf(in); got != want {
@@ -49,6 +60,36 @@ func TestDomainAnchorMatching(t *testing.T) {
 	}
 	if r.MatchRequest(req("http://evil.com/example1.com/x", "pub.com", TypeScript)) {
 		t.Error("must not match path occurrence")
+	}
+}
+
+func TestDomainAnchorUserinfo(t *testing.T) {
+	// "||" anchors to the host, which begins after the authority's last
+	// '@'. Without bounding the credential cut to the authority, a rule
+	// both misses its real host behind userinfo and false-matches a URL
+	// whose userinfo impersonates the anchored domain.
+	r := mustParse(t, "||victim.com^")
+	if !r.MatchRequest(req("http://user@victim.com/x", "pub.com", TypeScript)) {
+		t.Error("'||' must match the real host behind userinfo")
+	}
+	if !r.MatchRequest(req("http://user:pw@victim.com:8080/x", "pub.com", TypeScript)) {
+		t.Error("'||' must match behind userinfo with password and port")
+	}
+	if !r.MatchRequest(req("http://u@sub.victim.com/x", "pub.com", TypeScript)) {
+		t.Error("'||' must match a subdomain behind userinfo")
+	}
+	if r.MatchRequest(req("http://victim.com@evil.com/x", "pub.com", TypeScript)) {
+		t.Error("'||' must not match userinfo impersonating the domain")
+	}
+	if r.MatchRequest(req("http://u@evil.com/victim.com/x", "pub.com", TypeScript)) {
+		t.Error("'||' must not match a path occurrence behind userinfo")
+	}
+	// An '@' after the authority is path data, not a credential cut.
+	if !r.MatchRequest(req("http://victim.com/pa@th?a@b", "pub.com", TypeScript)) {
+		t.Error("'||' must ignore '@' in path and query")
+	}
+	if r.MatchRequest(req("http://evil.com/x?to=victim.com@z", "pub.com", TypeScript)) {
+		t.Error("'||' must not anchor at an '@' inside the query")
 	}
 }
 

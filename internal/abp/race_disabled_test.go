@@ -1,0 +1,8 @@
+//go:build !race
+
+package abp
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// and latency gates are skipped under it because instrumentation changes
+// both.
+const raceEnabled = false

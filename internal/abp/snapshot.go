@@ -21,15 +21,33 @@ import (
 // integrity trailer (CRC64 + payload length): torn writes and bit rot are
 // rejected at load instead of silently changing match decisions.
 // Version-1 files predate the trailer and still load.
+//
+// Schema version 3 additionally carries each list's compiled match
+// automaton as a framed binary section (artifact.AppendSection) between
+// the JSON document and the trailer. A v3 loader attaches the serialized
+// automaton instead of rebuilding the probe index, so load cost is
+// dominated by rule parsing and bounds validation rather than index
+// construction — and OpenListsSnapshotMapped serves the automaton pages
+// straight from an mmap of the file, shared across replica processes.
+// Every automaton section embeds the CRC-64 of the exact rule lines it
+// was compiled from; a snapshot whose JSON was edited without recompiling
+// is refused as corrupt rather than matching against stale states.
 
 const (
 	// ListsSnapshotFormat is the format tag every lists snapshot carries.
 	ListsSnapshotFormat = "adwars-lists"
-	// ListsSnapshotVersion is the current snapshot schema version.
-	ListsSnapshotVersion = 2
+	// ListsSnapshotVersion is the newest snapshot schema version this
+	// build reads and the version WriteListsSnapshotCompiled writes.
+	ListsSnapshotVersion = 3
+	// listsSnapshotPlainVersion is the version WriteListsSnapshot writes:
+	// JSON only, no compiled sections.
+	listsSnapshotPlainVersion = 2
 	// listsSnapshotSealedVersion is the first schema version that requires
 	// an integrity trailer.
 	listsSnapshotSealedVersion = 2
+	// listsSnapshotCompiledVersion is the first schema version that may
+	// carry compiled automaton sections.
+	listsSnapshotCompiledVersion = 3
 )
 
 // ErrSnapshotFormat reports a file that is not a lists snapshot at all.
@@ -46,6 +64,9 @@ type ListsSnapshot struct {
 	Label string
 	// Lists are the compiled lists, ready for concurrent matching.
 	Lists []*List
+	// Compiled reports whether every list's automaton was attached from a
+	// serialized snapshot section rather than rebuilt at load time.
+	Compiled bool
 }
 
 // Rules returns the total rule count across all lists.
@@ -69,12 +90,43 @@ type listsSnapshotJSON struct {
 	Lists   []listJSON `json:"lists"`
 }
 
-// WriteListsSnapshot writes the snapshot to w in the current schema
-// version, sealed with an integrity trailer.
+// WriteListsSnapshot writes the snapshot to w as a plain (JSON-only,
+// version 2) document, sealed with an integrity trailer. Loaders rebuild
+// each list's automaton from the rules.
 func WriteListsSnapshot(w io.Writer, s *ListsSnapshot) error {
+	payload, err := marshalListsJSON(s, listsSnapshotPlainVersion)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(artifact.Seal(payload))
+	return err
+}
+
+// WriteListsSnapshotCompiled writes the snapshot to w as a version-3
+// document: the JSON rule lists followed by one framed binary section per
+// list ("automaton.<i>") holding that list's serialized match automaton,
+// all sealed under the integrity trailer. Loaders attach the sections
+// instead of recompiling, and OpenListsSnapshotMapped can serve them
+// straight from mapped file pages.
+func WriteListsSnapshotCompiled(w io.Writer, s *ListsSnapshot) error {
+	payload, err := marshalListsJSON(s, listsSnapshotCompiledVersion)
+	if err != nil {
+		return err
+	}
+	for i, l := range s.Lists {
+		payload = artifact.AppendSection(payload, automatonSectionName(i), l.AutomatonBytes())
+	}
+	_, err = w.Write(artifact.Seal(payload))
+	return err
+}
+
+// automatonSectionName names list i's automaton section in a v3 snapshot.
+func automatonSectionName(i int) string { return fmt.Sprintf("automaton.%d", i) }
+
+func marshalListsJSON(s *ListsSnapshot, version int) ([]byte, error) {
 	doc := listsSnapshotJSON{
 		Format:  ListsSnapshotFormat,
-		Version: ListsSnapshotVersion,
+		Version: version,
 		Label:   s.Label,
 	}
 	for _, l := range s.Lists {
@@ -86,11 +138,9 @@ func WriteListsSnapshot(w io.Writer, s *ListsSnapshot) error {
 	}
 	payload, err := json.Marshal(&doc)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	payload = append(payload, '\n')
-	_, err = w.Write(artifact.Seal(payload))
-	return err
+	return append(payload, '\n'), nil
 }
 
 // ReadListsSnapshot parses and recompiles a snapshot, rejecting foreign
@@ -104,12 +154,24 @@ func ReadListsSnapshot(r io.Reader) (*ListsSnapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("abp: reading lists snapshot: %w", err)
 	}
+	return parseListsSnapshot(data)
+}
+
+// parseListsSnapshot decodes a snapshot in place: the returned lists (and
+// their automata, for compiled snapshots) alias data, which therefore must
+// stay live and unmodified for the snapshot's lifetime — true both for
+// read-into-memory buffers and for mmap views.
+func parseListsSnapshot(data []byte) (*ListsSnapshot, error) {
 	payload, sealed, err := artifact.Open(data)
 	if err != nil {
 		return nil, fmt.Errorf("abp: lists snapshot: %w", err)
 	}
+	primary, sections, err := artifact.SplitSections(payload)
+	if err != nil {
+		return nil, fmt.Errorf("abp: lists snapshot: %w", err)
+	}
 	var doc listsSnapshotJSON
-	if err := json.Unmarshal(payload, &doc); err != nil {
+	if err := json.Unmarshal(primary, &doc); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
 	}
 	if doc.Format != ListsSnapshotFormat {
@@ -124,8 +186,18 @@ func ReadListsSnapshot(r io.Reader) (*ListsSnapshot, error) {
 			artifact.Corruptf("missing-trailer",
 				"version %d snapshot has no integrity trailer (truncated?)", doc.Version))
 	}
-	out := &ListsSnapshot{Label: doc.Label}
-	for _, lj := range doc.Lists {
+	if doc.Version < listsSnapshotCompiledVersion && len(sections) > 0 {
+		return nil, fmt.Errorf("abp: lists snapshot: %w",
+			artifact.Corruptf("section-malformed",
+				"version %d snapshot carries %d binary sections (schema allows none)",
+				doc.Version, len(sections)))
+	}
+	autoByName := make(map[string][]byte, len(sections))
+	for _, sec := range sections {
+		autoByName[sec.Name] = sec.Data
+	}
+	out := &ListsSnapshot{Label: doc.Label, Compiled: len(doc.Lists) > 0}
+	for i, lj := range doc.Lists {
 		rules := make([]*Rule, 0, len(lj.Rules))
 		for _, line := range lj.Rules {
 			rule, err := Parse(line)
@@ -134,7 +206,19 @@ func ReadListsSnapshot(r io.Reader) (*ListsSnapshot, error) {
 			}
 			rules = append(rules, rule)
 		}
-		out.Lists = append(out.Lists, NewList(lj.Name, rules))
+		if auto, ok := autoByName[automatonSectionName(i)]; ok {
+			l, err := NewListCompiled(lj.Name, rules, auto)
+			if err != nil {
+				return nil, fmt.Errorf("abp: snapshot list %q: %w", lj.Name, err)
+			}
+			out.Lists = append(out.Lists, l)
+		} else {
+			// A v3 snapshot without this list's section (e.g. written by a
+			// future producer that compiles selectively) still loads; the
+			// automaton is rebuilt from the rules.
+			out.Lists = append(out.Lists, NewList(lj.Name, rules))
+			out.Compiled = false
+		}
 	}
 	return out, nil
 }
@@ -142,12 +226,22 @@ func ReadListsSnapshot(r io.Reader) (*ListsSnapshot, error) {
 // SaveListsSnapshot writes the snapshot to path atomically (temp file +
 // rename) so hot-reloading readers never observe a torn file.
 func SaveListsSnapshot(path string, s *ListsSnapshot) error {
+	return saveListsSnapshot(path, s, WriteListsSnapshot)
+}
+
+// SaveListsSnapshotCompiled is SaveListsSnapshot in the version-3 compiled
+// format (automaton sections included).
+func SaveListsSnapshotCompiled(path string, s *ListsSnapshot) error {
+	return saveListsSnapshot(path, s, WriteListsSnapshotCompiled)
+}
+
+func saveListsSnapshot(path string, s *ListsSnapshot, write func(io.Writer, *ListsSnapshot) error) error {
 	tmp, err := os.CreateTemp(snapshotDir(path), ".lists-*.json")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteListsSnapshot(tmp, s); err != nil {
+	if err := write(tmp, s); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -170,6 +264,39 @@ func LoadListsSnapshot(path string) (*ListsSnapshot, error) {
 	}
 	return s, nil
 }
+
+// OpenListsSnapshotMapped loads a snapshot by mapping the file read-only
+// (portable read-into-memory fallback on platforms without mmap, or when
+// the map fails). For compiled (v3) snapshots the lists' automata are
+// served directly from the mapped pages — startup cost is rule parsing
+// plus O(states) validation, never index construction, and concurrent
+// replicas loading the same file share physical memory.
+//
+// The returned Closer unmaps the view. The snapshot and everything
+// reached through it (lists, automata, match results' rule pointers stay
+// valid — rules are parsed copies) must not be used after Close;
+// conversely the Closer must be held for as long as the snapshot serves.
+// Callers that cannot manage that lifetime (e.g. a hot-reload loop whose
+// old snapshots wind down asynchronously, or one that must tolerate the
+// file being truncated in place underneath it) should use
+// LoadListsSnapshot/ReadListsSnapshot, which own their memory.
+func OpenListsSnapshotMapped(path string) (*ListsSnapshot, io.Closer, error) {
+	data, release, err := mapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := parseListsSnapshot(data)
+	if err != nil {
+		release()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, closerFunc(release), nil
+}
+
+// closerFunc adapts a release function to io.Closer.
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
 
 // snapshotDir returns the directory containing path ("." for bare names),
 // keeping the temp file on the same filesystem as the rename target.

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package abp
+
+import "os"
+
+// mapFile is the portable fallback for platforms without a usable mmap:
+// the file is read into an ordinary heap buffer, which satisfies the same
+// contract (an immutable byte view plus a release function) without the
+// shared-page benefit.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package abp
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the view plus its unmap
+// function. The mapping is MAP_PRIVATE|PROT_READ: replicas loading the
+// same snapshot file share its physical pages, and nothing this package
+// does can write through the view. Empty files return a nil view (no
+// zero-length mmap).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("abp: %s: file too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("abp: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

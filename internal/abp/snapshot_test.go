@@ -3,6 +3,7 @@ package abp
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -178,6 +179,180 @@ func TestListsSnapshotCorruptionDetected(t *testing.T) {
 				t.Fatalf("err = %v, want ErrCorrupt or ErrSnapshotFormat", err)
 			}
 		})
+	}
+}
+
+// compiledListsBytes returns the raw sealed bytes of a small compiled (v3)
+// snapshot plus the original in-memory list for differential checks.
+func compiledListsBytes(t *testing.T) ([]byte, *List) {
+	t.Helper()
+	l, errs := ParseAndBuild("compiled-list", snapshotTestList)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	var buf bytes.Buffer
+	if err := WriteListsSnapshotCompiled(&buf, &ListsSnapshot{Label: "unit", Lists: []*List{l}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), l
+}
+
+func TestListsSnapshotCompiledRoundTrip(t *testing.T) {
+	data, orig := compiledListsBytes(t)
+	if !bytes.Contains(data, []byte(`"version":3`)) {
+		t.Fatal("compiled snapshot is not schema version 3")
+	}
+	if !bytes.Contains(data, []byte(artifact.SectionPrefix)) {
+		t.Fatal("compiled snapshot carries no automaton section")
+	}
+	snap, err := ReadListsSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Compiled {
+		t.Fatal("Compiled = false after loading a v3 snapshot with sections")
+	}
+	reloaded := snap.Lists[0]
+	if got := reloaded.AutomatonBytes(); !bytes.Equal(got, orig.AutomatonBytes()) {
+		t.Fatal("attached automaton differs from the compiled one")
+	}
+	for _, q := range snapshotTestRequests() {
+		d1, r1 := orig.MatchRequest(q)
+		d2, r2 := reloaded.MatchRequest(q)
+		if d1 != d2 || (r1 == nil) != (r2 == nil) || (r1 != nil && r1.Raw != r2.Raw) {
+			t.Errorf("%s: compiled load decision (%v) != original (%v)", q.URL, d2, d1)
+		}
+	}
+	// Determinism: writing again yields byte-identical output (snapshot
+	// versions are content checksums).
+	var again bytes.Buffer
+	if err := WriteListsSnapshotCompiled(&again, &ListsSnapshot{Label: "unit", Lists: []*List{orig}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), data) {
+		t.Fatal("compiled snapshot serialization is not deterministic")
+	}
+}
+
+func TestListsSnapshotMappedLoad(t *testing.T) {
+	data, orig := compiledListsBytes(t)
+	path := filepath.Join(t.TempDir(), "lists.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, closer, err := OpenListsSnapshotMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Compiled {
+		t.Fatal("mapped v3 snapshot did not load compiled")
+	}
+	for _, q := range snapshotTestRequests() {
+		d1, _ := orig.MatchRequest(q)
+		d2, _ := snap.Lists[0].MatchRequest(q)
+		if d1 != d2 {
+			t.Errorf("%s: mapped decision %v != %v", q.URL, d2, d1)
+		}
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A plain (v2) snapshot loads through the same entry point, rebuilding
+	// its automata.
+	plain := filepath.Join(t.TempDir(), "plain.json")
+	if err := os.WriteFile(plain, sealedListsBytes(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap2, closer2, err := OpenListsSnapshotMapped(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer2.Close()
+	if snap2.Compiled {
+		t.Fatal("plain v2 snapshot claims to be compiled")
+	}
+	if d, _ := snap2.Lists[0].MatchRequest(snapshotTestRequests()[0]); d != Blocked {
+		t.Fatalf("mapped plain snapshot decision = %v, want Blocked", d)
+	}
+}
+
+// TestListsSnapshotCompiledCorruption is the compiled-snapshot corruption
+// matrix. A flipped bit anywhere is caught by the outer trailer; the deeper
+// cases reseal the damaged payload with a fresh (valid) trailer, so only
+// the per-section CRC and the automaton's embedded rule checksum stand
+// between a stale or damaged section and silently wrong match decisions.
+func TestListsSnapshotCompiledCorruption(t *testing.T) {
+	data, _ := compiledListsBytes(t)
+
+	t.Run("bit flip under trailer", func(t *testing.T) {
+		b := bytes.Clone(data)
+		i := bytes.Index(b, []byte(artifact.SectionPrefix)) + 80 // inside section data
+		b[i] ^= 0x01
+		if _, err := ReadListsSnapshot(bytes.NewReader(b)); !errors.Is(err, artifact.ErrCorrupt) {
+			t.Fatalf("err = %v, want artifact.ErrCorrupt", err)
+		}
+	})
+
+	payload, sealed, err := artifact.Open(data)
+	if err != nil || !sealed {
+		t.Fatalf("Open: sealed=%v err=%v", sealed, err)
+	}
+
+	t.Run("bit flip in section, resealed", func(t *testing.T) {
+		b := bytes.Clone(payload)
+		mark := bytes.Index(b, []byte(artifact.SectionPrefix))
+		hdrEnd := mark + bytes.IndexByte(b[mark:], '\n') + 1
+		b[hdrEnd+16+8] ^= 0x01 // past padding and magic, inside automaton data
+		if _, err := ReadListsSnapshot(bytes.NewReader(artifact.Seal(b))); !errors.Is(err, artifact.ErrCorrupt) {
+			t.Fatalf("err = %v, want artifact.ErrCorrupt (section checksum)", err)
+		}
+	})
+
+	t.Run("stale rules, resealed", func(t *testing.T) {
+		// Edit one rule line in the JSON without recompiling the section:
+		// the automaton's embedded rule CRC must refuse the mismatch.
+		b := bytes.Replace(bytes.Clone(payload),
+			[]byte(`baitserver.example^$script`), []byte(`baitserver.example^$iframe`), 1)
+		if bytes.Equal(b, payload) {
+			t.Fatal("rule edit did not take")
+		}
+		_, err := ReadListsSnapshot(bytes.NewReader(artifact.Seal(b)))
+		if !errors.Is(err, artifact.ErrCorrupt) {
+			t.Fatalf("err = %v, want artifact.ErrCorrupt (stale automaton)", err)
+		}
+	})
+
+	t.Run("sections on a pre-v3 schema", func(t *testing.T) {
+		b := bytes.Replace(bytes.Clone(payload), []byte(`"version":3`), []byte(`"version":2`), 1)
+		_, err := ReadListsSnapshot(bytes.NewReader(artifact.Seal(b)))
+		if !errors.Is(err, artifact.ErrCorrupt) {
+			t.Fatalf("err = %v, want artifact.ErrCorrupt (v2 with sections)", err)
+		}
+	})
+}
+
+// TestListsSnapshotV3WithoutSectionsRebuilds: a v3 document that carries no
+// automaton sections is legal (a future producer may compile selectively) —
+// the lists rebuild their automata and the snapshot reports Compiled=false.
+func TestListsSnapshotV3WithoutSectionsRebuilds(t *testing.T) {
+	l, errs := ParseAndBuild("v3-plain", snapshotTestList)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	payload, err := marshalListsJSON(&ListsSnapshot{Label: "unit", Lists: []*List{l}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadListsSnapshot(bytes.NewReader(artifact.Seal(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Compiled {
+		t.Fatal("sectionless v3 snapshot claims to be compiled")
+	}
+	if d, _ := snap.Lists[0].MatchRequest(snapshotTestRequests()[0]); d != Blocked {
+		t.Fatalf("decision = %v, want Blocked", d)
 	}
 }
 

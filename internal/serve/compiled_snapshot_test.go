@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adwars/internal/abp"
+	"adwars/internal/artifact"
+)
+
+// TestCompiledSnapshotServesAndRejectsDamage: the serving layer must load a
+// compiled (v3) lists snapshot, surface lists_compiled through /healthz, and
+// answer /v1/match identically to a plain snapshot; a damaged automaton
+// section — resealed under a fresh trailer so only the section CRC can
+// catch it — must be refused at /admin/reload with the last-good snapshot
+// kept serving.
+func TestCompiledSnapshotServesAndRejectsDamage(t *testing.T) {
+	checkGoroutineLeaks(t)
+	dir := t.TempDir()
+	modelPath, listsPath := writeSnapshotFiles(t, dir)
+	if err := abp.SaveListsSnapshotCompiled(listsPath, testListsSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{ModelPath: modelPath, ListsPath: listsPath})
+	if err := s.ReloadSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"lists_compiled":true`) {
+		t.Fatalf("healthz = %d %s, want 200 with lists_compiled", code, body)
+	}
+
+	query := `{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`
+	match := func() string {
+		resp, err := ts.Client().Post(ts.URL+"/v1/match", "application/json", strings.NewReader(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match status %d", resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	before := match()
+
+	// A plain snapshot of the same lists must answer byte-identically.
+	plainPath := filepath.Join(dir, "plain.json")
+	if err := abp.SaveListsSnapshot(plainPath, testListsSnapshot(t)); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := abp.LoadListsSnapshot(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetListsSnapshot(plain); err != nil {
+		t.Fatal(err)
+	}
+	// Compare decisions only: the snapshot metadata block legitimately
+	// differs (a direct Set carries no artifact version).
+	decisions := func(body string) string {
+		if i := strings.Index(body, `,"snapshot":`); i >= 0 {
+			return body[:i]
+		}
+		return body
+	}
+	if got := match(); decisions(got) != decisions(before) {
+		t.Fatalf("plain snapshot answers differently:\n%s\nvs\n%s", got, before)
+	}
+	if err := s.ReloadSnapshots(); err != nil { // back to the compiled file
+		t.Fatal(err)
+	}
+
+	// Damage the automaton section and reseal: the outer trailer is valid
+	// again, so only the per-section CRC stands between the damage and the
+	// match path.
+	good, err := os.ReadFile(listsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, sealed, err := artifact.Open(good)
+	if err != nil || !sealed {
+		t.Fatalf("Open: sealed=%v err=%v", sealed, err)
+	}
+	bad := append([]byte(nil), payload...)
+	mark := strings.Index(string(bad), artifact.SectionPrefix)
+	hdrEnd := mark + strings.IndexByte(string(bad[mark:]), '\n') + 1
+	bad[hdrEnd+16+8] ^= 0x01
+	if err := os.WriteFile(listsPath, artifact.Seal(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload of damaged section: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	if got := s.met.reloadRejected.Load(); got != 1 {
+		t.Errorf("reload_rejected = %d, want 1", got)
+	}
+	if after := match(); after != before {
+		t.Fatalf("served answer changed after rejected reload:\n%s\nvs\n%s", after, before)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"lists_compiled":true`) {
+		t.Fatalf("healthz after rejected reload = %d %s, want compiled last-good", code, body)
+	}
+
+	// Restoring the good compiled file makes the next reload succeed.
+	if err := os.WriteFile(listsPath, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadSnapshots(); err != nil {
+		t.Fatalf("reload after restore: %v", err)
+	}
+	if after := match(); after != before {
+		t.Fatalf("answer changed after restore:\n%s\nvs\n%s", after, before)
+	}
+}

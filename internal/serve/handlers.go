@@ -281,6 +281,11 @@ func matchOne(ls *listsState, q MatchQuery) MatchResult {
 	req := abp.Request{URL: q.URL, Type: abp.RequestType(q.Type), PageDomain: q.PageDomain}
 	res := MatchResult{Lists: make([]ListMatch, 0, len(ls.snap.Lists))}
 	anyBlocked, anyAllowed := false, false
+	// One rule buffer serves the all-matches collection for every list:
+	// the common no-match case then performs zero allocations past the
+	// response envelope itself.
+	var ruleBuf [8]*abp.Rule
+	rules := ruleBuf[:0]
 	for _, l := range ls.snap.Lists {
 		dec, rule := l.MatchRequest(req)
 		lm := ListMatch{List: l.Name, Decision: dec.String()}
@@ -293,7 +298,8 @@ func matchOne(ls *listsState, q MatchQuery) MatchResult {
 		case abp.Allowed:
 			anyAllowed = true
 		}
-		for _, r := range l.MatchingHTTPRules(req) {
+		rules = l.AppendMatchingHTTPRules(rules[:0], req)
+		for _, r := range rules {
 			lm.MatchedRules = append(lm.MatchedRules, r.Raw)
 		}
 		res.Lists = append(res.Lists, lm)
@@ -516,15 +522,19 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // gateway's health poller and the control plane's rollout watcher need in
 // one fetch.
 type Health struct {
-	Status       string         `json:"status"`
-	Replica      string         `json:"replica,omitempty"`
-	Ready        bool           `json:"ready"`
-	Draining     bool           `json:"draining,omitempty"`
-	Model        bool           `json:"model"`
-	Lists        bool           `json:"lists"`
-	ModelVersion string         `json:"model_version,omitempty"`
-	ListsVersion string         `json:"lists_version,omitempty"`
-	LastReload   *ReloadOutcome `json:"last_reload,omitempty"`
+	Status       string `json:"status"`
+	Replica      string `json:"replica,omitempty"`
+	Ready        bool   `json:"ready"`
+	Draining     bool   `json:"draining,omitempty"`
+	Model        bool   `json:"model"`
+	Lists        bool   `json:"lists"`
+	ModelVersion string `json:"model_version,omitempty"`
+	ListsVersion string `json:"lists_version,omitempty"`
+	// ListsCompiled reports whether the serving snapshot carried
+	// pre-compiled match automata (schema v3) rather than being recompiled
+	// at load.
+	ListsCompiled bool           `json:"lists_compiled,omitempty"`
+	LastReload    *ReloadOutcome `json:"last_reload,omitempty"`
 }
 
 // health assembles the shared health/readiness report.
@@ -541,6 +551,7 @@ func (s *Server) health() Health {
 	if ls := s.lists.Load(); ls != nil {
 		h.Lists = true
 		h.ListsVersion = ls.version
+		h.ListsCompiled = ls.snap.Compiled
 	}
 	h.LastReload = s.lastReload.Load()
 	h.Ready = (h.Model || h.Lists) && !h.Draining
