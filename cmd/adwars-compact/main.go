@@ -1,0 +1,124 @@
+// Command adwars-compact closes the usage→compaction loop: it reads the
+// per-rule hit telemetry a serving instance accumulated (the /admin/usage
+// dump) plus the lists snapshot that instance serves, and emits a tiered
+// v4 snapshot — the rules that actually fired compiled into a small hot
+// automaton probed on every request, everything else relegated to a cold
+// fallback automaton probed only on hot-tier miss. Verdicts are
+// byte-identical to the untiered list (the tier split is a working-set
+// optimization, never a semantic one); the hot working set typically
+// shrinks by the dead-rule fraction, which the paper's lists put at well
+// over half.
+//
+// Usage:
+//
+//	adwars-compact -lists lists.json -usage usage.json -out lists_v4.json
+//	adwars-compact -lists lists.json -usage http://127.0.0.1:8080/admin/usage -out lists_v4.json
+//
+// -usage accepts a file path or an http(s) URL; the URL form reads the
+// live /admin/usage endpoint of a running adwars-serve, so compacting
+// against current production traffic is one command. -min-hits raises the
+// hot-tier bar: a rule needs at least that many recorded verdicts to stay
+// hot (default 1 — any rule that ever fired). Lists present in the
+// snapshot but absent from the usage dump compact to an all-cold tier
+// (usage says nothing fired), with a warning.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"adwars/internal/abp"
+	"adwars/internal/serve"
+)
+
+func main() {
+	listsPath := flag.String("lists", "", "input lists snapshot (v2/v3/v4)")
+	usagePath := flag.String("usage", "", "usage dump: /admin/usage JSON file or http(s) URL")
+	out := flag.String("out", "", "output path for the tiered v4 snapshot")
+	minHits := flag.Uint64("min-hits", 1, "minimum recorded hits for a rule to stay in the hot tier")
+	label := flag.String("label", "", "override the output snapshot label (default: input label + \" [tiered]\")")
+	flag.Parse()
+	if *listsPath == "" || *usagePath == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "adwars-compact: -lists, -usage, and -out are all required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	snap, err := abp.LoadListsSnapshot(*listsPath)
+	if err != nil {
+		log.Fatalf("adwars-compact: lists snapshot: %v", err)
+	}
+	dump, err := readUsage(*usagePath)
+	if err != nil {
+		log.Fatalf("adwars-compact: usage dump: %v", err)
+	}
+	hits := make(map[string]map[int]uint64, len(dump.Lists))
+	for _, ul := range dump.Lists {
+		m := make(map[int]uint64, len(ul.Hits))
+		for _, pair := range ul.Hits {
+			m[int(pair[0])] = pair[1]
+		}
+		hits[ul.List] = m
+	}
+
+	tiered := &abp.ListsSnapshot{Label: *label, Tiered: true}
+	if tiered.Label == "" {
+		tiered.Label = snap.Label + " [tiered]"
+	}
+	fmt.Printf("adwars-compact: %d lists, %d rules, %d recorded hits (min-hits %d)\n",
+		len(snap.Lists), snap.Rules(), dump.TotalHits, *minHits)
+	for _, l := range snap.Lists {
+		u, ok := hits[l.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "adwars-compact: warning: list %q has no usage entry; compacting all-cold\n", l.Name)
+		}
+		ct := l.CompileTiered(func(ord int) bool { return u[ord] >= *minHits })
+		tiered.Lists = append(tiered.Lists, ct)
+		st := ct.TierStats()
+		flat := l.TierStats().HotBytes
+		fmt.Printf("  %-24s hot %5d rules %7d B   cold %5d rules %7d B   (flat %7d B, hot set %4.1f%%)\n",
+			l.Name, st.HotRules, st.HotBytes, st.ColdRules, st.ColdBytes,
+			flat, 100*float64(st.HotBytes)/float64(flat))
+	}
+
+	if err := abp.SaveListsSnapshotTiered(*out, tiered); err != nil {
+		log.Fatalf("adwars-compact: save: %v", err)
+	}
+	fmt.Printf("adwars-compact: wrote tiered snapshot %s (label %q)\n", *out, tiered.Label)
+}
+
+// readUsage loads a /admin/usage dump from a file or straight off a
+// running server.
+func readUsage(src string) (*serve.UsageDump, error) {
+	var data []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d", src, resp.StatusCode)
+		}
+		if data, err = io.ReadAll(resp.Body); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		data, err = os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var dump serve.UsageDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, err
+	}
+	return &dump, nil
+}

@@ -1,7 +1,9 @@
 // Command adwars-lists runs the §3 filter-list analyses: the temporal
 // evolution of each list (Figure 1), the rank and category distributions
 // of listed domains (Table 1, Figure 2), the exception/overlap comparison
-// (§3.3), and the cross-list addition lag (Figure 3).
+// (§3.3), the cross-list addition lag (Figure 3), and the dead-rule
+// fraction (the share of rules that never fire under a live replay — the
+// observation behind hot/cold tier compaction).
 //
 // Usage:
 //
@@ -12,7 +14,9 @@
 // filter lists as a versioned snapshot for adwars-serve; by default the
 // snapshot embeds each list's compiled match automaton (schema v3) so
 // loaders attach it instead of recompiling — -compile=false writes the
-// JSON-only v2 form.
+// JSON-only v2 form. To go further and split each automaton into
+// usage-driven hot/cold tiers (schema v4), serve the v3 snapshot, collect
+// traffic, and feed the /admin/usage dump to adwars-compact.
 package main
 
 import (
@@ -78,6 +82,7 @@ func main() {
 	fmt.Println(lab.Overlap().Render())
 	fmt.Println(experiments.RenderSharedRules(lab.SharedRuleExhibit(4)))
 	fmt.Println(lab.Fig3().Render())
+	fmt.Println(lab.DeadRules(0).Render())
 
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {

@@ -7,7 +7,7 @@
 //
 //	adwars-loadgen -target http://127.0.0.1:8080 [-rate N] [-concurrency C]
 //	               [-duration D] [-jitter F] [-classify-frac F]
-//	               [-lists snapshot.json] [-seed S] [-check]
+//	               [-lists snapshot.json] [-seed S] [-check] [-usage-check]
 //	               [-max-backoff D] [-chaos] [-fault-frac F] [-bench]
 //	adwars-loadgen -target URL -probe
 //
@@ -54,6 +54,15 @@
 // least one request succeeded, there were no unexplained 5xx or transport
 // errors, and every request was accounted for (2xx/429 in normal mode; the
 // chaos ledger above with -chaos).
+//
+// -usage-check reconciles the server's per-rule usage telemetry against
+// this run's own ledger: every 2xx /v1/match response is parsed and its
+// per-list verdicts with decision != "no-match" counted (each is exactly
+// one RecordUsage tick server-side), then /admin/usage is read before and
+// after the run and the total-hit delta must equal the ledger count. It
+// requires a quiet server (no other traffic between the two reads) and is
+// incompatible with -chaos, whose trickle requests land as uncounted
+// late 2xx.
 package main
 
 import (
@@ -84,6 +93,7 @@ type counters struct {
 	aborted      int64 // transport-level failures: injected closes, our own mid-body aborts
 	backoffs     int64
 	backoffTotal time.Duration
+	matchHits    int64 // list verdicts != "no-match" parsed from 2xx /v1/match bodies (-usage-check)
 	latencies    []time.Duration
 	// perReplica attributes answered requests by the X-Adwars-Replica
 	// header, and perStatus by HTTP status — behind a gateway these show
@@ -115,6 +125,7 @@ func (c *counters) add(o *counters) {
 	c.aborted += o.aborted
 	c.backoffs += o.backoffs
 	c.backoffTotal += o.backoffTotal
+	c.matchHits += o.matchHits
 	c.latencies = append(c.latencies, o.latencies...)
 	for k, v := range o.perReplica {
 		if c.perReplica == nil {
@@ -151,6 +162,7 @@ func main() {
 	listsPath := flag.String("lists", "", "lists snapshot to harvest match URLs from")
 	seed := flag.Int64("seed", 1, "workload seed")
 	check := flag.Bool("check", false, "exit non-zero unless the run satisfies the accounting gate")
+	usageCheck := flag.Bool("usage-check", false, "reconcile /admin/usage hit totals against this run's parsed match verdicts")
 	maxBackoff := flag.Duration("max-backoff", 100*time.Millisecond, "cap on honoring a 429 Retry-After")
 	chaos := flag.Bool("chaos", false, "mix hostile requests (malformed/oversized/trickle/abort) into the workload")
 	faultFrac := flag.Float64("fault-frac", 0.25, "with -chaos, fraction of requests made hostile")
@@ -169,6 +181,19 @@ func main() {
 
 	if *probe {
 		os.Exit(runProbe(client, *target, *probeAttempts))
+	}
+	if *usageCheck && *chaos {
+		fmt.Fprintln(os.Stderr, "loadgen: -usage-check is incompatible with -chaos")
+		os.Exit(2)
+	}
+	var usageBefore uint64
+	if *usageCheck {
+		v, err := fetchUsageTotal(client, *target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: usage-check baseline: %v\n", err)
+			os.Exit(2)
+		}
+		usageBefore = v
 	}
 
 	domains := syntheticDomains(*seed)
@@ -215,7 +240,7 @@ func main() {
 				}
 				c.sent++
 				t0 := time.Now()
-				resp, err := fire(client, *target, kind, rng, domains, scripts, *classifyFrac, oversized)
+				resp, isMatch, err := fire(client, *target, kind, rng, domains, scripts, *classifyFrac, oversized)
 				if err != nil {
 					// Transport-level death: an injected server-side close or
 					// our own mid-body abort. Either way the request is
@@ -230,6 +255,9 @@ func main() {
 				switch {
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					c.ok2xx++
+					if *usageCheck && isMatch {
+						c.matchHits += countMatchHits(body)
+					}
 				case resp.StatusCode == http.StatusTooManyRequests:
 					c.shed429++
 					if d := retryAfter(resp, *maxBackoff); d > 0 {
@@ -298,24 +326,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *usageCheck {
+		if !runUsageCheck(client, *target, usageBefore, total.matchHits) {
+			os.Exit(1)
+		}
+	}
 }
 
-// fire issues one request of the given kind and returns the raw response.
+// fire issues one request of the given kind and returns the raw response
+// plus whether it was a normal /v1/match request (the only kind the
+// usage-check ledger parses).
 func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
-	domains, scripts []string, classifyFrac float64, oversized []byte) (*http.Response, error) {
+	domains, scripts []string, classifyFrac float64, oversized []byte) (*http.Response, bool, error) {
 	switch kind {
 	case faultMalformed:
 		// Valid HTTP, broken payload: truncated JSON to /v1/match or line
 		// noise to /v1/classify — must come back 4xx, never 5xx.
 		if rng.Intn(2) == 0 {
-			return client.Post(target+"/v1/match", "application/json",
+			resp, err := client.Post(target+"/v1/match", "application/json",
 				bytes.NewReader([]byte(`{"url":"http://ads.exam`)))
+			return resp, false, err
 		}
-		return client.Post(target+"/v1/classify", "application/javascript",
+		resp, err := client.Post(target+"/v1/classify", "application/javascript",
 			bytes.NewReader([]byte("\x00\x01function{{{")))
+		return resp, false, err
 	case faultOversized:
 		// Blows past the server's body cap → 413.
-		return client.Post(target+"/v1/match", "application/json", bytes.NewReader(oversized))
+		resp, err := client.Post(target+"/v1/match", "application/json", bytes.NewReader(oversized))
+		return resp, false, err
 	case faultTrickle:
 		// A sound body delivered a few bytes at a time — slowloris-shaped.
 		// The server should still answer it normally, just late.
@@ -323,11 +361,12 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 		req, err := http.NewRequest(http.MethodPost, target+"/v1/match",
 			&trickleReader{data: body, chunk: 7, gap: 2 * time.Millisecond})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.ContentLength = int64(len(body))
-		return client.Do(req)
+		resp, err := client.Do(req)
+		return resp, false, err
 	case faultAbort:
 		// The body dies mid-stream client-side; the transport surfaces an
 		// error locally and the server sees an unexpected EOF.
@@ -335,16 +374,18 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 		req, err := http.NewRequest(http.MethodPost, target+"/v1/match",
 			&abortReader{data: body[:10]})
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.ContentLength = int64(len(body))
-		return client.Do(req)
+		resp, err := client.Do(req)
+		return resp, false, err
 	}
 	// Normal traffic.
 	if rng.Float64() < classifyFrac {
-		return client.Post(target+"/v1/classify", "application/javascript",
+		resp, err := client.Post(target+"/v1/classify", "application/javascript",
 			bytes.NewReader([]byte(scripts[rng.Intn(len(scripts))])))
+		return resp, false, err
 	}
 	d := domains[rng.Intn(len(domains))]
 	q := map[string]string{
@@ -353,7 +394,67 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 		"page_domain": "publisher.example",
 	}
 	body, _ := json.Marshal(q)
-	return client.Post(target+"/v1/match", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(target+"/v1/match", "application/json", bytes.NewReader(body))
+	return resp, true, err
+}
+
+// countMatchHits parses one 2xx /v1/match body and counts the per-list
+// verdicts the server recorded usage for: every entry whose decision is
+// not "no-match" is exactly one RecordUsage tick.
+func countMatchHits(body []byte) int64 {
+	var res struct {
+		Lists []struct {
+			Decision string `json:"decision"`
+		} `json:"lists"`
+	}
+	if json.Unmarshal(body, &res) != nil {
+		return 0
+	}
+	var n int64
+	for _, lm := range res.Lists {
+		if lm.Decision != "no-match" {
+			n++
+		}
+	}
+	return n
+}
+
+// fetchUsageTotal reads total_hits from /admin/usage (top disabled — the
+// reconciliation only needs the aggregate).
+func fetchUsageTotal(client *http.Client, target string) (uint64, error) {
+	resp, err := client.Get(target + "/admin/usage?top=0")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /admin/usage: status %d", resp.StatusCode)
+	}
+	var dump struct {
+		TotalHits uint64 `json:"total_hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return 0, err
+	}
+	return dump.TotalHits, nil
+}
+
+// runUsageCheck re-reads /admin/usage and demands that the server-side
+// hit delta equals the run's own parsed-verdict ledger.
+func runUsageCheck(client *http.Client, target string, before uint64, matchHits int64) bool {
+	after, err := fetchUsageTotal(client, target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: USAGE-CHECK FAILED: %v\n", err)
+		return false
+	}
+	delta := int64(after - before)
+	if delta != matchHits {
+		fmt.Fprintf(os.Stderr, "loadgen: USAGE-CHECK FAILED: server recorded %d hits (total %d→%d) but ledger parsed %d match verdicts\n",
+			delta, before, after, matchHits)
+		return false
+	}
+	fmt.Printf("loadgen: USAGE-CHECK OK (server hit delta %d == %d parsed match verdicts)\n", delta, matchHits)
+	return true
 }
 
 // runChecks applies the pass/fail gate and reports the first violation.

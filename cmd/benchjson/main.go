@@ -77,6 +77,23 @@ type Report struct {
 	// latency quantiles from the serving benchmark's custom metrics.
 	ServeMatchP50Ns float64 `json:"serve_match_p50_ns,omitempty"`
 	ServeMatchP99Ns float64 `json:"serve_match_p99_ns,omitempty"`
+	// ServeMatchAllocs is allocs/op of the /v1/match handler itself
+	// (ServeMatchHandler) — the pooled hot path's acceptance gate is ≤ 8,
+	// enforced by TestServeMatchAllocs.
+	ServeMatchAllocs float64 `json:"serve_match_allocs,omitempty"`
+	// UsageOverheadP99Ns is p99(ServeMatch) − p99(ServeMatchUsageOff):
+	// the tail cost of per-rule usage recording, which the sharded
+	// counter design holds at zero (any residual is run-to-run noise).
+	UsageOverheadP99Ns *float64 `json:"usage_overhead_p99_ns,omitempty"`
+	// CompactHotCoverage is the fraction of match verdicts a
+	// usage-compacted tiered list answers from its hot tier
+	// (ServeMatchTiered's hot-coverage metric) — acceptance gate ≥ 0.95.
+	CompactHotCoverage float64 `json:"compact_hot_coverage,omitempty"`
+	// CompactWorkingSetBytes is the hot-tier automaton size after
+	// compaction; CompactFlatSetBytes is the untiered automaton it
+	// replaced on the fast path.
+	CompactWorkingSetBytes float64 `json:"compact_working_set_bytes,omitempty"`
+	CompactFlatSetBytes    float64 `json:"compact_flat_set_bytes,omitempty"`
 	// ServeMatchRPS is the sequential single-worker /v1/match throughput
 	// (1e9 / ns_per_op of ServeMatch); concurrent throughput scales with
 	// the worker pool and is measured live by adwars-loadgen.
@@ -182,6 +199,7 @@ func parse(sc *bufio.Scanner, rep *Report) error {
 func derive(rep *Report) {
 	var indexed, linear, mlSeq, mlCached float64
 	var auto, token, compile, load, compileLarge, loadLarge float64
+	usageOffP99 := -1.0
 	for _, b := range rep.Benchmarks {
 		switch b.Name {
 		case "ReplayIndexed":
@@ -214,6 +232,14 @@ func derive(rep *Report) {
 			if b.NsPerOp > 0 {
 				rep.ServeMatchRPS = 1e9 / b.NsPerOp
 			}
+		case "ServeMatchHandler":
+			rep.ServeMatchAllocs = b.AllocsPerOp
+		case "ServeMatchUsageOff":
+			usageOffP99 = b.Metrics["p99-ns"]
+		case "ServeMatchTiered":
+			rep.CompactHotCoverage = b.Metrics["hot-coverage"]
+			rep.CompactWorkingSetBytes = b.Metrics["hot-set-bytes"]
+			rep.CompactFlatSetBytes = b.Metrics["flat-set-bytes"]
 		case "ChaosLoadgen":
 			rep.ChaosShedRate = b.Metrics["shed-rate"]
 			rep.ChaosRecoveredPanics = b.Metrics["recovered-panics"]
@@ -242,6 +268,12 @@ func derive(rep *Report) {
 	}
 	if compileLarge > 0 && loadLarge > 0 {
 		rep.ListLoadSpeedupVsCompileLarge = compileLarge / loadLarge
+	}
+	if usageOffP99 >= 0 && rep.ServeMatchP99Ns > 0 {
+		// A pointer so the headline zero (counters cost nothing at the
+		// tail) survives omitempty; negative residuals are noise.
+		overhead := rep.ServeMatchP99Ns - usageOffP99
+		rep.UsageOverheadP99Ns = &overhead
 	}
 }
 

@@ -174,6 +174,18 @@ type acTrieNode struct {
 // set always serializes to the same bytes (snapshot versions are content
 // CRCs; a rebuild must not change them).
 func buildAutomaton(rules []*Rule, rulesCRC uint64) *automaton {
+	return buildAutomatonMember(rules, rulesCRC, nil)
+}
+
+// buildAutomatonMember compiles an automaton over a subset of the rule
+// set: rules whose ordinal is excluded by member contribute no keyword and
+// no generic entry — they are invisible to this automaton, not demoted to
+// its generic bucket. Ordinals in the output arrays are still indexes into
+// the FULL rule set (and the header carries the full set's count and CRC),
+// which is what lets a hot and a cold automaton compiled from the same
+// list share one rules array, one checksum, and the untiered validation
+// path. A nil member includes every rule (the untiered build).
+func buildAutomatonMember(rules []*Rule, rulesCRC uint64, member []bool) *automaton {
 	type kw struct {
 		s   string
 		ord uint32
@@ -182,6 +194,9 @@ func buildAutomaton(rules []*Rule, rulesCRC uint64) *automaton {
 	var generic []uint32
 	for ord, r := range rules {
 		if !r.IsHTTP() {
+			continue
+		}
+		if member != nil && !member[ord] {
 			continue
 		}
 		if s := r.AutomatonKeyword(); s != "" {
@@ -573,8 +588,19 @@ func openAutomaton(blob []byte, wantRules int, wantCRC uint64) (*automaton, erro
 // stack-allocated matchCtx and only overflows into a heap spill beyond
 // matchScratchCap candidates.
 func (a *automaton) collect(c *matchCtx) (cands []uint32, ok bool) {
-	c.ncand = 0
-	c.spill = c.spill[:0]
+	c.resetCands()
+	if !a.scanInto(c) {
+		return nil, false
+	}
+	return c.sortedCands(), true
+}
+
+// scanInto is collect without the reset and the sort: it pushes this
+// automaton's candidates (keyword hits plus its generic ordinals) into
+// whatever the context already holds. The tiered match path scans the hot
+// and cold automata into one scratch and sorts once, so candidate
+// verification still walks the combined set in insertion order.
+func (a *automaton) scanInto(c *matchCtx) (ok bool) {
 	s := c.q.URL
 	st := a.root
 	base, check, fail := a.base, a.check, a.fail
@@ -583,7 +609,7 @@ func (a *automaton) collect(c *matchCtx) (cands []uint32, ok bool) {
 	for i := 0; i < len(s); i++ {
 		b := s[i]
 		if b >= 0x80 {
-			return nil, false
+			return false
 		}
 		cls := uint32(acClass[b])
 		if cls == 0 {
@@ -610,5 +636,5 @@ func (a *automaton) collect(c *matchCtx) (cands []uint32, ok bool) {
 	for _, g := range a.generic {
 		c.pushCand(g)
 	}
-	return c.sortedCands(), true
+	return true
 }

@@ -10,6 +10,10 @@ import "testing"
 // a fixed rule mix so candidate ordering, exception precedence, and the
 // generic bucket are all exercised; the list's serialized automaton is also
 // reattached via NewListCompiled to prove the round trip changes nothing.
+// Tiered compiles of the same list — everything cold, everything hot, and an
+// input-dependent mix — plus a tier round trip through NewListTiered are held
+// to the same oracle, and the AppendHits/DecideHits serving path must agree
+// with the plain verdict on every probe.
 func FuzzMatchDifferential(f *testing.F) {
 	f.Add("||pagefair.com^$third-party", "http://pagefair.com/score.js", "news.com")
 	f.Add("/ads.js?", "http://numerama.com/ads.js?v=2", "numerama.com")
@@ -58,6 +62,32 @@ func FuzzMatchDifferential(f *testing.F) {
 		rd, rr := re.MatchRequest(q)
 		check("reattached", rd, rr)
 
+		allCold := list.CompileTiered(nil)
+		allHot := list.CompileTiered(func(int) bool { return true })
+		mixed := list.CompileTiered(func(ord int) bool { return (ord+len(url))%3 == 0 })
+		tre, err := NewListTiered("fuzz", rules, mixed.AutomatonBytes(), mixed.ColdAutomatonBytes())
+		if err != nil {
+			t.Fatalf("tier round-trip rejected own bytes: %v", err)
+		}
+		tiered := []struct {
+			name string
+			l    *List
+		}{
+			{"tiered-cold", allCold},
+			{"tiered-hot", allHot},
+			{"tiered-mix", mixed},
+			{"tiered-reattached", tre},
+		}
+		for _, tt := range tiered {
+			d, r := tt.l.MatchRequest(q)
+			check(tt.name, d, r)
+			hd, hr, ord := DecideHits(tt.l.AppendHits(nil, q))
+			check(tt.name+"-hits", hd, hr)
+			if hr != nil && tt.l.Rules()[ord] != hr {
+				t.Fatalf("%s: DecideHits ordinal %d does not index its winner", tt.name, ord)
+			}
+		}
+
 		want := list.MatchingHTTPRulesLinear(q)
 		for _, probe := range []struct {
 			name string
@@ -66,6 +96,9 @@ func FuzzMatchDifferential(f *testing.F) {
 			{"automaton", list.MatchingHTTPRules(q)},
 			{"token-index", list.MatchingHTTPRulesTokenIndex(q)},
 			{"reattached", re.MatchingHTTPRules(q)},
+			{"tiered-cold", allCold.MatchingHTTPRules(q)},
+			{"tiered-mix", mixed.MatchingHTTPRules(q)},
+			{"tiered-reattached", tre.MatchingHTTPRules(q)},
 		} {
 			if len(probe.got) != len(want) {
 				t.Fatalf("%s all-matches: rule %q url %q: %d rules != linear %d",

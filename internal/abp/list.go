@@ -45,6 +45,20 @@ type List struct {
 	auto     *automaton
 	rulesCRC uint64
 
+	// Tiered lists (see tier.go) keep the hot automaton in auto and the
+	// cold fallback here: the decision path probes cold only when the hot
+	// tier cannot conclude the verdict on its own. hot marks each
+	// ordinal's tier and coldMinBlk is the lowest cold ordinal — a hot
+	// block below it cannot be outranked by any cold rule. All nil/zero
+	// for untiered lists.
+	cold       *automaton
+	hot        []bool
+	coldMinBlk uint32
+
+	// usage, when enabled, counts match verdicts per rule ordinal. Nil
+	// (and therefore free) unless EnableUsage was called before serving.
+	usage *Usage
+
 	// The token-hash indexes are built lazily (tokenIndexes): the
 	// automaton serves every ASCII URL, so most processes never touch
 	// them, and skipping their construction is what keeps a compiled
@@ -172,24 +186,86 @@ func (l *List) Rules() []*Rule { return l.rules }
 // raw URL yields every candidate rule ordinal into stack scratch, so the
 // common no-match lookup performs zero heap allocations. Non-ASCII URLs
 // (where byte-wise case folding is unsound) take the token-index path
-// instead, which matches on a properly lowered copy.
+// instead, which matches on a properly lowered copy. On a tiered list the
+// cold automaton is probed only when the hot tier cannot conclude the
+// verdict (see matchVerdictCtx). When usage counters are enabled the
+// winning rule's ordinal is recorded — an atomic add, no allocation.
 func (l *List) MatchRequest(q Request) (Decision, *Rule) {
 	c := newMatchCtx(q)
-	cands, ok := l.auto.collect(&c)
+	d, r, ord := l.matchVerdictCtx(&c)
+	if u := l.usage; u != nil {
+		u.record(ord)
+	}
+	return d, r
+}
+
+// matchVerdictCtx is the decision core shared by MatchRequest: it returns
+// the verdict, the winning rule, and that rule's ordinal (-1 for
+// NoMatch).
+//
+// Tiered lists resolve in two stages. The hot probe alone settles the
+// verdict when (a) an exception matches — every exception rule lives in
+// the hot tier by construction, so the first matching hot exception is
+// the globally first one — or (b) a hot block matches with an ordinal
+// below coldMinBlk, which no cold rule can outrank. Otherwise the cold
+// automaton is probed for a block with a lower ordinal than the hot
+// winner. That staging is what the compaction loop buys: with ≥95% of
+// winning rules in the hot tier, most verdicts never touch the cold
+// automaton's memory.
+func (l *List) matchVerdictCtx(c *matchCtx) (Decision, *Rule, int) {
+	cands, ok := l.auto.collect(c)
 	if !ok {
-		return l.matchTokenIndexCtx(&c)
+		return l.matchTokenIndexCtx(c)
 	}
 	for _, ord := range cands {
-		if r := l.rules[ord]; r.Kind == KindHTTPException && r.matchCtx(&c) {
-			return Allowed, r
+		if r := l.rules[ord]; r.Kind == KindHTTPException && r.matchCtx(c) {
+			return Allowed, r, int(ord)
 		}
 	}
+	win := -1
 	for _, ord := range cands {
-		if r := l.rules[ord]; r.Kind == KindHTTPBlock && r.matchCtx(&c) {
-			return Blocked, r
+		if r := l.rules[ord]; r.Kind == KindHTTPBlock && r.matchCtx(c) {
+			win = int(ord)
+			break
 		}
 	}
-	return NoMatch, nil
+	if l.cold != nil && !(win >= 0 && uint32(win) < l.coldMinBlk) {
+		// The URL already scanned clean (ASCII) through the hot automaton,
+		// so the cold scan cannot report !ok. The hot candidates in the
+		// scratch are no longer needed — only win survives — so a plain
+		// collect (which resets the scratch) is safe here.
+		cands, _ = l.cold.collect(c)
+		for _, ord := range cands {
+			if win >= 0 && int(ord) >= win {
+				break
+			}
+			// Cold rules are all blocking rules (attachCold enforces it).
+			if r := l.rules[ord]; r.matchCtx(c) {
+				win = int(ord)
+				break
+			}
+		}
+	}
+	if win >= 0 {
+		return Blocked, l.rules[win], win
+	}
+	return NoMatch, nil, -1
+}
+
+// collectAllCtx gathers the candidate ordinals for the all-matches paths:
+// both tiers of a tiered list are scanned into one scratch and sorted
+// once, so verification walks the combined set in insertion order exactly
+// as on an untiered list. ok=false routes non-ASCII URLs to the token
+// index.
+func (l *List) collectAllCtx(c *matchCtx) ([]uint32, bool) {
+	c.resetCands()
+	if !l.auto.scanInto(c) {
+		return nil, false
+	}
+	if l.cold != nil {
+		l.cold.scanInto(c)
+	}
+	return c.sortedCands(), true
 }
 
 // MatchRequestTokenIndex is MatchRequest served by the token-hash keyword
@@ -199,36 +275,37 @@ func (l *List) MatchRequest(q Request) (Decision, *Rule) {
 // MatchRequest.
 func (l *List) MatchRequestTokenIndex(q Request) (Decision, *Rule) {
 	c := newMatchCtx(q)
-	return l.matchTokenIndexCtx(&c)
+	d, r, _ := l.matchTokenIndexCtx(&c)
+	return d, r
 }
 
-func (l *List) matchTokenIndexCtx(c *matchCtx) (Decision, *Rule) {
+func (l *List) matchTokenIndexCtx(c *matchCtx) (Decision, *Rule, int) {
 	// Buckets are probed in token-scan order, so the lowest ordinal among
 	// the matches is taken explicitly — that is the rule the linear scan
 	// returns, which keeps this path interchangeable with the automaton in
 	// the differential tests.
 	blockIdx, exceptIdx := l.tokenIndexes()
 	var scratch [matchScratchCap]indexedRule
-	if r := firstByOrdinal(exceptIdx.appendMatches(c, scratch[:0])); r != nil {
-		return Allowed, r
+	if r, ord := firstByOrdinal(exceptIdx.appendMatches(c, scratch[:0])); r != nil {
+		return Allowed, r, ord
 	}
-	if r := firstByOrdinal(blockIdx.appendMatches(c, scratch[:0])); r != nil {
-		return Blocked, r
+	if r, ord := firstByOrdinal(blockIdx.appendMatches(c, scratch[:0])); r != nil {
+		return Blocked, r, ord
 	}
-	return NoMatch, nil
+	return NoMatch, nil, -1
 }
 
 // firstByOrdinal returns the matched rule with the lowest insertion
-// ordinal, or nil for an empty set.
-func firstByOrdinal(hits []indexedRule) *Rule {
+// ordinal and that ordinal, or (nil, -1) for an empty set.
+func firstByOrdinal(hits []indexedRule) (*Rule, int) {
 	var best *Rule
-	bestOrd := 0
+	bestOrd := -1
 	for _, h := range hits {
 		if best == nil || h.ord < bestOrd {
 			best, bestOrd = h.r, h.ord
 		}
 	}
-	return best
+	return best, bestOrd
 }
 
 // MatchRequestLinear is MatchRequest without the keyword index: every HTTP
@@ -261,13 +338,13 @@ func (l *List) MatchingHTTPRules(q Request) []*Rule {
 
 // AppendMatchingHTTPRules appends every matching HTTP rule to dst in
 // insertion order and returns the extended slice. The automaton's
-// candidates arrive already sorted by insertion ordinal, so verified
-// matches append in linear-scan order directly — no sort, and with a
-// pre-sized dst no allocation at all. Non-ASCII URLs fall back to the
-// token index.
+// candidates arrive already sorted by insertion ordinal (a tiered list
+// scans both tiers into one candidate set first), so verified matches
+// append in linear-scan order directly — no sort, and with a pre-sized
+// dst no allocation at all. Non-ASCII URLs fall back to the token index.
 func (l *List) AppendMatchingHTTPRules(dst []*Rule, q Request) []*Rule {
 	c := newMatchCtx(q)
-	cands, ok := l.auto.collect(&c)
+	cands, ok := l.collectAllCtx(&c)
 	if !ok {
 		return l.appendMatchingTokenIndexCtx(&c, dst)
 	}
@@ -277,6 +354,52 @@ func (l *List) AppendMatchingHTTPRules(dst []*Rule, q Request) []*Rule {
 		}
 	}
 	return dst
+}
+
+// Hit is one matching HTTP rule together with its insertion ordinal in
+// the list — the currency of the serving data plane, which needs the
+// ordinal both to derive the winning rule (DecideHits) and to record
+// usage (RecordUsage) without re-probing the list.
+type Hit struct {
+	Rule *Rule
+	Ord  int
+}
+
+// AppendHits is AppendMatchingHTTPRules carrying ordinals: every matching
+// HTTP rule is appended to dst in insertion order. One AppendHits pass
+// gives a caller the full matched set AND — via DecideHits — the exact
+// verdict MatchRequest would return, so the serving layer probes each
+// list once per request instead of twice.
+func (l *List) AppendHits(dst []Hit, q Request) []Hit {
+	c := newMatchCtx(q)
+	cands, ok := l.collectAllCtx(&c)
+	if !ok {
+		return l.appendHitsTokenIndexCtx(&c, dst)
+	}
+	for _, ord := range cands {
+		if r := l.rules[ord]; r.matchCtx(&c) {
+			dst = append(dst, Hit{r, int(ord)})
+		}
+	}
+	return dst
+}
+
+// DecideHits derives the match verdict from an AppendHits result: the
+// first matching exception in insertion order wins, else the first
+// matching block — the same rule (and ordinal) MatchRequest returns. The
+// ordinal is -1 for NoMatch, so it can feed RecordUsage unconditionally.
+func DecideHits(hits []Hit) (Decision, *Rule, int) {
+	for _, h := range hits {
+		if h.Rule.Kind == KindHTTPException {
+			return Allowed, h.Rule, h.Ord
+		}
+	}
+	for _, h := range hits {
+		if h.Rule.Kind == KindHTTPBlock {
+			return Blocked, h.Rule, h.Ord
+		}
+	}
+	return NoMatch, nil, -1
 }
 
 // MatchingHTTPRulesTokenIndex is MatchingHTTPRules served by the
@@ -290,17 +413,30 @@ func (l *List) MatchingHTTPRulesTokenIndex(q Request) []*Rule {
 }
 
 func (l *List) appendMatchingTokenIndexCtx(c *matchCtx, dst []*Rule) []*Rule {
-	blockIdx, exceptIdx := l.tokenIndexes()
 	var scratch [matchScratchCap]indexedRule
-	hits := scratch[:0]
+	for _, h := range l.tokenIndexHitsCtx(c, scratch[:0]) {
+		dst = append(dst, h.r)
+	}
+	return dst
+}
+
+func (l *List) appendHitsTokenIndexCtx(c *matchCtx, dst []Hit) []Hit {
+	var scratch [matchScratchCap]indexedRule
+	for _, h := range l.tokenIndexHitsCtx(c, scratch[:0]) {
+		dst = append(dst, Hit{h.r, h.ord})
+	}
+	return dst
+}
+
+// tokenIndexHitsCtx collects every matching HTTP rule through the token
+// index into hits, restored to insertion order. Matching sets are tiny (a
+// handful of rules): a small-N insertion sort over the caller's stack
+// scratch restores insertion order without the closure and interface
+// allocations sort.Slice would cost per call.
+func (l *List) tokenIndexHitsCtx(c *matchCtx, hits []indexedRule) []indexedRule {
+	blockIdx, exceptIdx := l.tokenIndexes()
 	hits = exceptIdx.appendMatches(c, hits)
 	hits = blockIdx.appendMatches(c, hits)
-	if len(hits) == 0 {
-		return dst
-	}
-	// Matching sets are tiny (a handful of rules): a small-N insertion
-	// sort over the stack scratch restores insertion order without the
-	// closure and interface allocations sort.Slice would cost per call.
 	for i := 1; i < len(hits); i++ {
 		h := hits[i]
 		j := i - 1
@@ -310,10 +446,7 @@ func (l *List) appendMatchingTokenIndexCtx(c *matchCtx, dst []*Rule) []*Rule {
 		}
 		hits[j+1] = h
 	}
-	for _, h := range hits {
-		dst = append(dst, h.r)
-	}
-	return dst
+	return hits
 }
 
 // MatchingHTTPRulesLinear is the index-free reference implementation of

@@ -175,6 +175,12 @@ func (c *matchCtx) low() string {
 	return c.lowered
 }
 
+// resetCands empties the candidate scratch before a fresh probe pass.
+func (c *matchCtx) resetCands() {
+	c.ncand = 0
+	c.spill = c.spill[:0]
+}
+
 // pushCand records a candidate rule ordinal from the automaton scan,
 // spilling past the inline scratch only on pathological inputs.
 func (c *matchCtx) pushCand(ord uint32) {
@@ -191,12 +197,32 @@ func (c *matchCtx) pushCand(ord uint32) {
 // candidate verification reproduce the linear reference scan. Candidate
 // sets are small, so an in-place insertion sort beats sort.Slice and,
 // unlike it, allocates nothing.
+//
+// The scratch is left describing exactly the returned set, so callers may
+// keep pushing candidates afterwards (the tiered match path scans a
+// second automaton into the same context) and sort again: the compacted
+// run and the new pushes merge on the next call.
 func (c *matchCtx) sortedCands() []uint32 {
-	v := c.cand[:c.ncand]
-	if len(c.spill) > 0 {
-		c.spill = append(c.spill, v...)
-		v = c.spill
+	// The two storage cases stay in separate branches on purpose: the
+	// compacted slice is written back into c.spill only where it provably
+	// derives from c.spill itself. A single merged path would store a
+	// maybe-aliases-c.cand slice into the context — a self-referential
+	// store that escape analysis must send to the heap, costing the hot
+	// path its zero-alloc property (see the low() comment).
+	if len(c.spill) == 0 {
+		out := sortDedupU32(c.cand[:c.ncand])
+		c.ncand = len(out)
+		return out
 	}
+	c.spill = append(c.spill, c.cand[:c.ncand]...)
+	c.ncand = 0
+	c.spill = sortDedupU32(c.spill)
+	return c.spill
+}
+
+// sortDedupU32 sorts v ascending in place and compacts duplicates,
+// returning the shortened prefix.
+func sortDedupU32(v []uint32) []uint32 {
 	for i := 1; i < len(v); i++ {
 		x := v[i]
 		j := i - 1

@@ -37,8 +37,8 @@ const (
 	// ListsSnapshotFormat is the format tag every lists snapshot carries.
 	ListsSnapshotFormat = "adwars-lists"
 	// ListsSnapshotVersion is the newest snapshot schema version this
-	// build reads and the version WriteListsSnapshotCompiled writes.
-	ListsSnapshotVersion = 3
+	// build reads and the version WriteListsSnapshotTiered writes.
+	ListsSnapshotVersion = 4
 	// listsSnapshotPlainVersion is the version WriteListsSnapshot writes:
 	// JSON only, no compiled sections.
 	listsSnapshotPlainVersion = 2
@@ -46,8 +46,12 @@ const (
 	// an integrity trailer.
 	listsSnapshotSealedVersion = 2
 	// listsSnapshotCompiledVersion is the first schema version that may
-	// carry compiled automaton sections.
+	// carry compiled automaton sections (and the version
+	// WriteListsSnapshotCompiled writes).
 	listsSnapshotCompiledVersion = 3
+	// listsSnapshotTieredVersion is the first schema version that may
+	// carry hot/cold tier section pairs (see adwars-compact).
+	listsSnapshotTieredVersion = 4
 )
 
 // ErrSnapshotFormat reports a file that is not a lists snapshot at all.
@@ -67,6 +71,9 @@ type ListsSnapshot struct {
 	// Compiled reports whether every list's automaton was attached from a
 	// serialized snapshot section rather than rebuilt at load time.
 	Compiled bool
+	// Tiered reports whether every list carries a hot/cold tier split
+	// (schema v4, produced by adwars-compact from a usage dump).
+	Tiered bool
 }
 
 // Rules returns the total rule count across all lists.
@@ -120,8 +127,37 @@ func WriteListsSnapshotCompiled(w io.Writer, s *ListsSnapshot) error {
 	return err
 }
 
+// WriteListsSnapshotTiered writes the snapshot to w as a version-4
+// document: the JSON rule lists followed by a hot/cold section pair per
+// list ("automaton.hot.<i>" / "automaton.cold.<i>") holding that list's
+// tier automatons, all sealed under the integrity trailer. Every list
+// must be tiered (CompileTiered); loaders reattach both tiers and
+// re-derive the membership invariants from the sections themselves.
+func WriteListsSnapshotTiered(w io.Writer, s *ListsSnapshot) error {
+	for _, l := range s.Lists {
+		if !l.Tiered() {
+			return fmt.Errorf("abp: tiered snapshot: list %q is not tiered", l.Name)
+		}
+	}
+	payload, err := marshalListsJSON(s, listsSnapshotTieredVersion)
+	if err != nil {
+		return err
+	}
+	for i, l := range s.Lists {
+		payload = artifact.AppendSection(payload, hotSectionName(i), l.AutomatonBytes())
+		payload = artifact.AppendSection(payload, coldSectionName(i), l.ColdAutomatonBytes())
+	}
+	_, err = w.Write(artifact.Seal(payload))
+	return err
+}
+
 // automatonSectionName names list i's automaton section in a v3 snapshot.
 func automatonSectionName(i int) string { return fmt.Sprintf("automaton.%d", i) }
+
+// hotSectionName / coldSectionName name list i's tier sections in a v4
+// snapshot.
+func hotSectionName(i int) string  { return fmt.Sprintf("automaton.hot.%d", i) }
+func coldSectionName(i int) string { return fmt.Sprintf("automaton.cold.%d", i) }
 
 func marshalListsJSON(s *ListsSnapshot, version int) ([]byte, error) {
 	doc := listsSnapshotJSON{
@@ -196,7 +232,11 @@ func parseListsSnapshot(data []byte) (*ListsSnapshot, error) {
 	for _, sec := range sections {
 		autoByName[sec.Name] = sec.Data
 	}
-	out := &ListsSnapshot{Label: doc.Label, Compiled: len(doc.Lists) > 0}
+	out := &ListsSnapshot{
+		Label:    doc.Label,
+		Compiled: len(doc.Lists) > 0,
+		Tiered:   len(doc.Lists) > 0 && doc.Version >= listsSnapshotTieredVersion,
+	}
 	for i, lj := range doc.Lists {
 		rules := make([]*Rule, 0, len(lj.Rules))
 		for _, line := range lj.Rules {
@@ -206,18 +246,36 @@ func parseListsSnapshot(data []byte) (*ListsSnapshot, error) {
 			}
 			rules = append(rules, rule)
 		}
-		if auto, ok := autoByName[automatonSectionName(i)]; ok {
-			l, err := NewListCompiled(lj.Name, rules, auto)
+		hotB, hasHot := autoByName[hotSectionName(i)]
+		coldB, hasCold := autoByName[coldSectionName(i)]
+		switch {
+		case doc.Version >= listsSnapshotTieredVersion && hasHot && hasCold:
+			l, err := NewListTiered(lj.Name, rules, hotB, coldB)
 			if err != nil {
 				return nil, fmt.Errorf("abp: snapshot list %q: %w", lj.Name, err)
 			}
 			out.Lists = append(out.Lists, l)
-		} else {
-			// A v3 snapshot without this list's section (e.g. written by a
-			// future producer that compiles selectively) still loads; the
-			// automaton is rebuilt from the rules.
-			out.Lists = append(out.Lists, NewList(lj.Name, rules))
-			out.Compiled = false
+		case hasHot != hasCold:
+			// One tier section without its pair is a producer bug or a
+			// damaged file, never a legitimate layout.
+			return nil, fmt.Errorf("abp: lists snapshot: %w",
+				artifact.Corruptf("section-malformed",
+					"list %q carries only one of its tier sections", lj.Name))
+		default:
+			if auto, ok := autoByName[automatonSectionName(i)]; ok {
+				l, err := NewListCompiled(lj.Name, rules, auto)
+				if err != nil {
+					return nil, fmt.Errorf("abp: snapshot list %q: %w", lj.Name, err)
+				}
+				out.Lists = append(out.Lists, l)
+			} else {
+				// A v3+ snapshot without this list's section (e.g. written
+				// by a future producer that compiles selectively) still
+				// loads; the automaton is rebuilt from the rules.
+				out.Lists = append(out.Lists, NewList(lj.Name, rules))
+				out.Compiled = false
+			}
+			out.Tiered = false
 		}
 	}
 	return out, nil
@@ -233,6 +291,12 @@ func SaveListsSnapshot(path string, s *ListsSnapshot) error {
 // format (automaton sections included).
 func SaveListsSnapshotCompiled(path string, s *ListsSnapshot) error {
 	return saveListsSnapshot(path, s, WriteListsSnapshotCompiled)
+}
+
+// SaveListsSnapshotTiered is SaveListsSnapshot in the version-4 tiered
+// format (hot/cold section pairs; every list must be tiered).
+func SaveListsSnapshotTiered(path string, s *ListsSnapshot) error {
+	return saveListsSnapshot(path, s, WriteListsSnapshotTiered)
 }
 
 func saveListsSnapshot(path string, s *ListsSnapshot, write func(io.Writer, *ListsSnapshot) error) error {

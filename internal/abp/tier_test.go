@@ -1,0 +1,516 @@
+package abp
+
+import (
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"adwars/internal/artifact"
+)
+
+// tierURLs extends the bench mix with queries that force every tier
+// interaction: hot exception over cold block, cold-only block, hot block
+// below and above coldMinBlk, pure miss, and the non-ASCII fallback.
+func tierURLs() []string {
+	urls := append([]string(nil), benchURLs...)
+	return append(urls,
+		"http://benign0003.com/ads.js",     // exception (hot by construction) over block
+		"http://vendor0000.com/a.js",       // lowest-ordinal block
+		"http://vendor1995.com/x.png",      // high-ordinal block
+		"http://site1001.com/ads.js",       // mid-ordinal block
+		"http://detect0004.example/x.js",   // keyword reachable, options veto
+		"http://cdn.unrelated.net/app.js",  // pure miss
+		"http://example.com/café.js", // non-ASCII: token-index fallback
+	)
+}
+
+func tierQueries() []Request {
+	urls := tierURLs()
+	qs := make([]Request, 0, 2*len(urls))
+	for _, u := range urls {
+		qs = append(qs,
+			Request{URL: u, Type: TypeScript, PageDomain: "page.com"},
+			Request{URL: u, Type: TypeImage, PageDomain: HostOf(u)},
+		)
+	}
+	return qs
+}
+
+// assertTierTransparent proves a tiered list is observationally identical
+// to its untiered source across the full query mix: decision, winning
+// rule, all-matches set, and the AppendHits/DecideHits serving path.
+func assertTierTransparent(t *testing.T, name string, plain, tiered *List) {
+	t.Helper()
+	for _, q := range tierQueries() {
+		wd, wr := plain.MatchRequest(q)
+		gd, gr := tiered.MatchRequest(q)
+		// Compare by rule text, not pointer: a snapshot round trip reparses
+		// the rules into fresh *Rule values.
+		if wd != gd || raw(gr) != raw(wr) {
+			t.Fatalf("%s: %q: tiered (%v, %s) != untiered (%v, %s)",
+				name, q.URL, gd, raw(gr), wd, raw(wr))
+		}
+		want := plain.MatchingHTTPRulesLinear(q)
+		got := tiered.MatchingHTTPRules(q)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %q: all-matches %d != linear %d", name, q.URL, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Raw != want[i].Raw {
+				t.Fatalf("%s: %q: all-matches[%d] = %q != %q", name, q.URL, i, got[i].Raw, want[i].Raw)
+			}
+		}
+		hits := tiered.AppendHits(nil, q)
+		if len(hits) != len(want) {
+			t.Fatalf("%s: %q: hits %d != linear %d", name, q.URL, len(hits), len(want))
+		}
+		hd, hr, ord := DecideHits(hits)
+		if hd != wd || raw(hr) != raw(wr) {
+			t.Fatalf("%s: %q: DecideHits (%v, %s) != (%v, %s)", name, q.URL, hd, raw(hr), wd, raw(wr))
+		}
+		if hr != nil && tiered.Rules()[ord] != hr {
+			t.Fatalf("%s: %q: DecideHits ordinal %d does not index the winning rule", name, q.URL, ord)
+		}
+	}
+}
+
+// TestTieredDifferential is the tier transparency gate over adversarial
+// splits: nothing voluntarily hot (every keyword block cold), everything
+// hot (cold tier empty), and striped mixes that scatter hot and cold
+// ordinals through the candidate sets.
+func TestTieredDifferential(t *testing.T) {
+	plain := NewList("tier", benchRules(2000))
+	splits := map[string]func(int) bool{
+		"all-cold": nil,
+		"all-hot":  func(int) bool { return true },
+		"stripe-2": func(ord int) bool { return ord%2 == 0 },
+		"stripe-3": func(ord int) bool { return ord%3 == 1 },
+		"low-hot":  func(ord int) bool { return ord < 700 },
+		"high-hot": func(ord int) bool { return ord >= 1300 },
+	}
+	for name, keep := range splits {
+		tiered := plain.CompileTiered(keep)
+		if !tiered.Tiered() || plain.Tiered() {
+			t.Fatalf("%s: Tiered flags wrong", name)
+		}
+		assertTierTransparent(t, name, plain, tiered)
+	}
+}
+
+// TestTieredDeterministic pins tier compilation determinism: the same
+// rules and keep set must serialize to identical hot and cold bytes
+// (snapshot versions are content CRCs; a recompile must not change them).
+func TestTieredDeterministic(t *testing.T) {
+	plain := NewList("tier", benchRules(800))
+	keep := func(ord int) bool { return ord%5 == 0 }
+	a, b := plain.CompileTiered(keep), plain.CompileTiered(keep)
+	if string(a.AutomatonBytes()) != string(b.AutomatonBytes()) {
+		t.Fatal("hot tier bytes differ across identical compiles")
+	}
+	if string(a.ColdAutomatonBytes()) != string(b.ColdAutomatonBytes()) {
+		t.Fatal("cold tier bytes differ across identical compiles")
+	}
+}
+
+// TestTieredSnapshotRoundTrip proves the v4 snapshot is lossless: a
+// tiered snapshot reloads tiered, with byte-identical tier regions and
+// identical match behavior, through both the read and mmap paths.
+func TestTieredSnapshotRoundTrip(t *testing.T) {
+	plain := NewList("AAK", benchRules(1000))
+	tiered := plain.CompileTiered(func(ord int) bool { return ord%4 == 0 })
+	second := NewList("CEL", benchRules(300)).CompileTiered(nil)
+	snap := &ListsSnapshot{Label: "tiered-rt", Lists: []*List{tiered, second}}
+
+	path := filepath.Join(t.TempDir(), "lists.v4.json")
+	if err := SaveListsSnapshotTiered(path, snap); err != nil {
+		t.Fatalf("SaveListsSnapshotTiered: %v", err)
+	}
+	for _, mode := range []string{"read", "mmap"} {
+		var got *ListsSnapshot
+		switch mode {
+		case "read":
+			s, err := LoadListsSnapshot(path)
+			if err != nil {
+				t.Fatalf("%s: %v", mode, err)
+			}
+			got = s
+		case "mmap":
+			s, closer, err := OpenListsSnapshotMapped(path)
+			if err != nil {
+				t.Fatalf("%s: %v", mode, err)
+			}
+			defer closer.Close()
+			got = s
+		}
+		if !got.Compiled || !got.Tiered {
+			t.Fatalf("%s: Compiled=%v Tiered=%v, want both true", mode, got.Compiled, got.Tiered)
+		}
+		rt := got.Lists[0]
+		if !rt.Tiered() {
+			t.Fatalf("%s: reloaded list lost its tiers", mode)
+		}
+		if string(rt.AutomatonBytes()) != string(tiered.AutomatonBytes()) ||
+			string(rt.ColdAutomatonBytes()) != string(tiered.ColdAutomatonBytes()) {
+			t.Fatalf("%s: tier regions not byte-identical after round trip", mode)
+		}
+		assertTierTransparent(t, mode, plain, rt)
+	}
+
+	// A plain v3 compiled snapshot still loads and reports untiered.
+	v3 := filepath.Join(t.TempDir(), "lists.v3.json")
+	if err := SaveListsSnapshotCompiled(v3, &ListsSnapshot{Lists: []*List{plain}}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadListsSnapshot(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Compiled || s.Tiered {
+		t.Fatalf("v3: Compiled=%v Tiered=%v, want compiled untiered", s.Compiled, s.Tiered)
+	}
+}
+
+// TestTieredHistoryDifferential runs the tier transparency gate at the
+// history level: every revision's in-force list, compiled tiered, must
+// answer identically to its untiered compile — growing rule sets shift
+// every ordinal boundary the staged probe depends on (coldMinBlk, the
+// exception frontier), so each revision is a fresh adversarial split.
+func TestTieredHistoryDifferential(t *testing.T) {
+	all := benchRules(900)
+	h := NewHistory("tier-history")
+	for i, cut := range []int{150, 400, 900} {
+		h.Append(day(2014, time.Month(1+i), 1), all[:cut])
+	}
+	for _, at := range []time.Time{day(2014, 1, 15), day(2014, 2, 15), day(2014, 6, 1)} {
+		plain := h.ListAt(at)
+		tiered := plain.CompileTiered(func(ord int) bool { return ord%7 == 3 })
+		assertTierTransparent(t, at.Format("2006-01"), plain, tiered)
+	}
+}
+
+// TestTieredValidation is the corruption matrix for tier attachment:
+// miscompiled tiers — membership overlap, missing rules, an exception in
+// the cold tier, a keyword-less cold rule — are refused as corrupt.
+func TestTieredValidation(t *testing.T) {
+	rules := benchRules(500)
+	plain := NewList("v", rules)
+	tiered := plain.CompileTiered(func(ord int) bool { return ord%2 == 0 })
+	hot, cold := tiered.AutomatonBytes(), tiered.ColdAutomatonBytes()
+
+	// The pristine pair attaches.
+	if _, err := NewListTiered("v", rules, hot, cold); err != nil {
+		t.Fatalf("pristine tier pair refused: %v", err)
+	}
+	// Hot paired with itself: every hot ordinal lands in both tiers.
+	if _, err := NewListTiered("v", rules, hot, hot); err == nil {
+		t.Fatal("overlapping tiers accepted")
+	} else if !isCorrupt(err) {
+		t.Fatalf("overlap error %v does not wrap ErrCorrupt", err)
+	}
+	// Cold tier alone as the hot automaton: exceptions vanish from both
+	// tiers (and plenty of blocks are missing too).
+	if _, err := NewListTiered("v", rules, cold, cold); err == nil {
+		t.Fatal("tiers with missing rules accepted")
+	}
+	// An "exception relegated to cold" compile: build tier automatons by
+	// hand with one exception moved cold.
+	var excOrd = -1
+	for ord, r := range plain.Rules() {
+		if r.Kind == KindHTTPException && r.AutomatonKeyword() != "" {
+			excOrd = ord
+			break
+		}
+	}
+	if excOrd < 0 {
+		t.Fatal("bench rules carry no keyworded exception")
+	}
+	n := len(plain.Rules())
+	hotM, coldM := make([]bool, n), make([]bool, n)
+	for ord, r := range plain.Rules() {
+		if !r.IsHTTP() {
+			continue
+		}
+		if ord == excOrd {
+			coldM[ord] = true
+		} else {
+			hotM[ord] = true
+		}
+	}
+	badHot := buildAutomatonMember(plain.Rules(), plain.rulesCRC, hotM)
+	badCold := buildAutomatonMember(plain.Rules(), plain.rulesCRC, coldM)
+	if _, err := NewListTiered("v", rules, badHot.Bytes(), badCold.Bytes()); err == nil {
+		t.Fatal("cold exception accepted")
+	} else if !isCorrupt(err) {
+		t.Fatalf("cold-exception error %v does not wrap ErrCorrupt", err)
+	}
+
+	// A v4 snapshot carrying only one tier section of the pair is corrupt.
+	snap := &ListsSnapshot{Lists: []*List{tiered}}
+	payload, err := marshalListsJSON(snap, listsSnapshotTieredVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = artifact.AppendSection(payload, hotSectionName(0), hot)
+	if _, err := parseListsSnapshot(artifact.Seal(payload)); err == nil {
+		t.Fatal("half a tier pair accepted")
+	} else if !isCorrupt(err) {
+		t.Fatalf("half-pair error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+// TestTierStats sanity-checks the tier geometry report the compaction
+// tool and benches surface.
+func TestTierStats(t *testing.T) {
+	plain := NewList("s", benchRules(1000))
+	flat := plain.TierStats()
+	if flat.ColdBytes != 0 || flat.ColdRules != 0 || flat.HotRules == 0 {
+		t.Fatalf("untiered stats = %+v", flat)
+	}
+	tiered := plain.CompileTiered(nil) // only forced-hot rules stay hot
+	st := tiered.TierStats()
+	if st.HotRules+st.ColdRules != flat.HotRules {
+		t.Fatalf("tier split loses rules: %+v vs %d HTTP rules", st, flat.HotRules)
+	}
+	if st.ColdRules == 0 {
+		t.Fatal("nothing went cold under a nil keep")
+	}
+	if st.HotBytes >= flat.HotBytes {
+		t.Fatalf("hot working set did not shrink: %d >= %d", st.HotBytes, flat.HotBytes)
+	}
+	if !tiered.IsHotRule(tierFirstException(tiered)) {
+		t.Fatal("exception not reported hot")
+	}
+}
+
+func tierFirstException(l *List) int {
+	for ord, r := range l.Rules() {
+		if r.Kind == KindHTTPException {
+			return ord
+		}
+	}
+	return -1
+}
+
+// TestUsageLoopCoverage drives the full feedback loop the PR exists for:
+// serve traffic with counters on, compact the list around the observed
+// usage, and verify (a) answers stay identical, (b) ≥95% of match
+// verdicts on the same traffic are then won by hot-tier rules, and (c)
+// the hot working set is measurably smaller than the untiered automaton.
+func TestUsageLoopCoverage(t *testing.T) {
+	plain := NewList("loop", benchRules(2000))
+	plain.EnableUsage()
+	qs := tierQueries()
+	for _, q := range qs {
+		plain.MatchRequest(q)
+	}
+	counts := plain.Usage().Counts()
+	tiered := plain.CompileTiered(func(ord int) bool { return counts[ord] > 0 })
+	assertTierTransparent(t, "usage-loop", plain, tiered)
+
+	matches, hotWins := 0, 0
+	for _, q := range qs {
+		hits := tiered.AppendHits(nil, q)
+		_, r, ord := DecideHits(hits)
+		if r == nil {
+			continue
+		}
+		matches++
+		if tiered.IsHotRule(ord) {
+			hotWins++
+		}
+	}
+	if matches == 0 {
+		t.Fatal("query mix produced no matches")
+	}
+	if cov := float64(hotWins) / float64(matches); cov < 0.95 {
+		t.Fatalf("hot coverage %.2f < 0.95 (%d/%d)", cov, hotWins, matches)
+	}
+	st, flat := tiered.TierStats(), plain.TierStats()
+	if st.HotBytes >= flat.HotBytes {
+		t.Fatalf("hot tier %dB not smaller than untiered %dB", st.HotBytes, flat.HotBytes)
+	}
+}
+
+// TestUsageCounters pins the recording semantics: exactly one hit per
+// match verdict, attributed to the winning rule's ordinal, none for
+// no-match, and the same attribution through the AppendHits/RecordUsage
+// serving path and the non-ASCII token-index fallback.
+func TestUsageCounters(t *testing.T) {
+	l := buildList(t, "u",
+		"||ads.example^",
+		"@@||ads.example/allowed",
+		"/banner.",
+	)
+	l.EnableUsage()
+	q := func(u string) Request { return Request{URL: u, Type: TypeScript, PageDomain: "p.com"} }
+
+	l.MatchRequest(q("http://ads.example/x.js"))        // block, ordinal 0
+	l.MatchRequest(q("http://ads.example/allowed/a"))   // exception, ordinal 1
+	l.MatchRequest(q("http://x.com/banner.png"))        // block, ordinal 2
+	l.MatchRequest(q("http://x.com/banner.café")) // fallback path, ordinal 2
+	l.MatchRequest(q("http://clean.example/app.js"))    // no match
+
+	hits := l.AppendHits(nil, q("http://ads.example/y.js"))
+	_, _, ord := DecideHits(hits)
+	l.RecordUsage(ord) // ordinal 0 again
+	l.RecordUsage(-1)  // no-match verdict: must be ignored
+
+	got := l.Usage().Counts()
+	want := []uint64{2, 1, 2}
+	for ord, w := range want {
+		if got[ord] != w {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+	if total := l.Usage().Total(); total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	// Disabled lists record nothing and stay nil.
+	if NewList("off", l.Rules()).Usage() != nil {
+		t.Fatal("usage bank present without EnableUsage")
+	}
+}
+
+// TestUsageRecordZeroAllocs extends the hot-path allocation gate to
+// counter recording: matching with usage enabled must still not allocate.
+func TestUsageRecordZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	list := NewList("gate", benchRules(2000))
+	list.EnableUsage()
+	qs := make([]Request, len(benchURLs))
+	for i, u := range benchURLs {
+		qs[i] = Request{URL: u, Type: TypeScript, PageDomain: "page.com"}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		list.MatchRequest(qs[i%len(qs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("MatchRequest with usage enabled allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestUsageStress is the loadgen-ledger-style reconciliation gate, meant
+// for -race: GOMAXPROCS goroutines hammer a usage-enabled list while
+// readers merge the shards concurrently, and the final merge must equal
+// the exact number of matching verdicts issued — sharded counters may
+// not lose or double-count a single hit.
+func TestUsageStress(t *testing.T) {
+	list := NewList("stress", benchRules(2000))
+	list.EnableUsage()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 5000
+	qs := tierQueries()
+
+	var wg sync.WaitGroup
+	issued := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n uint64
+			for i := 0; i < perWorker; i++ {
+				q := qs[(w+i)%len(qs)]
+				if d, _ := list.MatchRequest(q); d != NoMatch {
+					n++
+				}
+				// The serving path records through AppendHits+RecordUsage.
+				if i%16 == 0 {
+					var buf [8]Hit
+					_, _, ord := DecideHits(list.AppendHits(buf[:0], q))
+					list.RecordUsage(ord)
+					if ord >= 0 {
+						n++
+					}
+				}
+			}
+			issued[w] = n
+		}(w)
+	}
+	// Concurrent aggregate readers: merges mid-traffic must be safe (the
+	// values they see are per-counter consistent, monotone snapshots).
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if tot := list.Usage().Total(); tot < last {
+					t.Error("usage total went backwards")
+					return
+				} else {
+					last = tot
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	var want uint64
+	for _, n := range issued {
+		want += n
+	}
+	if want == 0 {
+		t.Fatal("stress issued no matching verdicts")
+	}
+	if got := list.Usage().Total(); got != want {
+		t.Fatalf("usage total %d != issued matches %d", got, want)
+	}
+	var sum uint64
+	for _, c := range list.Usage().Counts() {
+		sum += c
+	}
+	if sum != want {
+		t.Fatalf("per-ordinal counts sum %d != issued matches %d", sum, want)
+	}
+}
+
+// TestUsageShardSpread sanity-checks the stack-address shard hash: under
+// concurrent recording from many goroutines, more than one shard bank
+// must take writes (otherwise sharding is decorative).
+func TestUsageShardSpread(t *testing.T) {
+	u := newUsage(4)
+	if len(u.banks) == 1 {
+		t.Skip("single-P process: sharding degenerates legitimately")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 256; i++ {
+				u.record(i % 4)
+			}
+		}()
+	}
+	wg.Wait()
+	touched := 0
+	for i := range u.banks {
+		var n uint64
+		for ord := range u.banks[i].counters {
+			n += u.banks[i].counters[ord].Load()
+		}
+		if n > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Fatalf("all writes landed in %d shard(s) of %d", touched, len(u.banks))
+	}
+}
+

@@ -23,14 +23,20 @@ type admission struct {
 	queued   atomic.Int64
 	maxQueue int64
 	timeout  time.Duration
+	// releaseFn is the release method bound once at construction; handing
+	// it out from acquire avoids materializing a fresh method value (one
+	// heap allocation) on every admitted request.
+	releaseFn func()
 }
 
 func newAdmission(workers, maxQueue int, timeout time.Duration) *admission {
-	return &admission{
+	a := &admission{
 		slots:    make(chan struct{}, workers),
 		maxQueue: int64(maxQueue),
 		timeout:  timeout,
 	}
+	a.releaseFn = a.release
+	return a
 }
 
 // acquire blocks until a worker slot is available, the queue deadline
@@ -40,7 +46,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: free slot, no queueing, no timer allocation.
 	select {
 	case a.slots <- struct{}{}:
-		return a.release, nil
+		return a.releaseFn, nil
 	default:
 	}
 	if a.queued.Add(1) > a.maxQueue {
@@ -52,7 +58,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	defer a.queued.Add(-1)
 	select {
 	case a.slots <- struct{}{}:
-		return a.release, nil
+		return a.releaseFn, nil
 	case <-timer.C:
 		return nil, errShed
 	case <-ctx.Done():

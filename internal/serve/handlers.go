@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"adwars/internal/abp"
@@ -127,10 +130,32 @@ type errorResponse struct {
 
 // ---- plumbing ----
 
+// jsonBuf is a pooled response-encoding pair: the encoder is bound to the
+// buffer once, so a steady-state response encode allocates nothing (the
+// buffer's capacity and the encoder's internal machinery are both reused).
+// The output is byte-identical to json.NewEncoder(w).Encode(v) — including
+// the trailing newline the golden files pin.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	err := jb.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err == nil {
+		w.Write(jb.buf.Bytes())
+	}
+	jsonBufPool.Put(jb)
 }
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -158,58 +183,76 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
 	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
-				"request body exceeds %d bytes", tooLarge.Limit)
-		} else {
-			writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
-		}
+		s.bodyReadError(w, err)
 		return nil, false
 	}
 	return body, true
 }
 
-// snapshotInfo reports the currently installed snapshots.
+// readBodyInto is readBody for the match hot path: the bounded body
+// drains through the scratch's LimitedReader into its reusable buffer, so
+// a steady-state read allocates nothing — no MaxBytesReader wrapper, no
+// fresh io.ReadAll slice. The limit check reads one byte past the cap
+// instead of wrapping the reader, which preserves the 413 envelope.
+func (s *Server) readBodyInto(w http.ResponseWriter, r *http.Request, sc *matchScratch) bool {
+	max := s.cfg.maxBody()
+	sc.body.Reset()
+	sc.lr = io.LimitedReader{R: r.Body, N: max + 1}
+	_, err := sc.body.ReadFrom(&sc.lr)
+	sc.lr.R = nil
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		return false
+	}
+	if int64(sc.body.Len()) > max {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			"request body exceeds %d bytes", max)
+		return false
+	}
+	return true
+}
+
+func (s *Server) bodyReadError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			"request body exceeds %d bytes", tooLarge.Limit)
+	} else {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+	}
+}
+
+// snapshotInfo reports the currently installed snapshots. The descriptors
+// are precomputed at install time and shared by pointer: assembling a
+// response envelope costs two atomic loads, no allocation.
 func (s *Server) snapshotInfo() SnapshotInfo {
 	var info SnapshotInfo
 	if ms := s.model.Load(); ms != nil {
-		info.Model = &ModelInfo{
-			FeatureSet: ms.snap.FeatureSet,
-			Vocab:      ms.vocab.Len(),
-			Rounds:     ms.snap.Model.Rounds(),
-			Version:    ms.version,
-		}
+		info.Model = ms.info
 	}
 	if ls := s.lists.Load(); ls != nil {
-		info.Lists = &ListsInfo{
-			Label:   ls.snap.Label,
-			Lists:   len(ls.snap.Lists),
-			Rules:   ls.rules,
-			Version: ls.version,
-		}
+		info.Lists = ls.info
 	}
 	return info
 }
 
-// admitted wraps a handler body in admission control and metrics: one
-// worker-pool ticket per request (a batch rides on a single ticket, which
-// is where its amortization comes from), latency observed on every
-// outcome, 429 with Retry-After on shed.
-func (s *Server) admitted(ep string, w http.ResponseWriter, r *http.Request, fn func()) {
+// beginAdmitted admits one request: acquire a worker-pool ticket, absorb
+// the configured test/chaos delays, and hand back the latency clock. On
+// shed it writes the 429 itself and returns ok=false. Every true return
+// must be paired with endAdmitted — the pair is the closure-free form of
+// admitted, used by the match hot path so admission adds zero allocations.
+func (s *Server) beginAdmitted(ep string, w http.ResponseWriter, r *http.Request) (start time.Time, ok bool) {
 	stats := s.met.endpoints[ep]
-	start := time.Now()
-	release, err := s.adm.acquire(r.Context())
-	if err != nil {
+	start = time.Now()
+	if _, err := s.adm.acquire(r.Context()); err != nil {
 		stats.shed.Add(1)
 		stats.requests.Add(1)
 		stats.latency.Observe(time.Since(start))
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "shed",
 			"server overloaded, retry later")
-		return
+		return start, false
 	}
-	defer release()
 	if s.testDelay > 0 {
 		time.Sleep(s.testDelay)
 	}
@@ -221,9 +264,28 @@ func (s *Server) admitted(ep string, w http.ResponseWriter, r *http.Request, fn 
 			time.Sleep(d)
 		}
 	}
-	fn()
+	return start, true
+}
+
+// endAdmitted releases the worker ticket and records the request.
+func (s *Server) endAdmitted(ep string, start time.Time) {
+	s.adm.release()
+	stats := s.met.endpoints[ep]
 	stats.requests.Add(1)
 	stats.latency.Observe(time.Since(start))
+}
+
+// admitted wraps a handler body in admission control and metrics: one
+// worker-pool ticket per request (a batch rides on a single ticket, which
+// is where its amortization comes from), latency observed on every
+// outcome, 429 with Retry-After on shed.
+func (s *Server) admitted(ep string, w http.ResponseWriter, r *http.Request, fn func()) {
+	start, ok := s.beginAdmitted(ep, w, r)
+	if !ok {
+		return
+	}
+	defer s.endAdmitted(ep, start)
+	fn()
 }
 
 // requireMethod enforces the endpoint's verb (true = proceed).
@@ -246,6 +308,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/v1/classify/batch", s.handleClassifyBatch)
 	mux.HandleFunc("/admin/reload", s.handleReload)
 	mux.HandleFunc("/admin/snapshot/", s.handleSnapshot)
+	mux.HandleFunc("/admin/usage", s.handleUsage)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
@@ -276,18 +339,51 @@ func checkQuery(q *MatchQuery) *apiError {
 	return nil
 }
 
-// matchOne answers one query against every list in the state.
-func matchOne(ls *listsState, q MatchQuery) MatchResult {
+// matchScratch is the pooled per-request working set of the match hot
+// path: the decoded query, the body read buffer, the per-list hit buffer,
+// and append-only arenas for the response's ListMatch and matched-rule
+// slices. Response slices carve sub-slices out of the arenas; a grown
+// arena strands earlier carves on the old backing array, where their data
+// stays intact, so the arenas are safe across a whole batch. The scratch
+// may be returned to the pool only after the response is encoded.
+type matchScratch struct {
+	q       MatchQuery
+	body    bytes.Buffer
+	lr      io.LimitedReader
+	hits    []abp.Hit
+	lists   []ListMatch
+	matched []string
+	resp    matchResponse
+}
+
+var matchScratchPool = sync.Pool{New: func() any {
+	return &matchScratch{
+		hits:    make([]abp.Hit, 0, 16),
+		lists:   make([]ListMatch, 0, 8),
+		matched: make([]string, 0, 32),
+	}
+}}
+
+func getMatchScratch() *matchScratch {
+	sc := matchScratchPool.Get().(*matchScratch)
+	sc.hits = sc.hits[:0]
+	sc.lists = sc.lists[:0]
+	sc.matched = sc.matched[:0]
+	return sc
+}
+
+// matchOne answers one query against every list in the state with a
+// single automaton probe per list: AppendHits collects every matching
+// rule, DecideHits reduces them to the verdict, and the winning ordinal
+// feeds the list's usage counters. Results alias sc's arenas.
+func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) MatchResult {
 	req := abp.Request{URL: q.URL, Type: abp.RequestType(q.Type), PageDomain: q.PageDomain}
-	res := MatchResult{Lists: make([]ListMatch, 0, len(ls.snap.Lists))}
+	listsStart := len(sc.lists)
 	anyBlocked, anyAllowed := false, false
-	// One rule buffer serves the all-matches collection for every list:
-	// the common no-match case then performs zero allocations past the
-	// response envelope itself.
-	var ruleBuf [8]*abp.Rule
-	rules := ruleBuf[:0]
 	for _, l := range ls.snap.Lists {
-		dec, rule := l.MatchRequest(req)
+		sc.hits = l.AppendHits(sc.hits[:0], req)
+		dec, rule, ord := abp.DecideHits(sc.hits)
+		l.RecordUsage(ord)
 		lm := ListMatch{List: l.Name, Decision: dec.String()}
 		if rule != nil {
 			lm.Rule = rule.Raw
@@ -298,12 +394,16 @@ func matchOne(ls *listsState, q MatchQuery) MatchResult {
 		case abp.Allowed:
 			anyAllowed = true
 		}
-		rules = l.AppendMatchingHTTPRules(rules[:0], req)
-		for _, r := range rules {
-			lm.MatchedRules = append(lm.MatchedRules, r.Raw)
+		if len(sc.hits) > 0 {
+			start := len(sc.matched)
+			for _, h := range sc.hits {
+				sc.matched = append(sc.matched, h.Rule.Raw)
+			}
+			lm.MatchedRules = sc.matched[start:len(sc.matched):len(sc.matched)]
 		}
-		res.Lists = append(res.Lists, lm)
+		sc.lists = append(sc.lists, lm)
 	}
+	res := MatchResult{Lists: sc.lists[listsStart:len(sc.lists):len(sc.lists)]}
 	switch {
 	case anyAllowed:
 		res.Decision = abp.Allowed.String()
@@ -325,21 +425,31 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no_snapshot", "no lists snapshot loaded")
 		return
 	}
-	var q MatchQuery
-	if !s.decodeBody(w, r, &q) {
+	sc := getMatchScratch()
+	defer matchScratchPool.Put(sc)
+	if !s.readBodyInto(w, r, sc) {
 		return
 	}
-	if apiErr := checkQuery(&q); apiErr != nil {
+	sc.q = MatchQuery{}
+	if err := json.Unmarshal(sc.body.Bytes(), &sc.q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: %v", err)
+		return
+	}
+	if apiErr := checkQuery(&sc.q); apiErr != nil {
 		s.met.endpoints[epMatch].errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: *apiErr})
 		return
 	}
-	s.admitted(epMatch, w, r, func() {
-		writeJSON(w, http.StatusOK, matchResponse{
-			MatchResult: matchOne(ls, q),
-			Snapshot:    s.snapshotInfo(),
-		})
-	})
+	start, ok := s.beginAdmitted(epMatch, w, r)
+	if !ok {
+		return
+	}
+	defer s.endAdmitted(epMatch, start)
+	sc.resp = matchResponse{
+		MatchResult: matchOne(ls, sc.q, sc),
+		Snapshot:    s.snapshotInfo(),
+	}
+	writeJSON(w, http.StatusOK, &sc.resp)
 }
 
 func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
@@ -378,8 +488,12 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 			Results:  make([]MatchResult, 0, len(batch.Requests)),
 			Snapshot: s.snapshotInfo(),
 		}
+		// One scratch serves the whole batch: the arenas grow monotonically
+		// and every result's slices stay valid until the encode below.
+		sc := getMatchScratch()
+		defer matchScratchPool.Put(sc)
 		for _, q := range batch.Requests {
-			out.Results = append(out.Results, matchOne(ls, q))
+			out.Results = append(out.Results, matchOne(ls, q, sc))
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -533,8 +647,11 @@ type Health struct {
 	// ListsCompiled reports whether the serving snapshot carried
 	// pre-compiled match automata (schema v3) rather than being recompiled
 	// at load.
-	ListsCompiled bool           `json:"lists_compiled,omitempty"`
-	LastReload    *ReloadOutcome `json:"last_reload,omitempty"`
+	ListsCompiled bool `json:"lists_compiled,omitempty"`
+	// ListsTiered reports whether every served list carries a hot/cold
+	// tier split (schema v4, produced by adwars-compact).
+	ListsTiered bool           `json:"lists_tiered,omitempty"`
+	LastReload  *ReloadOutcome `json:"last_reload,omitempty"`
 }
 
 // health assembles the shared health/readiness report.
@@ -552,6 +669,7 @@ func (s *Server) health() Health {
 		h.Lists = true
 		h.ListsVersion = ls.version
 		h.ListsCompiled = ls.snap.Compiled
+		h.ListsTiered = ls.snap.Tiered
 	}
 	h.LastReload = s.lastReload.Load()
 	h.Ready = (h.Model || h.Lists) && !h.Draining
@@ -733,6 +851,163 @@ func (s *Server) handleSnapshotPush(w http.ResponseWriter, r *http.Request, kind
 	writeJSON(w, http.StatusOK, pushResponse{Installed: true, Kind: kind, Version: version})
 }
 
+// ---- usage ----
+
+// UsageRule is one entry of a list's top-K hit ranking.
+type UsageRule struct {
+	Ordinal int    `json:"ordinal"`
+	Rule    string `json:"rule"`
+	Hits    uint64 `json:"hits"`
+}
+
+// UsageList is one list's per-rule usage distribution. Hits carries every
+// rule that fired as an [ordinal, count] pair in ordinal order — the
+// machine-readable form adwars-compact consumes; Top is the human-readable
+// ranking. DeadFraction is over HTTP rules only (element-hiding rules
+// never take the match path, counting them as "dead" would be noise).
+type UsageList struct {
+	List         string      `json:"list"`
+	Rules        int         `json:"rules"`
+	HTTPRules    int         `json:"http_rules"`
+	TotalHits    uint64      `json:"total_hits"`
+	DeadRules    int         `json:"dead_rules"`
+	DeadFraction float64     `json:"dead_fraction"`
+	Top          []UsageRule `json:"top,omitempty"`
+	Hits         [][2]uint64 `json:"hits"`
+}
+
+// UsageDump is the /admin/usage response body.
+type UsageDump struct {
+	TotalHits uint64      `json:"total_hits"`
+	Lists     []UsageList `json:"lists"`
+}
+
+// usageList builds one list's usage report with the given top-K depth.
+func usageList(l *abp.List, topK int) UsageList {
+	counts := l.Usage().Counts()
+	rules := l.Rules()
+	ul := UsageList{List: l.Name, Rules: len(rules), Hits: make([][2]uint64, 0, 16)}
+	for ord, r := range rules {
+		if !r.IsHTTP() {
+			continue
+		}
+		ul.HTTPRules++
+		if counts[ord] == 0 {
+			ul.DeadRules++
+			continue
+		}
+		ul.TotalHits += counts[ord]
+		ul.Hits = append(ul.Hits, [2]uint64{uint64(ord), counts[ord]})
+	}
+	if ul.HTTPRules > 0 {
+		ul.DeadFraction = float64(ul.DeadRules) / float64(ul.HTTPRules)
+	}
+	if topK > 0 && len(ul.Hits) > 0 {
+		ranked := append([][2]uint64(nil), ul.Hits...)
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i][1] != ranked[j][1] {
+				return ranked[i][1] > ranked[j][1]
+			}
+			return ranked[i][0] < ranked[j][0]
+		})
+		if len(ranked) > topK {
+			ranked = ranked[:topK]
+		}
+		for _, p := range ranked {
+			ul.Top = append(ul.Top, UsageRule{
+				Ordinal: int(p[0]),
+				Rule:    rules[p[0]].Raw,
+				Hits:    p[1],
+			})
+		}
+	}
+	return ul
+}
+
+// handleUsage dumps the per-rule hit counters of every served list: the
+// shard banks are merged on read (recording never pays for reporting).
+// The dump is both an operator surface (top-K, dead-rule fraction — the
+// paper's "most rules never fire" skew, observed live) and the input
+// adwars-compact turns into a tiered snapshot. ?top=N adjusts the ranking
+// depth (default 10, 0 disables).
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	ls := s.lists.Load()
+	if ls == nil {
+		writeError(w, http.StatusServiceUnavailable, "no_snapshot", "no lists snapshot loaded")
+		return
+	}
+	topK := 10
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid top=%q", v)
+			return
+		}
+		topK = n
+	}
+	dump := UsageDump{Lists: make([]UsageList, 0, len(ls.snap.Lists))}
+	for _, l := range ls.snap.Lists {
+		if l.Usage() == nil {
+			writeError(w, http.StatusNotFound, "usage_disabled",
+				"usage counters are disabled on this replica")
+			return
+		}
+		ul := usageList(l, topK)
+		dump.TotalHits += ul.TotalHits
+		dump.Lists = append(dump.Lists, ul)
+	}
+	writeJSON(w, http.StatusOK, dump)
+}
+
+// usageAggregate is the cheap usage summary inlined into /debug/vars.
+type usageAggregate struct {
+	Enabled      bool    `json:"enabled"`
+	TotalHits    uint64  `json:"total_hits"`
+	HTTPRules    int     `json:"http_rules"`
+	DeadRules    int     `json:"dead_rules"`
+	DeadFraction float64 `json:"dead_fraction"`
+}
+
+// usageVars renders the aggregate as JSON. The counters are sharded
+// per-bank atomics; merging them happens here, on the read side, so the
+// match path never pays for metrics export (satellite of the lazy-read
+// contract: /debug/vars computes the aggregate only when scraped).
+func (s *Server) usageVars() string {
+	agg := usageAggregate{}
+	if ls := s.lists.Load(); ls != nil {
+		for _, l := range ls.snap.Lists {
+			u := l.Usage()
+			if u == nil {
+				continue
+			}
+			agg.Enabled = true
+			counts := u.Counts()
+			for ord, r := range l.Rules() {
+				if !r.IsHTTP() {
+					continue
+				}
+				agg.HTTPRules++
+				if counts[ord] == 0 {
+					agg.DeadRules++
+				} else {
+					agg.TotalHits += counts[ord]
+				}
+			}
+		}
+	}
+	if agg.HTTPRules > 0 {
+		agg.DeadFraction = float64(agg.DeadRules) / float64(agg.HTTPRules)
+	}
+	data, err := json.Marshal(agg)
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}
+
 // handleDebugVars renders the process-global expvar registry plus this
 // server's metrics tree under "adwars_serve" — the standard /debug/vars
 // shape without requiring the server to win a global registration race
@@ -755,5 +1030,6 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, ",\n")
 	}
 	fmt.Fprintf(w, "%q: %s", "adwars_serve", s.met.String())
+	fmt.Fprintf(w, ",\n%q: %s", "adwars_usage", s.usageVars())
 	fmt.Fprintf(w, "\n}\n")
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceSrvEnabled reports whether the race detector is compiled in;
+// allocation gates are skipped under it because instrumentation allocates.
+const raceSrvEnabled = true

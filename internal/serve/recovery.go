@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"sync"
 )
 
 // withRecovery is the outermost request boundary: a panic anywhere in
@@ -18,25 +19,34 @@ import (
 // http.ErrAbortHandler is re-panicked untouched: it is the sanctioned
 // "abandon this connection silently" signal (used after a hijack) and
 // net/http suppresses it without logging.
+// twPool recycles tracking writers: the wrapper lives only for the span
+// of one request, so pooling it keeps the recovery boundary off the
+// per-request allocation budget. A writer that re-panics (ErrAbortHandler)
+// is deliberately not returned — its connection state is unknown.
+var twPool = sync.Pool{New: func() any { return &trackingWriter{} }}
+
 func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tw := &trackingWriter{ResponseWriter: w}
+		tw := twPool.Get().(*trackingWriter)
+		tw.ResponseWriter = w
+		tw.wrote = false
 		defer func() {
 			v := recover()
-			if v == nil {
-				return
+			if v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
+				s.met.panicsRecovered.Add(1)
+				if !tw.wrote {
+					writeError(tw, http.StatusInternalServerError, "internal_panic",
+						"panic recovered while handling %s: %v", r.URL.Path, v)
+				}
+				// If the response already started, the envelope cannot be
+				// sent; the partial response is all the client gets, but the
+				// process and every other in-flight request survive.
 			}
-			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
-				panic(v)
-			}
-			s.met.panicsRecovered.Add(1)
-			if !tw.wrote {
-				writeError(tw, http.StatusInternalServerError, "internal_panic",
-					"panic recovered while handling %s: %v", r.URL.Path, v)
-			}
-			// If the response already started, the envelope cannot be sent;
-			// the partial response is all the client gets, but the process
-			// and every other in-flight request survive.
+			tw.ResponseWriter = nil
+			twPool.Put(tw)
 		}()
 		next.ServeHTTP(tw, r)
 	})

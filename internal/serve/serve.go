@@ -68,6 +68,11 @@ type Config struct {
 	// bytes (0 = 64 MiB). Snapshots are far larger than data-plane request
 	// bodies, so they get their own cap.
 	MaxSnapshot int64
+	// DisableUsage turns off per-rule usage counters. They are on by
+	// default: recording is a single sharded atomic add on the match path
+	// (no locks, no allocation), and /admin/usage dumps the per-rule hit
+	// distribution that adwars-compact turns into a tiered snapshot.
+	DisableUsage bool
 }
 
 func (c *Config) workers() int {
@@ -132,6 +137,10 @@ type modelState struct {
 	// those bytes, served back to the control plane for rollback.
 	version string
 	raw     []byte
+	// info is the response-embedded snapshot descriptor, precomputed once
+	// at install so the hot path shares one immutable value instead of
+	// rebuilding it per response.
+	info *ModelInfo
 }
 
 // listsState is a loaded lists snapshot. Compiled lists are immutable and
@@ -142,6 +151,8 @@ type listsState struct {
 	rules   int
 	version string
 	raw     []byte
+	// info is the precomputed response descriptor (see modelState.info).
+	info *ListsInfo
 }
 
 // ReloadOutcome records what happened to the most recent snapshot
@@ -240,14 +251,21 @@ func (s *Server) installModel(snap *ml.ModelSnapshot, version string, raw []byte
 	if len(snap.Vocab) == 0 {
 		return fmt.Errorf("serve: model snapshot has an empty vocabulary")
 	}
-	s.model.Store(&modelState{
+	ms := &modelState{
 		snap:     snap,
 		vocab:    features.NewVocab(snap.Vocab),
 		set:      set,
 		alphaSum: snap.Model.AlphaSum(),
 		version:  version,
 		raw:      raw,
-	})
+	}
+	ms.info = &ModelInfo{
+		FeatureSet: ms.snap.FeatureSet,
+		Vocab:      ms.vocab.Len(),
+		Rounds:     ms.snap.Model.Rounds(),
+		Version:    ms.version,
+	}
+	s.model.Store(ms)
 	return nil
 }
 
@@ -260,7 +278,22 @@ func (s *Server) installLists(snap *abp.ListsSnapshot, version string, raw []byt
 	if len(snap.Lists) == 0 {
 		return fmt.Errorf("serve: lists snapshot has no lists")
 	}
-	s.lists.Store(&listsState{snap: snap, rules: snap.Rules(), version: version, raw: raw})
+	if !s.cfg.DisableUsage {
+		// Attach the per-rule hit counters before the state becomes visible
+		// to matchers (EnableUsage is idempotent but not concurrency-safe
+		// against in-flight matches on the same list value).
+		for _, l := range snap.Lists {
+			l.EnableUsage()
+		}
+	}
+	ls := &listsState{snap: snap, rules: snap.Rules(), version: version, raw: raw}
+	ls.info = &ListsInfo{
+		Label:   snap.Label,
+		Lists:   len(snap.Lists),
+		Rules:   ls.rules,
+		Version: version,
+	}
+	s.lists.Store(ls)
 	return nil
 }
 

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adwars/internal/abp"
+)
+
+func decodeUsage(t *testing.T, body []byte) UsageDump {
+	t.Helper()
+	var dump UsageDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("usage dump does not parse: %v\n%s", err, body)
+	}
+	return dump
+}
+
+// TestUsageEndpoint drives traffic with known winners through /v1/match
+// and checks the /admin/usage dump reconciles exactly: hits attributed to
+// the winning rule per list, dead-rule fraction over HTTP rules, top-K
+// ranking, and machine-readable [ordinal, hits] pairs.
+func TestUsageEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	// 3 hits on list-a's block, 1 on its exception, 1 on list-b's block.
+	for i := 0; i < 3; i++ {
+		do(t, s, "POST", "/v1/match",
+			`{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`)
+	}
+	do(t, s, "POST", "/v1/match",
+		`{"url":"http://ads.example.com/allowed","type":"script","page_domain":"news.example"}`)
+	do(t, s, "POST", "/v1/match",
+		`{"url":"http://tracker.example/t.js","type":"script","page_domain":"news.example"}`)
+	// A no-match query must not count anywhere.
+	do(t, s, "POST", "/v1/match", `{"url":"http://clean.example/app.js"}`)
+
+	rec := do(t, s, "GET", "/admin/usage", "")
+	if rec.Code != 200 {
+		t.Fatalf("usage status = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	dump := decodeUsage(t, rec.Body.Bytes())
+	// The allowed query matches both the exception and the underlying
+	// block rule of list-a, but the verdict — and therefore the hit — goes
+	// to the exception alone.
+	if dump.TotalHits != 5 {
+		t.Fatalf("total hits = %d, want 5\n%s", dump.TotalHits, rec.Body.Bytes())
+	}
+	if len(dump.Lists) != 2 {
+		t.Fatalf("lists = %d, want 2", len(dump.Lists))
+	}
+	a, b := dump.Lists[0], dump.Lists[1]
+	if a.List != "list-a" || b.List != "list-b" {
+		t.Fatalf("list order = %q, %q", a.List, b.List)
+	}
+	if a.TotalHits != 4 || b.TotalHits != 1 {
+		t.Fatalf("per-list hits = %d, %d, want 4, 1", a.TotalHits, b.TotalHits)
+	}
+	// list-a has 3 HTTP rules (block, exception, third-party frame); the
+	// frame rule never fired.
+	if a.HTTPRules != 3 || a.DeadRules != 1 {
+		t.Fatalf("list-a http=%d dead=%d, want 3, 1", a.HTTPRules, a.DeadRules)
+	}
+	if want := 1.0 / 3.0; a.DeadFraction != want {
+		t.Fatalf("list-a dead fraction = %v, want %v", a.DeadFraction, want)
+	}
+	if len(a.Top) != 2 || a.Top[0].Hits != 3 || a.Top[0].Rule != "||ads.example.com^" {
+		t.Fatalf("list-a top = %+v", a.Top)
+	}
+	if len(a.Hits) != 2 {
+		t.Fatalf("list-a hit pairs = %+v", a.Hits)
+	}
+	var pairSum uint64
+	for _, p := range a.Hits {
+		pairSum += p[1]
+	}
+	if pairSum != a.TotalHits {
+		t.Fatalf("list-a pair sum %d != total %d", pairSum, a.TotalHits)
+	}
+
+	// ?top bounds the ranking without touching the pairs.
+	rec = do(t, s, "GET", "/admin/usage?top=1", "")
+	dump = decodeUsage(t, rec.Body.Bytes())
+	if len(dump.Lists[0].Top) != 1 || len(dump.Lists[0].Hits) != 2 {
+		t.Fatalf("top=1 dump = %+v", dump.Lists[0])
+	}
+	if rec := do(t, s, "GET", "/admin/usage?top=x", ""); rec.Code != 400 {
+		t.Fatalf("bad top param status = %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/admin/usage", ""); rec.Code != 405 {
+		t.Fatalf("POST usage status = %d", rec.Code)
+	}
+}
+
+// TestUsageDisabled pins the opt-out: a DisableUsage replica matches
+// normally but refuses the usage dump, and /debug/vars reports the
+// aggregate as disabled.
+func TestUsageDisabled(t *testing.T) {
+	s := newTestServer(t, Config{DisableUsage: true})
+	if rec := do(t, s, "POST", "/v1/match",
+		`{"url":"http://ads.example.com/banner.js","type":"script"}`); rec.Code != 200 {
+		t.Fatalf("match with usage off = %d", rec.Code)
+	}
+	rec := do(t, s, "GET", "/admin/usage", "")
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "usage_disabled") {
+		t.Fatalf("usage dump with usage off = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	rec = do(t, s, "GET", "/debug/vars", "")
+	if !strings.Contains(rec.Body.String(), `"adwars_usage": {"enabled":false`) {
+		t.Fatalf("debug vars missing disabled usage aggregate: %s", rec.Body.Bytes())
+	}
+}
+
+// TestUsageDebugVarsAggregate checks the lazily merged /debug/vars
+// summary agrees with the full dump.
+func TestUsageDebugVarsAggregate(t *testing.T) {
+	s := newTestServer(t, Config{})
+	do(t, s, "POST", "/v1/match", `{"url":"http://ads.example.com/banner.js","type":"script"}`)
+	do(t, s, "POST", "/v1/match", `{"url":"http://tracker.example/t.js","type":"script","page_domain":"news.example"}`)
+
+	rec := do(t, s, "GET", "/debug/vars", "")
+	var vars struct {
+		Usage usageAggregate `json:"adwars_usage"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("debug vars do not parse: %v", err)
+	}
+	if !vars.Usage.Enabled || vars.Usage.TotalHits != 2 {
+		t.Fatalf("aggregate = %+v, want enabled with 2 hits", vars.Usage)
+	}
+	// 4 HTTP rules across both lists, 2 fired.
+	if vars.Usage.HTTPRules != 4 || vars.Usage.DeadRules != 2 || vars.Usage.DeadFraction != 0.5 {
+		t.Fatalf("aggregate = %+v, want 4 http / 2 dead / 0.5", vars.Usage)
+	}
+}
+
+// TestServeTieredSnapshot proves the serving stack is tier-transparent
+// end to end: a v4 tiered snapshot loads from disk, /healthz advertises
+// it, and /v1/match answers byte-identically to the untiered server.
+func TestServeTieredSnapshot(t *testing.T) {
+	snap := testListsSnapshot(t)
+	tiered := &abp.ListsSnapshot{Label: snap.Label}
+	for _, l := range snap.Lists {
+		tiered.Lists = append(tiered.Lists, l.CompileTiered(nil))
+	}
+	dir := t.TempDir()
+	path := dir + "/lists.v4.json"
+	if err := abp.SaveListsSnapshotTiered(path, tiered); err != nil {
+		t.Fatal(err)
+	}
+	ts := New(Config{ListsPath: path})
+	if err := ts.ReloadSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	plain := newTestServer(t, Config{})
+
+	rec := do(t, ts, "GET", "/healthz", "")
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.ListsCompiled || !h.ListsTiered {
+		t.Fatalf("health = compiled %v tiered %v, want both", h.ListsCompiled, h.ListsTiered)
+	}
+
+	for _, body := range []string{
+		`{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`,
+		`{"url":"http://ads.example.com/allowed","type":"script","page_domain":"news.example"}`,
+		`{"url":"http://cdn.example/adframe/x.html","type":"subdocument","page_domain":"news.example"}`,
+		`{"url":"http://clean.example/app.js"}`,
+	} {
+		want := do(t, plain, "POST", "/v1/match", body)
+		got := do(t, ts, "POST", "/v1/match", body)
+		if got.Code != want.Code {
+			t.Fatalf("tiered status %d != %d for %s", got.Code, want.Code, body)
+		}
+		// The snapshot envelopes legitimately differ (the tiered server has
+		// no model and a disk-loaded version); the verdict payload may not.
+		var gotRes, wantRes matchResponse
+		if err := json.Unmarshal(got.Body.Bytes(), &gotRes); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(want.Body.Bytes(), &wantRes); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", gotRes.MatchResult) != fmt.Sprintf("%+v", wantRes.MatchResult) {
+			t.Fatalf("tiered verdict diverges for %s:\n got: %+v\nwant: %+v",
+				body, gotRes.MatchResult, wantRes.MatchResult)
+		}
+	}
+}
+
+// replayBody is a reusable request body: Reset rewinds it without
+// allocating a new reader, so allocation measurements see only the
+// handler's own work.
+type replayBody struct{ strings.Reader }
+
+func (r *replayBody) Close() error { return nil }
+
+// nullResponseWriter absorbs the response with preallocated headers.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(c int)   { w.status = c }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// matchAllocRig assembles the reusable request/writer pair that measures
+// the /v1/match handler's own allocations.
+func matchAllocRig(s *Server, body string) (http.Handler, *nullResponseWriter, *http.Request, *replayBody) {
+	h := s.Handler()
+	rb := &replayBody{}
+	rb.Reset(body)
+	req := httptest.NewRequest("POST", "/v1/match", rb)
+	w := &nullResponseWriter{h: make(http.Header, 4)}
+	return h, w, req, rb
+}
+
+// TestServeMatchAllocs is the hot-path allocation regression gate: one
+// fully served /v1/match request — routing, admission, body read, decode,
+// match, usage recording, JSON encode — must stay at or under 8
+// allocations (down from 37 before the scratch pool / single-probe work).
+// The residue is the MaxBytesReader wrapper, the decoded query's three
+// strings, and header/encoder slack; a regression in any pooled piece
+// shows up here as a count jump, not a vague slowdown.
+func TestServeMatchAllocs(t *testing.T) {
+	if raceSrvEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	s := newTestServer(t, Config{Workers: 4, Queue: 64, QueueTimeout: time.Second})
+	const body = `{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`
+	h, w, req, rb := matchAllocRig(s, body)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		rb.Reset(body)
+		w.status = 0
+		h.ServeHTTP(w, req)
+	})
+	if w.status != 200 {
+		t.Fatalf("status = %d", w.status)
+	}
+	if allocs > 8 {
+		t.Fatalf("/v1/match allocates %.1f/op, budget is 8", allocs)
+	}
+	t.Logf("/v1/match: %.1f allocs/op", allocs)
+}
+
+// TestMatchBatchArenaIsolation guards the scratch-arena trick: results in
+// one batch share grow-only arenas, so every result must keep its own
+// rules even after later queries grow the arena backing arrays.
+func TestMatchBatchArenaIsolation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var sb strings.Builder
+	sb.WriteString(`{"requests":[`)
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		if i%2 == 0 {
+			sb.WriteString(`{"url":"http://ads.example.com/banner.js","type":"script","page_domain":"news.example"}`)
+		} else {
+			fmt.Fprintf(&sb, `{"url":"http://clean%d.example/app.js"}`, i)
+		}
+	}
+	sb.WriteString(`]}`)
+	rec := do(t, s, "POST", "/v1/match/batch", sb.String())
+	if rec.Code != 200 {
+		t.Fatalf("batch status = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var out matchBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		if i%2 == 0 {
+			if !res.Blocked || res.Lists[0].Rule != "||ads.example.com^" {
+				t.Fatalf("result %d corrupted: %+v", i, res)
+			}
+			if len(res.Lists[0].MatchedRules) != 1 || res.Lists[0].MatchedRules[0] != "||ads.example.com^" {
+				t.Fatalf("result %d matched rules corrupted: %+v", i, res.Lists[0].MatchedRules)
+			}
+		} else if res.Decision != "no-match" {
+			t.Fatalf("result %d should be no-match: %+v", i, res)
+		}
+	}
+}

@@ -2,15 +2,22 @@
 # serve_smoke.sh — end-to-end smoke of the online serving subsystem:
 # build the binaries, freeze small model + lists snapshots, start
 # adwars-serve on an ephemeral port, fire adwars-loadgen at it for ~2s
-# with a SIGHUP hot-reload mid-run, then drain with SIGTERM. Fails if any
-# request is dropped or 5xx's, if the reload fails, or if the server does
-# not exit cleanly. Every wait is bounded: a wedged server is killed hard
-# by the teardown trap rather than hanging the build forever.
+# with a SIGHUP hot-reload mid-run, then drain with SIGTERM. After the
+# reload settles, a second quiet-server loadgen pass runs -usage-check
+# (per-rule telemetry reconciled exactly against the client-side verdict
+# ledger), the accumulated /admin/usage dump feeds adwars-compact into a
+# tiered v4 snapshot, and a second server proves the tiered snapshot
+# serves clean load. Fails if any request is dropped or 5xx's, if the
+# reload fails, if the usage ledger drifts, if compaction or tiered
+# serving breaks, or if the server does not exit cleanly. Every wait is
+# bounded: a wedged server is killed hard by the teardown trap rather
+# than hanging the build forever.
 set -eu
 
 GO="${GO:-go}"
 DIR="$(mktemp -d /tmp/adwars-serve-smoke.XXXXXX)"
 SERVER_PID=""
+TIERED_PID=""
 
 # wait_pid_bounded PID SECONDS — poll until PID exits or the budget runs
 # out; returns 0 if it exited, 1 if it is still alive.
@@ -25,21 +32,23 @@ wait_pid_bounded() {
 }
 
 cleanup() {
-    if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
-        kill "$SERVER_PID" 2>/dev/null || true
-        # Give the drain a moment; a server that ignores SIGTERM gets KILLed
-        # so the trap itself can never hang.
-        if ! wait_pid_bounded "$SERVER_PID" 5; then
-            echo "serve-smoke: teardown: server ignored SIGTERM, killing hard" >&2
-            kill -9 "$SERVER_PID" 2>/dev/null || true
+    for _p in "$SERVER_PID" "$TIERED_PID"; do
+        if [ -n "$_p" ] && kill -0 "$_p" 2>/dev/null; then
+            kill "$_p" 2>/dev/null || true
+            # Give the drain a moment; a server that ignores SIGTERM gets
+            # KILLed so the trap itself can never hang.
+            if ! wait_pid_bounded "$_p" 5; then
+                echo "serve-smoke: teardown: server ignored SIGTERM, killing hard" >&2
+                kill -9 "$_p" 2>/dev/null || true
+            fi
         fi
-    fi
+    done
     rm -rf "$DIR"
 }
 trap cleanup EXIT INT TERM
 
 echo "serve-smoke: building binaries..."
-$GO build -o "$DIR" ./cmd/adwars-serve ./cmd/adwars-loadgen ./cmd/adwars-lists ./cmd/adwars-detect
+$GO build -o "$DIR" ./cmd/adwars-serve ./cmd/adwars-loadgen ./cmd/adwars-lists ./cmd/adwars-detect ./cmd/adwars-compact
 
 echo "serve-smoke: freezing snapshots (scale 50)..."
 "$DIR/adwars-lists" -scale 50 -save-snapshot "$DIR/lists.json" >/dev/null 2>&1
@@ -50,24 +59,27 @@ echo "serve-smoke: freezing snapshots (scale 50)..."
     -portfile "$DIR/port.txt" 2>"$DIR/serve.log" &
 SERVER_PID=$!
 
-# Wait for the port file (the server writes it after binding). Timing out
+# Wait for a port file (the server writes it after binding). Timing out
 # here is a hard, loud failure with the server log attached — not a silent
 # hang and not a cascade of confusing connection errors further down.
-i=0
-while [ ! -s "$DIR/port.txt" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "serve-smoke: FAIL: server never wrote its portfile within 10s" >&2
-        cat "$DIR/serve.log" >&2
-        exit 1
-    fi
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-        echo "serve-smoke: FAIL: server died on startup" >&2
-        cat "$DIR/serve.log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_portfile() {
+    _file="$1"; _pid="$2"; _log="$3"; _i=0
+    while [ ! -s "$_file" ]; do
+        _i=$((_i + 1))
+        if [ "$_i" -gt 100 ]; then
+            echo "serve-smoke: FAIL: server never wrote its portfile within 10s" >&2
+            cat "$_log" >&2
+            exit 1
+        fi
+        if ! kill -0 "$_pid" 2>/dev/null; then
+            echo "serve-smoke: FAIL: server died on startup" >&2
+            cat "$_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_portfile "$DIR/port.txt" "$SERVER_PID" "$DIR/serve.log"
 ADDR="$(cat "$DIR/port.txt")"
 echo "serve-smoke: server on $ADDR"
 
@@ -76,6 +88,43 @@ echo "serve-smoke: server on $ADDR"
 
 "$DIR/adwars-loadgen" -target "http://$ADDR" -duration 2s \
     -concurrency 4 -lists "$DIR/lists.json" -check
+
+# The reload has settled and the server is quiet: reconcile the per-rule
+# usage telemetry exactly against a fresh run's own parsed-verdict ledger
+# (every non-"no-match" list verdict in a 2xx match body is one server-side
+# RecordUsage tick).
+echo "serve-smoke: usage-check pass..."
+"$DIR/adwars-loadgen" -target "http://$ADDR" -duration 1s \
+    -concurrency 2 -lists "$DIR/lists.json" -check -usage-check
+
+# Close the loop: compact the live /admin/usage dump plus the v3 snapshot
+# into a tiered v4 snapshot, then prove a server on the tiered snapshot
+# takes the same load clean.
+echo "serve-smoke: compacting usage into tiered v4 snapshot..."
+"$DIR/adwars-compact" -lists "$DIR/lists.json" \
+    -usage "http://$ADDR/admin/usage" -out "$DIR/lists_v4.json"
+
+"$DIR/adwars-serve" -addr 127.0.0.1:0 \
+    -model "$DIR/model.json" -lists "$DIR/lists_v4.json" \
+    -portfile "$DIR/port_tiered.txt" 2>"$DIR/serve_tiered.log" &
+TIERED_PID=$!
+wait_portfile "$DIR/port_tiered.txt" "$TIERED_PID" "$DIR/serve_tiered.log"
+TADDR="$(cat "$DIR/port_tiered.txt")"
+echo "serve-smoke: tiered server on $TADDR"
+"$DIR/adwars-loadgen" -target "http://$TADDR" -duration 1s \
+    -concurrency 2 -lists "$DIR/lists.json" -check -usage-check
+kill -TERM "$TIERED_PID"
+if ! wait_pid_bounded "$TIERED_PID" 15; then
+    echo "serve-smoke: FAIL: tiered server still alive 15s after SIGTERM" >&2
+    cat "$DIR/serve_tiered.log" >&2
+    exit 1
+fi
+if ! wait "$TIERED_PID"; then
+    echo "serve-smoke: FAIL: tiered server did not drain cleanly" >&2
+    cat "$DIR/serve_tiered.log" >&2
+    exit 1
+fi
+TIERED_PID=""
 
 kill -TERM "$SERVER_PID"
 if ! wait_pid_bounded "$SERVER_PID" 15; then
@@ -97,4 +146,4 @@ if ! grep -q "SIGHUP reload ok" "$DIR/serve.log"; then
     exit 1
 fi
 
-echo "serve-smoke: OK (zero drops across hot reload, clean drain)"
+echo "serve-smoke: OK (zero drops across hot reload, usage ledger reconciled, tiered snapshot served clean, clean drain)"
