@@ -45,7 +45,12 @@ verify: build vet test race bench-smoke serve-smoke chaos-smoke-short fleet-smok
 #    pooled /v1/match handler), usage_overhead_p99_ns (counter-on minus
 #    counter-off tail, held at zero by the sharded banks),
 #    compact_hot_coverage (≥ 0.95 gate) and compact_working_set_bytes
-#    (tiered hot automaton vs compact_flat_set_bytes untiered).
+#    (tiered hot automaton vs compact_flat_set_bytes untiered) — and the
+#    decision-analytics profile: analytics_overhead_p99_ns
+#    (analytics-on minus analytics-off tail, held at zero by the
+#    lock-free rings), analytics_drop_rate (0.0 = consumer kept up),
+#    analytics_agg_bytes (bounded aggregator footprint), and
+#    serve_match_analytics_allocs (same ≤ 8 gate with logging on).
 #  - BENCH_chaos.json / BENCH_fleet.json: the live fault-injection and
 #    fleet smoke runs (chaos-smoke / fleet-smoke legs below).
 bench: chaos-smoke fleet-smoke
@@ -68,16 +73,18 @@ bench: chaos-smoke fleet-smoke
 # the hot-path gates for real: the automaton must beat the token index by
 # the speedup floor and the no-match path must run at 0 allocs/op. The
 # serve leg gates the pooled /v1/match handler at ≤ 8 allocs/op, usage
-# counter recording at 0 allocs, and usage-driven tier compaction at
-# ≥ 95% hot coverage with a shrunken hot working set.
+# counter recording at 0 allocs, usage-driven tier compaction at
+# ≥ 95% hot coverage with a shrunken hot working set, and the decision
+# analytics pipeline: the handler stays at ≤ 8 allocs/op with logging on
+# and its p99 stays inside the zero-added-overhead envelope.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplay(Indexed|LinearScan)$$' -benchtime 1x . | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-smoke.json
 	$(GO) test -short -run '^$$' -bench 'BenchmarkMLTrainCV(Sequential|Cached)$$' -benchtime 1x ./internal/experiments | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-ml-smoke.json
 	$(GO) test -count=1 -run 'TestAutomatonSpeedupFloor|TestNoMatchZeroAllocs|TestMatchZeroAllocs|TestAppendMatchingHTTPRulesZeroAllocs' ./internal/abp
 	$(GO) test -run '^$$' -bench 'BenchmarkListMatch(Automaton|TokenIndex|NoMatch)$$|BenchmarkList(Compile|Load)$$' -benchtime 1x ./internal/abp | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-abp-smoke.json
 	$(GO) test -count=1 -run 'TestUsageLoopCoverage|TestUsageRecordZeroAllocs' ./internal/abp
-	$(GO) test -count=1 -run 'TestServeMatchAllocs' ./internal/serve
-	$(GO) test -run '^$$' -bench 'BenchmarkServeMatch(Handler|Tiered)$$' -benchtime 1x ./internal/serve | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-serve-smoke.json
+	$(GO) test -count=1 -run 'TestServeMatchAllocs$$|TestServeMatchAnalyticsAllocs|TestServeAnalyticsOverheadGate' ./internal/serve
+	$(GO) test -run '^$$' -bench 'BenchmarkServeMatch(Handler|Tiered|Analytics|AnalyticsHandler)$$' -benchtime 1x ./internal/serve | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-serve-smoke.json
 	@echo "bench-smoke: pipeline ok"
 
 # serve-smoke is the end-to-end serving gate: ~2s of mixed load against a

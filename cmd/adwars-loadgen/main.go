@@ -63,6 +63,17 @@
 // requires a quiet server (no other traffic between the two reads) and is
 // incompatible with -chaos, whose trickle requests land as uncounted
 // late 2xx.
+//
+// -analytics-check reconciles the server's decision analytics against
+// this run's own verdict ledger: every 2xx /v1/match response's merged
+// decision and every 2xx /v1/classify response's verdict is counted
+// client-side, then the /admin/analytics cumulative totals are read
+// before and after the run — the per-"kind/verdict" deltas must equal
+// the ledger exactly (the server must be running -analytics at sampling
+// 1.0), with zero ring drops and zero sampled-out decisions. The check
+// polls briefly after the run so the consumer can finish draining the
+// rings. Like -usage-check it needs a quiet server and is incompatible
+// with -chaos.
 package main
 
 import (
@@ -94,7 +105,11 @@ type counters struct {
 	backoffs     int64
 	backoffTotal time.Duration
 	matchHits    int64 // list verdicts != "no-match" parsed from 2xx /v1/match bodies (-usage-check)
-	latencies    []time.Duration
+	// verdicts is the -analytics-check ledger: per-"kind/verdict" counts
+	// parsed from 2xx bodies, in the same key space as the server's
+	// /admin/analytics totals.
+	verdicts  map[string]int64
+	latencies []time.Duration
 	// perReplica attributes answered requests by the X-Adwars-Replica
 	// header, and perStatus by HTTP status — behind a gateway these show
 	// the balance across the fleet and exactly what every request became.
@@ -126,6 +141,12 @@ func (c *counters) add(o *counters) {
 	c.backoffs += o.backoffs
 	c.backoffTotal += o.backoffTotal
 	c.matchHits += o.matchHits
+	for k, v := range o.verdicts {
+		if c.verdicts == nil {
+			c.verdicts = make(map[string]int64)
+		}
+		c.verdicts[k] += v
+	}
 	c.latencies = append(c.latencies, o.latencies...)
 	for k, v := range o.perReplica {
 		if c.perReplica == nil {
@@ -163,6 +184,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	check := flag.Bool("check", false, "exit non-zero unless the run satisfies the accounting gate")
 	usageCheck := flag.Bool("usage-check", false, "reconcile /admin/usage hit totals against this run's parsed match verdicts")
+	analyticsCheck := flag.Bool("analytics-check", false, "reconcile /admin/analytics decision totals against this run's parsed verdicts (server must run -analytics at sampling 1.0)")
 	maxBackoff := flag.Duration("max-backoff", 100*time.Millisecond, "cap on honoring a 429 Retry-After")
 	chaos := flag.Bool("chaos", false, "mix hostile requests (malformed/oversized/trickle/abort) into the workload")
 	faultFrac := flag.Float64("fault-frac", 0.25, "with -chaos, fraction of requests made hostile")
@@ -186,6 +208,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -usage-check is incompatible with -chaos")
 		os.Exit(2)
 	}
+	if *analyticsCheck && *chaos {
+		fmt.Fprintln(os.Stderr, "loadgen: -analytics-check is incompatible with -chaos")
+		os.Exit(2)
+	}
 	var usageBefore uint64
 	if *usageCheck {
 		v, err := fetchUsageTotal(client, *target)
@@ -194,6 +220,19 @@ func main() {
 			os.Exit(2)
 		}
 		usageBefore = v
+	}
+	var anlBefore *analyticsTotals
+	if *analyticsCheck {
+		at, err := fetchAnalyticsTotals(client, *target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: analytics-check baseline: %v\n", err)
+			os.Exit(2)
+		}
+		if at.Counters.SampleRate < 1 {
+			fmt.Fprintf(os.Stderr, "loadgen: analytics-check needs sampling 1.0, server is at %.3f\n", at.Counters.SampleRate)
+			os.Exit(2)
+		}
+		anlBefore = at
 	}
 
 	domains := syntheticDomains(*seed)
@@ -240,7 +279,7 @@ func main() {
 				}
 				c.sent++
 				t0 := time.Now()
-				resp, isMatch, err := fire(client, *target, kind, rng, domains, scripts, *classifyFrac, oversized)
+				resp, rk, err := fire(client, *target, kind, rng, domains, scripts, *classifyFrac, oversized)
 				if err != nil {
 					// Transport-level death: an injected server-side close or
 					// our own mid-body abort. Either way the request is
@@ -255,8 +294,11 @@ func main() {
 				switch {
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					c.ok2xx++
-					if *usageCheck && isMatch {
+					if *usageCheck && rk == reqMatch {
 						c.matchHits += countMatchHits(body)
+					}
+					if *analyticsCheck {
+						c.ledgerVerdict(rk, body)
 					}
 				case resp.StatusCode == http.StatusTooManyRequests:
 					c.shed429++
@@ -331,13 +373,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *analyticsCheck {
+		if !runAnalyticsCheck(client, *target, anlBefore, total.verdicts) {
+			os.Exit(1)
+		}
+	}
 }
 
+// reqKind says which verdict-bearing endpoint a normal request hit, so
+// the usage-check and analytics-check ledgers know how to parse its body.
+// Fault requests are reqOther: their responses carry no verdicts.
+type reqKind int
+
+const (
+	reqOther reqKind = iota
+	reqMatch
+	reqClassify
+)
+
 // fire issues one request of the given kind and returns the raw response
-// plus whether it was a normal /v1/match request (the only kind the
-// usage-check ledger parses).
+// plus which verdict-bearing endpoint (if any) it was.
 func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
-	domains, scripts []string, classifyFrac float64, oversized []byte) (*http.Response, bool, error) {
+	domains, scripts []string, classifyFrac float64, oversized []byte) (*http.Response, reqKind, error) {
 	switch kind {
 	case faultMalformed:
 		// Valid HTTP, broken payload: truncated JSON to /v1/match or line
@@ -345,15 +402,15 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 		if rng.Intn(2) == 0 {
 			resp, err := client.Post(target+"/v1/match", "application/json",
 				bytes.NewReader([]byte(`{"url":"http://ads.exam`)))
-			return resp, false, err
+			return resp, reqOther, err
 		}
 		resp, err := client.Post(target+"/v1/classify", "application/javascript",
 			bytes.NewReader([]byte("\x00\x01function{{{")))
-		return resp, false, err
+		return resp, reqOther, err
 	case faultOversized:
 		// Blows past the server's body cap → 413.
 		resp, err := client.Post(target+"/v1/match", "application/json", bytes.NewReader(oversized))
-		return resp, false, err
+		return resp, reqOther, err
 	case faultTrickle:
 		// A sound body delivered a few bytes at a time — slowloris-shaped.
 		// The server should still answer it normally, just late.
@@ -361,12 +418,12 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 		req, err := http.NewRequest(http.MethodPost, target+"/v1/match",
 			&trickleReader{data: body, chunk: 7, gap: 2 * time.Millisecond})
 		if err != nil {
-			return nil, false, err
+			return nil, reqOther, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.ContentLength = int64(len(body))
 		resp, err := client.Do(req)
-		return resp, false, err
+		return resp, reqOther, err
 	case faultAbort:
 		// The body dies mid-stream client-side; the transport surfaces an
 		// error locally and the server sees an unexpected EOF.
@@ -374,18 +431,18 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 		req, err := http.NewRequest(http.MethodPost, target+"/v1/match",
 			&abortReader{data: body[:10]})
 		if err != nil {
-			return nil, false, err
+			return nil, reqOther, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.ContentLength = int64(len(body))
 		resp, err := client.Do(req)
-		return resp, false, err
+		return resp, reqOther, err
 	}
 	// Normal traffic.
 	if rng.Float64() < classifyFrac {
 		resp, err := client.Post(target+"/v1/classify", "application/javascript",
 			bytes.NewReader([]byte(scripts[rng.Intn(len(scripts))])))
-		return resp, false, err
+		return resp, reqClassify, err
 	}
 	d := domains[rng.Intn(len(domains))]
 	q := map[string]string{
@@ -395,7 +452,7 @@ func fire(client *http.Client, target string, kind faultKind, rng *rand.Rand,
 	}
 	body, _ := json.Marshal(q)
 	resp, err := client.Post(target+"/v1/match", "application/json", bytes.NewReader(body))
-	return resp, true, err
+	return resp, reqMatch, err
 }
 
 // countMatchHits parses one 2xx /v1/match body and counts the per-list
@@ -454,6 +511,142 @@ func runUsageCheck(client *http.Client, target string, before uint64, matchHits 
 		return false
 	}
 	fmt.Printf("loadgen: USAGE-CHECK OK (server hit delta %d == %d parsed match verdicts)\n", delta, matchHits)
+	return true
+}
+
+// ledgerVerdict parses one 2xx body into the -analytics-check ledger,
+// keyed exactly like the server's /admin/analytics totals: a match
+// response contributes "match/"+decision (the merged top-level verdict),
+// a classify response contributes classify/anti-adblock or
+// classify/benign.
+func (c *counters) ledgerVerdict(rk reqKind, body []byte) {
+	var key string
+	switch rk {
+	case reqMatch:
+		var res struct {
+			Decision string `json:"decision"`
+		}
+		if json.Unmarshal(body, &res) != nil || res.Decision == "" {
+			return
+		}
+		key = "match/" + res.Decision
+	case reqClassify:
+		var res struct {
+			AntiAdblock bool `json:"anti_adblock"`
+		}
+		if json.Unmarshal(body, &res) != nil {
+			return
+		}
+		if res.AntiAdblock {
+			key = "classify/anti-adblock"
+		} else {
+			key = "classify/benign"
+		}
+	default:
+		return
+	}
+	if c.verdicts == nil {
+		c.verdicts = make(map[string]int64)
+	}
+	c.verdicts[key]++
+}
+
+// analyticsTotals is the slice of the /admin/analytics snapshot the
+// reconciliation reads: cumulative per-"kind/verdict" totals plus the
+// accounting counters that prove nothing was dropped or sampled away.
+type analyticsTotals struct {
+	Enabled  bool              `json:"enabled"`
+	Totals   map[string]uint64 `json:"totals"`
+	Counters struct {
+		Recorded      uint64  `json:"recorded"`
+		Dropped       uint64  `json:"dropped"`
+		SampledOut    uint64  `json:"sampled_out"`
+		RingOccupancy int     `json:"ring_occupancy"`
+		SampleRate    float64 `json:"sample_rate"`
+	} `json:"counters"`
+}
+
+func fetchAnalyticsTotals(client *http.Client, target string) (*analyticsTotals, error) {
+	resp, err := client.Get(target + "/admin/analytics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /admin/analytics: status %d (server not running -analytics?)", resp.StatusCode)
+	}
+	var at analyticsTotals
+	if err := json.NewDecoder(resp.Body).Decode(&at); err != nil {
+		return nil, err
+	}
+	if !at.Enabled {
+		return nil, fmt.Errorf("analytics disabled on server")
+	}
+	return &at, nil
+}
+
+// runAnalyticsCheck re-reads /admin/analytics — polling briefly so the
+// consumer can finish draining the rings — and demands that every
+// per-"kind/verdict" total delta equals this run's ledger exactly, with
+// zero new drops and zero sampled-out decisions.
+func runAnalyticsCheck(client *http.Client, target string, before *analyticsTotals, ledger map[string]int64) bool {
+	fail := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(os.Stderr, "loadgen: ANALYTICS-CHECK FAILED: "+format+"\n", args...)
+		return false
+	}
+	var ledgerSum int64
+	for _, v := range ledger {
+		ledgerSum += v
+	}
+	// Poll until the rings are empty and the recorded delta covers the
+	// ledger (the consumer drains on a few-ms cadence; 3s is generous).
+	var after *analyticsTotals
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		at, err := fetchAnalyticsTotals(client, target)
+		if err != nil {
+			return fail("%v", err)
+		}
+		after = at
+		settled := at.Counters.RingOccupancy == 0 &&
+			int64(at.Counters.Recorded-before.Counters.Recorded) >= ledgerSum
+		if settled || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if d := after.Counters.Dropped - before.Counters.Dropped; d != 0 {
+		return fail("%d decisions dropped at the rings during the run", d)
+	}
+	if d := after.Counters.SampledOut - before.Counters.SampledOut; d != 0 {
+		return fail("%d decisions sampled out (server not at sampling 1.0?)", d)
+	}
+	// Every key either side saw must reconcile — a key the server counted
+	// but the ledger didn't (or vice versa) is as much a failure as a
+	// mismatched count.
+	keys := make(map[string]bool, len(ledger))
+	for k := range ledger {
+		keys[k] = true
+	}
+	for k := range after.Totals {
+		if after.Totals[k] != before.Totals[k] {
+			keys[k] = true
+		}
+	}
+	ok := true
+	for k := range keys {
+		delta := int64(after.Totals[k] - before.Totals[k])
+		if delta != ledger[k] {
+			fmt.Fprintf(os.Stderr, "loadgen: ANALYTICS-CHECK FAILED: %s: server delta %d != ledger %d\n",
+				k, delta, ledger[k])
+			ok = false
+		}
+	}
+	if !ok {
+		return false
+	}
+	fmt.Printf("loadgen: ANALYTICS-CHECK OK (%d decisions across %d verdict keys reconcile exactly, zero drops)\n",
+		ledgerSum, len(ledger))
 	return true
 }
 

@@ -6,16 +6,28 @@
 // Usage:
 //
 //	adwars-report [-scale N] [-seed S] [-stride M] [-folds K]
+//	adwars-report -live [-spill DIR] [-url http://HOST:PORT] [-top K]
+//
+// -live switches from the paper experiments to a serving-run coverage
+// dashboard built from the decision analytics pipeline: top firing rules,
+// per-domain block rates, and the verdict mix over time. Rows come from
+// the JSONL spill files an adwars-serve -analytics-spill run wrote
+// (-spill DIR), from a running server's /admin/analytics snapshot
+// (-url), or both — spilled history plus the in-memory buckets not yet
+// evicted, which together cover the whole run.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
+	"adwars/internal/analytics"
 	"adwars/internal/antiadblock"
 	"adwars/internal/experiments"
 	"adwars/internal/features"
@@ -32,7 +44,15 @@ func main() {
 	stride := flag.Int("stride", 1, "crawl every Mth month")
 	folds := flag.Int("folds", 10, "cross-validation folds")
 	maxSamples := flag.Int("maxsamples", 1650, "ML corpus cap (0 = unlimited)")
+	liveMode := flag.Bool("live", false, "render a serving-run analytics dashboard instead of the paper report")
+	spillDir := flag.String("spill", "", "with -live: analytics JSONL spill directory to read")
+	liveURL := flag.String("url", "", "with -live: base URL of a running adwars-serve to snapshot")
+	topK := flag.Int("top", 10, "with -live: rows per ranking section")
 	flag.Parse()
+
+	if *liveMode {
+		os.Exit(runLive(*spillDir, *liveURL, *topK))
+	}
 
 	started := time.Now()
 	cfg := simworld.DefaultConfig(*seed)
@@ -119,4 +139,57 @@ func main() {
 	fmt.Println(experiments.RenderComparison(experiments.PaperComparison(summary, lab.Scale())))
 
 	fmt.Printf("report complete in %s\n", time.Since(started).Round(time.Second))
+}
+
+// runLive builds the serving-run dashboard from spill files and/or a live
+// /admin/analytics snapshot and prints it. Returns the exit code.
+func runLive(spillDir, liveURL string, topK int) int {
+	if spillDir == "" && liveURL == "" {
+		fmt.Fprintln(os.Stderr, "adwars-report: -live needs -spill DIR and/or -url http://HOST:PORT")
+		return 2
+	}
+	var rows []analytics.Row
+	if spillDir != "" {
+		spilled, err := analytics.ReadSpillDir(spillDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adwars-report: spill: %v\n", err)
+			return 1
+		}
+		rows = append(rows, spilled...)
+		fmt.Fprintf(os.Stderr, "adwars-report: %d rows from spill %s\n", len(spilled), spillDir)
+	}
+	if liveURL != "" {
+		snap, err := fetchAnalyticsSnapshot(liveURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adwars-report: live snapshot: %v\n", err)
+			return 1
+		}
+		liveRows := analytics.RowsFromSnapshot(snap)
+		rows = append(rows, liveRows...)
+		fmt.Fprintf(os.Stderr, "adwars-report: %d rows from %s (%d in-memory buckets)\n",
+			len(liveRows), liveURL, snap.AggBuckets)
+	}
+	fmt.Print(analytics.BuildReport(rows).Render(topK))
+	return 0
+}
+
+// fetchAnalyticsSnapshot reads a running server's /admin/analytics.
+func fetchAnalyticsSnapshot(base string) (*analytics.Snapshot, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(base + "/admin/analytics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /admin/analytics: status %d (server not running -analytics?)", resp.StatusCode)
+	}
+	var snap analytics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	if !snap.Enabled {
+		return nil, fmt.Errorf("analytics disabled on server")
+	}
+	return &snap, nil
 }

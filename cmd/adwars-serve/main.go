@@ -10,6 +10,16 @@
 //	             [-workers N] [-queue N] [-queue-timeout D]
 //	             [-max-body N] [-max-batch N] [-drain D] [-portfile PATH]
 //	             [-replica ID] [-drain-announce D]
+//	             [-analytics] [-analytics-sample F] [-analytics-spill DIR]
+//	             [-analytics-bucket D]
+//
+// -analytics enables the decision analytics pipeline: every /v1/match and
+// /v1/classify verdict is logged (sampled at -analytics-sample) into
+// lock-free rings, aggregated into time buckets, snapshotted at
+// /admin/analytics, and — with -analytics-spill — written as rotated
+// JSONL files that adwars-report -live renders into coverage dashboards.
+// On SIGTERM the rings and final aggregator state flush to spill before
+// exit.
 //
 // Behind adwars-gateway, -replica names this process in the
 // X-Adwars-Replica response header and /healthz, and -drain-announce
@@ -35,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"adwars/internal/analytics"
 	"adwars/internal/artifact"
 	"adwars/internal/serve"
 )
@@ -58,6 +69,10 @@ func main() {
 	chaosCloseRate := flag.Float64("chaos-close-rate", 0, "fraction of data-plane requests whose connection is closed early")
 	chaosTruncateRate := flag.Float64("chaos-truncate-rate", 0, "fraction of data-plane requests whose body read is truncated")
 	chaosPanicRate := flag.Float64("chaos-panic-rate", 0, "fraction of data-plane requests that panic inside the handler")
+	anlOn := flag.Bool("analytics", false, "enable the decision analytics pipeline (/admin/analytics)")
+	anlSample := flag.Float64("analytics-sample", 1.0, "fraction of decisions recorded (1.0 = exact reconciliation)")
+	anlSpill := flag.String("analytics-spill", "", "directory for rotated JSONL analytics spill files (empty = in-memory only)")
+	anlBucket := flag.Duration("analytics-bucket", 0, "analytics aggregation bucket width (0 = default 10s)")
 	flag.Parse()
 
 	if *model == "" && *lists == "" {
@@ -78,6 +93,17 @@ func main() {
 			chaos.Seed, chaos.LatencyRate, chaos.CloseRate, chaos.TruncateRate, chaos.PanicRate)
 	}
 
+	var anl *analytics.Config
+	if *anlOn || *anlSpill != "" {
+		anl = &analytics.Config{
+			SampleRate: *anlSample,
+			SpillDir:   *anlSpill,
+			BucketDur:  *anlBucket,
+		}
+		fmt.Fprintf(os.Stderr, "adwars-serve: decision analytics on (sample=%.2f spill=%q)\n",
+			*anlSample, *anlSpill)
+	}
+
 	s := serve.New(serve.Config{
 		ModelPath:     *model,
 		ListsPath:     *lists,
@@ -91,7 +117,11 @@ func main() {
 		ReplicaID:     *replica,
 		MetricsOut:    os.Stderr,
 		Chaos:         chaos,
+		Analytics:     anl,
 	})
+	if err := s.AnalyticsError(); err != nil {
+		log.Fatalf("analytics: %v", err)
+	}
 	if err := s.ReloadSnapshots(); err != nil {
 		log.Fatalf("initial snapshot load: %v", err)
 	}

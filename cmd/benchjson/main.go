@@ -85,6 +85,23 @@ type Report struct {
 	// the tail cost of per-rule usage recording, which the sharded
 	// counter design holds at zero (any residual is run-to-run noise).
 	UsageOverheadP99Ns *float64 `json:"usage_overhead_p99_ns,omitempty"`
+	// AnalyticsOverheadP99Ns is p99(ServeMatchAnalytics) − p99(ServeMatch):
+	// the tail cost of recording every decision into the analytics rings,
+	// which the lock-free design holds at zero (any residual is
+	// run-to-run noise). A pointer so the headline zero survives omitempty.
+	AnalyticsOverheadP99Ns *float64 `json:"analytics_overhead_p99_ns,omitempty"`
+	// AnalyticsDropRate is the fraction of recorded decisions dropped at
+	// full rings during the analytics benchmark — 0.0 means the consumer
+	// kept up with an unthrottled producer. A pointer for the same reason.
+	AnalyticsDropRate *float64 `json:"analytics_drop_rate,omitempty"`
+	// AnalyticsAggBytes is the aggregator's bounded-memory footprint after
+	// absorbing the whole benchmark run.
+	AnalyticsAggBytes float64 `json:"analytics_agg_bytes,omitempty"`
+	// ServeMatchAnalyticsAllocs is allocs/op of the /v1/match handler with
+	// analytics recording every verdict (ServeMatchAnalyticsHandler) — the
+	// gate is the same ≤ 8 as the analytics-off path, enforced by
+	// TestServeMatchAnalyticsAllocs: decision logging allocates nothing.
+	ServeMatchAnalyticsAllocs float64 `json:"serve_match_analytics_allocs,omitempty"`
 	// CompactHotCoverage is the fraction of match verdicts a
 	// usage-compacted tiered list answers from its hot tier
 	// (ServeMatchTiered's hot-coverage metric) — acceptance gate ≥ 0.95.
@@ -200,6 +217,7 @@ func derive(rep *Report) {
 	var indexed, linear, mlSeq, mlCached float64
 	var auto, token, compile, load, compileLarge, loadLarge float64
 	usageOffP99 := -1.0
+	analyticsP99 := -1.0
 	for _, b := range rep.Benchmarks {
 		switch b.Name {
 		case "ReplayIndexed":
@@ -236,6 +254,14 @@ func derive(rep *Report) {
 			rep.ServeMatchAllocs = b.AllocsPerOp
 		case "ServeMatchUsageOff":
 			usageOffP99 = b.Metrics["p99-ns"]
+		case "ServeMatchAnalytics":
+			analyticsP99 = b.Metrics["p99-ns"]
+			if dr, ok := b.Metrics["drop-rate"]; ok {
+				rep.AnalyticsDropRate = &dr
+			}
+			rep.AnalyticsAggBytes = b.Metrics["agg-bytes"]
+		case "ServeMatchAnalyticsHandler":
+			rep.ServeMatchAnalyticsAllocs = b.AllocsPerOp
 		case "ServeMatchTiered":
 			rep.CompactHotCoverage = b.Metrics["hot-coverage"]
 			rep.CompactWorkingSetBytes = b.Metrics["hot-set-bytes"]
@@ -274,6 +300,10 @@ func derive(rep *Report) {
 		// tail) survives omitempty; negative residuals are noise.
 		overhead := rep.ServeMatchP99Ns - usageOffP99
 		rep.UsageOverheadP99Ns = &overhead
+	}
+	if analyticsP99 >= 0 && rep.ServeMatchP99Ns > 0 {
+		overhead := analyticsP99 - rep.ServeMatchP99Ns
+		rep.AnalyticsOverheadP99Ns = &overhead
 	}
 }
 

@@ -1,0 +1,154 @@
+package analytics
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func addEvent(a *aggregator, sw *spillWriter, ts time.Time, domain, rule string, v Verdict) {
+	ev := Event{UnixNano: ts.UnixNano(), Kind: KindMatch, Verdict: v, Ordinal: 1, Domain: domain, Rule: rule}
+	a.add(&ev, sw)
+}
+
+// TestAggregatorBuckets checks bucket alignment, row counting, and the
+// cumulative totals.
+func TestAggregatorBuckets(t *testing.T) {
+	a := newAggregator(10*time.Second, 8, 16)
+	base := time.Date(2026, 8, 8, 12, 0, 3, 0, time.UTC)
+	addEvent(a, nil, base, "a.example", "||ads^", VerdictBlocked)
+	addEvent(a, nil, base.Add(time.Second), "a.example", "||ads^", VerdictBlocked)
+	addEvent(a, nil, base.Add(9*time.Second), "b.example", "", VerdictNoMatch) // next bucket (12:00:12)
+	if len(a.buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(a.buckets))
+	}
+	first := a.buckets[0]
+	if got := time.Unix(0, first.start).UTC(); got != time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) {
+		t.Fatalf("first bucket start = %v", got)
+	}
+	if first.total != 2 || len(first.rows) != 1 {
+		t.Fatalf("first bucket total=%d rows=%d, want 2/1", first.total, len(first.rows))
+	}
+	tm := a.totalsMap()
+	if tm["match/blocked"] != 2 || tm["match/no-match"] != 1 {
+		t.Fatalf("totals = %v", tm)
+	}
+	if a.bytes <= 0 {
+		t.Fatal("bytes estimate not tracked")
+	}
+}
+
+// TestAggregatorBucketEviction drives more buckets than the cap and
+// checks that memory stays bounded, evicted rows land in spill, and the
+// cumulative totals survive eviction.
+func TestAggregatorBucketEviction(t *testing.T) {
+	dir := t.TempDir()
+	sw, err := newSpillWriter(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newAggregator(time.Second, 4, 16)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const buckets = 12
+	for i := 0; i < buckets; i++ {
+		addEvent(a, sw, base.Add(time.Duration(i)*time.Second), "dom.example", "||ads^", VerdictBlocked)
+	}
+	if len(a.buckets) != 4 {
+		t.Fatalf("retained %d buckets, cap is 4", len(a.buckets))
+	}
+	if a.rowCount() != 4 {
+		t.Fatalf("rowCount = %d, want 4", a.rowCount())
+	}
+	if a.totalsMap()["match/blocked"] != buckets {
+		t.Fatalf("totals lost events across eviction: %v", a.totalsMap())
+	}
+	// The 8 evicted buckets each spilled their single row.
+	if err := sw.close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadSpillDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != buckets-4 {
+		t.Fatalf("spilled %d rows, want %d", len(rows), buckets-4)
+	}
+	// Expired-time eviction flushes the rest.
+	sw2, err := newSpillWriter(filepath.Join(dir, "late"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.evictExpired(base.Add(time.Hour).UnixNano(), sw2)
+	if len(a.buckets) != 0 {
+		t.Fatalf("evictExpired left %d buckets", len(a.buckets))
+	}
+	if a.bytes != 0 {
+		t.Fatalf("bytes estimate = %d after full eviction, want 0", a.bytes)
+	}
+}
+
+// TestAggregatorKeyCapOverflow floods one bucket with distinct keys: past
+// the cap new keys must fold into the overflow row, keeping memory
+// bounded, while known keys still count normally.
+func TestAggregatorKeyCapOverflow(t *testing.T) {
+	a := newAggregator(time.Minute, 2, 4)
+	base := time.Date(2026, 8, 8, 12, 0, 30, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		addEvent(a, nil, base, string(rune('a'+i))+".example", "", VerdictNoMatch)
+	}
+	// A repeat of a retained key still lands on its row.
+	addEvent(a, nil, base, "a.example", "", VerdictNoMatch)
+	b := a.buckets[0]
+	if len(b.rows) != 4 {
+		t.Fatalf("rows = %d, want cap 4", len(b.rows))
+	}
+	if b.overflow != 6 {
+		t.Fatalf("overflow = %d, want 6", b.overflow)
+	}
+	if a.overflowEvents != 6 {
+		t.Fatalf("overflowEvents = %d, want 6", a.overflowEvents)
+	}
+	if b.total != 11 {
+		t.Fatalf("total = %d, want 11", b.total)
+	}
+	rows := bucketRows(b, time.Minute)
+	last := rows[len(rows)-1]
+	if !last.Overflow || last.Count != 6 {
+		t.Fatalf("overflow row = %+v", last)
+	}
+}
+
+// TestAggregatorLateEvents sends an event older than every retained
+// bucket: it must fold into the oldest bucket and tick the late counter
+// instead of resurrecting an evicted window.
+func TestAggregatorLateEvents(t *testing.T) {
+	a := newAggregator(time.Second, 2, 16)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 4; i++ { // buckets 0..3, retention 2 → keeps 2,3
+		addEvent(a, nil, base.Add(time.Duration(i)*time.Second), "d.example", "", VerdictNoMatch)
+	}
+	addEvent(a, nil, base, "late.example", "", VerdictNoMatch)
+	if a.lateEvents != 1 {
+		t.Fatalf("lateEvents = %d, want 1", a.lateEvents)
+	}
+	if len(a.buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(a.buckets))
+	}
+	if a.buckets[0].total != 2 {
+		t.Fatalf("late event not folded into oldest bucket: total = %d", a.buckets[0].total)
+	}
+}
+
+// TestAggregatorKeyCloning proves aggregator keys do not alias the
+// event's strings (which belong to the producer and get recycled).
+func TestAggregatorKeyCloning(t *testing.T) {
+	a := newAggregator(time.Minute, 2, 16)
+	buf := []byte("mutable.example")
+	ev := Event{UnixNano: time.Now().UnixNano(), Kind: KindMatch, Verdict: VerdictBlocked, Domain: string(buf)}
+	a.add(&ev, nil)
+	for k := range a.buckets[0].rows {
+		if k.domain != "mutable.example" {
+			t.Fatalf("key domain = %q", k.domain)
+		}
+	}
+}

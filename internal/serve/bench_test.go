@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adwars/internal/abp"
+	"adwars/internal/analytics"
 	"adwars/internal/antiadblock"
 	"adwars/internal/ml"
 )
@@ -124,6 +125,58 @@ func BenchmarkServeMatch(b *testing.B) {
 // TestServeMatchAllocs.
 func BenchmarkServeMatchHandler(b *testing.B) {
 	s := benchServer(b)
+	const body = `{"url":"http://adserver042.example/slot/7/ad.js","type":"script","page_domain":"news.example"}`
+	h, w, req, rb := matchAllocRig(s, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Reset(body)
+		h.ServeHTTP(w, req)
+	}
+	if w.status != 200 {
+		b.Fatalf("status %d", w.status)
+	}
+}
+
+// BenchmarkServeMatchAnalytics is BenchmarkServeMatch with the decision
+// analytics pipeline recording every verdict (sampling 1.0). cmd/benchjson
+// subtracts BenchmarkServeMatch's p99 from this one's to derive
+// analytics_overhead_p99_ns — the tail cost of decision logging, which the
+// lock-free ring design holds at zero — and folds the reported drop-rate
+// and agg-bytes metrics into analytics_drop_rate / analytics_agg_bytes.
+func BenchmarkServeMatchAnalytics(b *testing.B) {
+	s := benchServerCfg(b, Config{
+		Workers: 4, Queue: 1024, QueueTimeout: time.Second,
+		Analytics: &analytics.Config{SampleRate: 1},
+	})
+	if err := s.AnalyticsError(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.CloseAnalytics()
+	benchDrive(b, s, "/v1/match", benchMatchBodies(1))
+	// Let the consumer finish draining the rings so agg-bytes reflects the
+	// aggregated run, not events still in flight.
+	v := s.Analytics().Vars()
+	for deadline := time.Now().Add(time.Second); v.RingOccupancy > 0 && time.Now().Before(deadline); {
+		time.Sleep(2 * time.Millisecond)
+		v = s.Analytics().Vars()
+	}
+	sent := v.Recorded + v.Dropped + v.SampledOut
+	if sent > 0 {
+		b.ReportMetric(float64(v.Dropped)/float64(sent), "drop-rate")
+	}
+	b.ReportMetric(float64(v.AggBytes), "agg-bytes")
+}
+
+// BenchmarkServeMatchAnalyticsHandler is BenchmarkServeMatchHandler with
+// analytics on: its allocs/op becomes serve_match_analytics_allocs in
+// BENCH_serve.json, gated at ≤8 by TestServeMatchAnalyticsAllocs.
+func BenchmarkServeMatchAnalyticsHandler(b *testing.B) {
+	s := benchServerCfg(b, Config{
+		Workers: 4, Queue: 1024, QueueTimeout: time.Second,
+		Analytics: &analytics.Config{SampleRate: 1},
+	})
+	defer s.CloseAnalytics()
 	const body = `{"url":"http://adserver042.example/slot/7/ad.js","type":"script","page_domain":"news.example"}`
 	h, w, req, rb := matchAllocRig(s, body)
 	b.ReportAllocs()

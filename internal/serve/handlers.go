@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"adwars/internal/abp"
+	"adwars/internal/analytics"
 	"adwars/internal/artifact"
 	"adwars/internal/features"
 	"adwars/internal/ml"
@@ -309,6 +310,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/admin/reload", s.handleReload)
 	mux.HandleFunc("/admin/snapshot/", s.handleSnapshot)
 	mux.HandleFunc("/admin/usage", s.handleUsage)
+	mux.HandleFunc("/admin/analytics", s.handleAnalytics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
@@ -372,14 +374,28 @@ func getMatchScratch() *matchScratch {
 	return sc
 }
 
+// matchWinner identifies the merged-list winning rule for the analytics
+// event: the verdict, the winning rule's raw text, and its within-list
+// ordinal. A no-match verdict carries ordinal -1 and no rule.
+type matchWinner struct {
+	verdict analytics.Verdict
+	rule    string
+	ordinal int32
+}
+
 // matchOne answers one query against every list in the state with a
 // single automaton probe per list: AppendHits collects every matching
 // rule, DecideHits reduces them to the verdict, and the winning ordinal
-// feeds the list's usage counters. Results alias sc's arenas.
-func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) MatchResult {
+// feeds the list's usage counters. Results alias sc's arenas. The second
+// return identifies the merged winner — under merged-list semantics the
+// first exception anywhere, else the first block anywhere — for the
+// analytics event.
+func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) (MatchResult, matchWinner) {
 	req := abp.Request{URL: q.URL, Type: abp.RequestType(q.Type), PageDomain: q.PageDomain}
 	listsStart := len(sc.lists)
 	anyBlocked, anyAllowed := false, false
+	var blockRule, allowRule *abp.Rule
+	var blockOrd, allowOrd int32 = -1, -1
 	for _, l := range ls.snap.Lists {
 		sc.hits = l.AppendHits(sc.hits[:0], req)
 		dec, rule, ord := abp.DecideHits(sc.hits)
@@ -391,8 +407,14 @@ func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) MatchResult {
 		switch dec {
 		case abp.Blocked:
 			anyBlocked = true
+			if blockRule == nil {
+				blockRule, blockOrd = rule, int32(ord)
+			}
 		case abp.Allowed:
 			anyAllowed = true
+			if allowRule == nil {
+				allowRule, allowOrd = rule, int32(ord)
+			}
 		}
 		if len(sc.hits) > 0 {
 			start := len(sc.matched)
@@ -404,16 +426,53 @@ func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) MatchResult {
 		sc.lists = append(sc.lists, lm)
 	}
 	res := MatchResult{Lists: sc.lists[listsStart:len(sc.lists):len(sc.lists)]}
+	win := matchWinner{verdict: analytics.VerdictNoMatch, ordinal: -1}
 	switch {
 	case anyAllowed:
 		res.Decision = abp.Allowed.String()
+		win = matchWinner{verdict: analytics.VerdictAllowed, rule: allowRule.Raw, ordinal: allowOrd}
 	case anyBlocked:
 		res.Decision = abp.Blocked.String()
 		res.Blocked = true
+		win = matchWinner{verdict: analytics.VerdictBlocked, rule: blockRule.Raw, ordinal: blockOrd}
 	default:
 		res.Decision = abp.NoMatch.String()
 	}
-	return res
+	return res, win
+}
+
+// recordMatch logs one match verdict into the analytics pipeline. The
+// event's strings alias the decoded query and the compiled list's rule
+// text — memory that already exists — so recording costs two atomic adds
+// and a ring-slot copy, nothing on the heap; the collector's consumer
+// clones whatever it keeps. Callers check s.anl != nil.
+func (s *Server) recordMatch(q *MatchQuery, win matchWinner, ts time.Time) {
+	domain := q.PageDomain
+	if domain == "" {
+		domain = abp.HostOf(q.URL)
+	}
+	s.anl.Record(analytics.Event{
+		UnixNano: ts.UnixNano(),
+		Kind:     analytics.KindMatch,
+		Verdict:  win.verdict,
+		Ordinal:  win.ordinal,
+		Domain:   domain,
+		Rule:     win.rule,
+	})
+}
+
+// recordClassify logs one classification verdict.
+func (s *Server) recordClassify(anti bool, ts time.Time) {
+	v := analytics.VerdictBenign
+	if anti {
+		v = analytics.VerdictAntiAdblock
+	}
+	s.anl.Record(analytics.Event{
+		UnixNano: ts.UnixNano(),
+		Kind:     analytics.KindClassify,
+		Verdict:  v,
+		Ordinal:  -1,
+	})
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -445,8 +504,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.endAdmitted(epMatch, start)
+	res, win := matchOne(ls, sc.q, sc)
+	if s.anl != nil {
+		s.recordMatch(&sc.q, win, start)
+	}
 	sc.resp = matchResponse{
-		MatchResult: matchOne(ls, sc.q, sc),
+		MatchResult: res,
 		Snapshot:    s.snapshotInfo(),
 	}
 	writeJSON(w, http.StatusOK, &sc.resp)
@@ -492,8 +555,13 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 		// and every result's slices stay valid until the encode below.
 		sc := getMatchScratch()
 		defer matchScratchPool.Put(sc)
-		for _, q := range batch.Requests {
-			out.Results = append(out.Results, matchOne(ls, q, sc))
+		now := time.Now()
+		for i := range batch.Requests {
+			res, win := matchOne(ls, batch.Requests[i], sc)
+			if s.anl != nil {
+				s.recordMatch(&batch.Requests[i], win, now)
+			}
+			out.Results = append(out.Results, res)
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -560,6 +628,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 				"script does not parse: %v", err)
 			return
 		}
+		if s.anl != nil {
+			s.recordClassify(res.AntiAdblock, time.Now())
+		}
 		writeJSON(w, http.StatusOK, classifyResponse{
 			ClassifyResult: res,
 			Snapshot:       s.snapshotInfo(),
@@ -601,12 +672,18 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 			Results:  make([]ClassifyResult, len(batch.Scripts)),
 			Snapshot: s.snapshotInfo(),
 		}
+		now := time.Now()
 		for i := range batch.Scripts {
 			if errs[i] != nil {
+				// A parse failure is not a verdict; it annotates the slot and
+				// stays out of the analytics stream.
 				out.Results[i] = ClassifyResult{Error: fmt.Sprintf("script does not parse: %v", errs[i])}
 				continue
 			}
 			out.Results[i] = ms.score(sets[i])
+			if s.anl != nil {
+				s.recordClassify(out.Results[i].AntiAdblock, now)
+			}
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -962,6 +1039,40 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, dump)
 }
 
+// ---- analytics ----
+
+// handleAnalytics snapshots the decision analytics pipeline: producer
+// counters (recorded / dropped / sampled-out), cumulative per-verdict
+// totals (which survive bucket eviction — the reconciliation anchor),
+// aggregator occupancy against its bounds, and the in-memory bucket rows.
+// adwars-report -live consumes it directly; adwars-loadgen
+// -analytics-check reconciles its totals against the client-side ledger.
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.anl == nil {
+		writeError(w, http.StatusNotFound, "analytics_disabled",
+			"decision analytics are disabled on this replica")
+		return
+	}
+	snap := s.anl.Snapshot()
+	writeJSON(w, http.StatusOK, &snap)
+}
+
+// analyticsVars renders the collector's cheap accounting for /debug/vars
+// (lazy-read contract: nothing is computed until scraped).
+func (s *Server) analyticsVars() string {
+	if s.anl == nil {
+		return `{"enabled":false}`
+	}
+	data, err := json.Marshal(s.anl.Vars())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}
+
 // usageAggregate is the cheap usage summary inlined into /debug/vars.
 type usageAggregate struct {
 	Enabled      bool    `json:"enabled"`
@@ -1031,5 +1142,6 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "%q: %s", "adwars_serve", s.met.String())
 	fmt.Fprintf(w, ",\n%q: %s", "adwars_usage", s.usageVars())
+	fmt.Fprintf(w, ",\n%q: %s", "adwars_analytics", s.analyticsVars())
 	fmt.Fprintf(w, "\n}\n")
 }

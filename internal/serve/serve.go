@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"adwars/internal/abp"
+	"adwars/internal/analytics"
 	"adwars/internal/artifact"
 	"adwars/internal/features"
 	"adwars/internal/ml"
@@ -73,6 +74,13 @@ type Config struct {
 	// (no locks, no allocation), and /admin/usage dumps the per-rule hit
 	// distribution that adwars-compact turns into a tiered snapshot.
 	DisableUsage bool
+	// Analytics, when non-nil, enables the decision analytics pipeline:
+	// every /v1/match and /v1/classify verdict is logged (sampled per
+	// Analytics.SampleRate) into lock-free rings that a background
+	// consumer aggregates and spills; /admin/analytics snapshots it live.
+	// Recording never blocks the hot path and never allocates. Nil means
+	// no analytics at all — no rings, no consumer goroutine.
+	Analytics *analytics.Config
 }
 
 func (c *Config) workers() int {
@@ -179,6 +187,13 @@ type Server struct {
 	met   *metrics
 	chaos *chaosState // nil unless cfg.Chaos is enabled
 
+	// anl is the decision analytics collector, nil unless cfg.Analytics
+	// is set; anlErr latches a collector construction failure (unwritable
+	// spill dir) so the embedder can fail fast instead of serving with
+	// analytics silently off.
+	anl    *analytics.Collector
+	anlErr error
+
 	model atomic.Pointer[modelState]
 	lists atomic.Pointer[listsState]
 
@@ -203,6 +218,13 @@ func New(cfg Config) *Server {
 	}
 	s.met = newMetrics(&s.adm.queued)
 	s.met.chaosEnabled = cfg.Chaos.Enabled()
+	if cfg.Analytics != nil {
+		if anl, err := analytics.NewCollector(*cfg.Analytics); err != nil {
+			s.anlErr = err
+		} else {
+			s.anl = anl
+		}
+	}
 	// Middleware order matters: recovery is outermost so it catches panics
 	// from chaos injection and handlers alike; chaos sits between recovery
 	// and the routes so injected faults exercise real handler paths.
@@ -233,6 +255,26 @@ func (s *Server) withReplicaHeader(next http.Handler) http.Handler {
 // (its String method renders JSON). Commands publish it in the global
 // expvar registry; tests read it directly.
 func (s *Server) Metrics() fmt.Stringer { return s.met }
+
+// Analytics returns the decision analytics collector, or nil when
+// analytics are disabled.
+func (s *Server) Analytics() *analytics.Collector { return s.anl }
+
+// AnalyticsError reports a collector construction failure latched at New
+// (an unwritable spill dir). Embedders that require analytics should
+// check it before serving.
+func (s *Server) AnalyticsError() error { return s.anlErr }
+
+// CloseAnalytics drains the analytics rings and flushes the final
+// aggregator state to spill, stopping the consumer goroutine. Idempotent
+// and nil-safe; Serve calls it during drain, embedders that drive the
+// Handler directly call it themselves.
+func (s *Server) CloseAnalytics() error {
+	if s.anl == nil {
+		return nil
+	}
+	return s.anl.Close()
+}
 
 // SetModelSnapshot validates and installs a model snapshot. In-flight
 // requests keep the state they already loaded; new requests see the new
@@ -418,6 +460,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
 	defer cancel()
 	err := hs.Shutdown(drainCtx)
+	// With no more requests in flight, the analytics rings hold the last
+	// recorded decisions; flush them and the aggregator to spill before
+	// the process report, so a drained run loses no telemetry.
+	if aerr := s.CloseAnalytics(); aerr != nil && err == nil {
+		err = aerr
+	}
 	s.met.flush(s.cfg.MetricsOut)
 	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)

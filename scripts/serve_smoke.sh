@@ -5,13 +5,19 @@
 # with a SIGHUP hot-reload mid-run, then drain with SIGTERM. After the
 # reload settles, a second quiet-server loadgen pass runs -usage-check
 # (per-rule telemetry reconciled exactly against the client-side verdict
-# ledger), the accumulated /admin/usage dump feeds adwars-compact into a
-# tiered v4 snapshot, and a second server proves the tiered snapshot
-# serves clean load. Fails if any request is dropped or 5xx's, if the
-# reload fails, if the usage ledger drifts, if compaction or tiered
-# serving breaks, or if the server does not exit cleanly. Every wait is
-# bounded: a wedged server is killed hard by the teardown trap rather
-# than hanging the build forever.
+# ledger), a third runs -analytics-check (the decision analytics totals
+# reconciled exactly against the client's per-verdict ledger at sampling
+# 1.0), adwars-report -live renders a dashboard from the live
+# /admin/analytics snapshot, the accumulated /admin/usage dump feeds
+# adwars-compact into a tiered v4 snapshot, and a second server proves
+# the tiered snapshot serves clean load. After the SIGTERM drain the
+# analytics spill directory must hold the flushed run, which
+# adwars-report -live renders again from disk. Fails if any request is
+# dropped or 5xx's, if the reload fails, if either ledger drifts, if a
+# dashboard comes up empty, if compaction or tiered serving breaks, or
+# if the server does not exit cleanly. Every wait is bounded: a wedged
+# server is killed hard by the teardown trap rather than hanging the
+# build forever.
 set -eu
 
 GO="${GO:-go}"
@@ -48,7 +54,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "serve-smoke: building binaries..."
-$GO build -o "$DIR" ./cmd/adwars-serve ./cmd/adwars-loadgen ./cmd/adwars-lists ./cmd/adwars-detect ./cmd/adwars-compact
+$GO build -o "$DIR" ./cmd/adwars-serve ./cmd/adwars-loadgen ./cmd/adwars-lists ./cmd/adwars-detect ./cmd/adwars-compact ./cmd/adwars-report
 
 echo "serve-smoke: freezing snapshots (scale 50)..."
 "$DIR/adwars-lists" -scale 50 -save-snapshot "$DIR/lists.json" >/dev/null 2>&1
@@ -56,6 +62,7 @@ echo "serve-smoke: freezing snapshots (scale 50)..."
 
 "$DIR/adwars-serve" -addr 127.0.0.1:0 \
     -model "$DIR/model.json" -lists "$DIR/lists.json" \
+    -analytics -analytics-spill "$DIR/spill" \
     -portfile "$DIR/port.txt" 2>"$DIR/serve.log" &
 SERVER_PID=$!
 
@@ -96,6 +103,26 @@ echo "serve-smoke: server on $ADDR"
 echo "serve-smoke: usage-check pass..."
 "$DIR/adwars-loadgen" -target "http://$ADDR" -duration 1s \
     -concurrency 2 -lists "$DIR/lists.json" -check -usage-check
+
+# Reconcile the decision analytics pipeline the same way: another quiet
+# run whose client-side per-verdict ledger must match the
+# /admin/analytics cumulative total deltas exactly (sampling is 1.0),
+# with zero ring drops.
+echo "serve-smoke: analytics-check pass..."
+"$DIR/adwars-loadgen" -target "http://$ADDR" -duration 1s \
+    -concurrency 2 -lists "$DIR/lists.json" -check -analytics-check
+
+# The live dashboard over the in-memory buckets: it must see the traffic
+# fired so far and attribute at least one firing rule.
+echo "serve-smoke: live analytics dashboard..."
+"$DIR/adwars-report" -live -url "http://$ADDR" > "$DIR/live_report.txt"
+if ! grep -q "live serving analytics" "$DIR/live_report.txt" \
+    || grep -q " 0 decisions" "$DIR/live_report.txt" \
+    || grep -q "(no rules fired)" "$DIR/live_report.txt"; then
+    echo "serve-smoke: FAIL: live analytics dashboard is empty" >&2
+    cat "$DIR/live_report.txt" >&2
+    exit 1
+fi
 
 # Close the loop: compact the live /admin/usage dump plus the v3 snapshot
 # into a tiered v4 snapshot, then prove a server on the tiered snapshot
@@ -146,4 +173,22 @@ if ! grep -q "SIGHUP reload ok" "$DIR/serve.log"; then
     exit 1
 fi
 
-echo "serve-smoke: OK (zero drops across hot reload, usage ledger reconciled, tiered snapshot served clean, clean drain)"
+# The SIGTERM drain must have flushed the rings and the final aggregator
+# state to spill; the offline dashboard over those files must carry the
+# whole run.
+if ! ls "$DIR/spill"/analytics-*.jsonl >/dev/null 2>&1; then
+    echo "serve-smoke: FAIL: no analytics spill files after drain" >&2
+    ls -la "$DIR/spill" >&2 || true
+    exit 1
+fi
+echo "serve-smoke: post-drain spill dashboard..."
+"$DIR/adwars-report" -live -spill "$DIR/spill" > "$DIR/spill_report.txt"
+if ! grep -q "live serving analytics" "$DIR/spill_report.txt" \
+    || grep -q " 0 decisions" "$DIR/spill_report.txt" \
+    || grep -q "(no rules fired)" "$DIR/spill_report.txt"; then
+    echo "serve-smoke: FAIL: spill dashboard is empty after drain" >&2
+    cat "$DIR/spill_report.txt" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK (zero drops across hot reload, usage + analytics ledgers reconciled, live + spill dashboards rendered, tiered snapshot served clean, clean drain)"
