@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke chaos-smoke chaos-smoke-short fleet-smoke fleet-smoke-short
+.PHONY: build test vet race verify fault-check bench bench-smoke serve-smoke chaos-smoke chaos-smoke-short fleet-smoke fleet-smoke-short brownout-smoke brownout-smoke-short
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,12 @@ race:
 # gate instead of the nightly, an end-to-end smoke of the serving stack
 # (snapshots → adwars-serve → adwars-loadgen with a hot reload mid-fire
 # and a graceful drain), a shortened chaos run (every fault class
-# injected, hostile load, corrupt-snapshot reload mid-fire), and a
+# injected, hostile load, corrupt-snapshot reload mid-fire), a
 # shortened fleet run (3 replicas behind adwars-gateway with a mid-load
-# SIGKILL/restart and a canary-rollback rollout via adwars-ctl).
-verify: build vet test race bench-smoke serve-smoke chaos-smoke-short fleet-smoke-short
+# SIGKILL/restart and a canary-rollback rollout via adwars-ctl), and a
+# shortened brownout run (two starved governed replicas overdriven until
+# the degradation ladder climbs, then proven to recover without flapping).
+verify: build vet test race bench-smoke serve-smoke chaos-smoke-short fleet-smoke-short brownout-smoke-short
 
 # bench records the full performance profile: one run regenerates all
 # five BENCH_*.json reports in the repo root.
@@ -51,9 +53,11 @@ verify: build vet test race bench-smoke serve-smoke chaos-smoke-short fleet-smok
 #    lock-free rings), analytics_drop_rate (0.0 = consumer kept up),
 #    analytics_agg_bytes (bounded aggregator footprint), and
 #    serve_match_analytics_allocs (same ≤ 8 gate with logging on).
-#  - BENCH_chaos.json / BENCH_fleet.json: the live fault-injection and
-#    fleet smoke runs (chaos-smoke / fleet-smoke legs below).
-bench: chaos-smoke fleet-smoke
+#  - BENCH_chaos.json / BENCH_fleet.json: the live fault-injection,
+#    brownout, and fleet smoke runs (chaos-smoke / brownout-smoke /
+#    fleet-smoke legs below; the brownout figures merge into
+#    BENCH_chaos.json next to the chaos ones).
+bench: chaos-smoke brownout-smoke fleet-smoke
 	$(GO) test -run '^$$' -bench 'BenchmarkReplay' -benchmem . > /tmp/adwars-bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkList(Compile|Match|Load)|BenchmarkSnapshotLoadMapped|BenchmarkMatchingHTTPRules|BenchmarkGlobPathological|BenchmarkElementHiding' -benchmem ./internal/abp >> /tmp/adwars-bench.txt
 	$(GO) run ./cmd/benchjson -out BENCH_replay.json < /tmp/adwars-bench.txt
@@ -76,7 +80,10 @@ bench: chaos-smoke fleet-smoke
 # counter recording at 0 allocs, usage-driven tier compaction at
 # ≥ 95% hot coverage with a shrunken hot working set, and the decision
 # analytics pipeline: the handler stays at ≤ 8 allocs/op with logging on
-# and its p99 stays inside the zero-added-overhead envelope.
+# and its p99 stays inside the zero-added-overhead envelope. The degrade
+# leg gates the overload governor: the hot-path level read at 0 allocs,
+# one ladder transition's cost bounded, and /v1/match still ≤ 8 allocs/op
+# with the governor stamping every response.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplay(Indexed|LinearScan)$$' -benchtime 1x . | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-smoke.json
 	$(GO) test -short -run '^$$' -bench 'BenchmarkMLTrainCV(Sequential|Cached)$$' -benchtime 1x ./internal/experiments | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-ml-smoke.json
@@ -85,6 +92,8 @@ bench-smoke:
 	$(GO) test -count=1 -run 'TestUsageLoopCoverage|TestUsageRecordZeroAllocs' ./internal/abp
 	$(GO) test -count=1 -run 'TestServeMatchAllocs$$|TestServeMatchAnalyticsAllocs|TestServeAnalyticsOverheadGate' ./internal/serve
 	$(GO) test -run '^$$' -bench 'BenchmarkServeMatch(Handler|Tiered|Analytics|AnalyticsHandler)$$' -benchtime 1x ./internal/serve | $(GO) run ./cmd/benchjson -out /tmp/adwars-bench-serve-smoke.json
+	$(GO) test -count=1 -run 'TestDegradeLevelZeroAllocs|TestDegradeTransitionCost' ./internal/degrade
+	$(GO) test -count=1 -run 'TestServeMatchDegradeAllocs' ./internal/serve
 	@echo "bench-smoke: pipeline ok"
 
 # serve-smoke is the end-to-end serving gate: ~2s of mixed load against a
@@ -126,6 +135,24 @@ fleet-smoke:
 # firing window, bench JSON parked in /tmp instead of the repo root.
 fleet-smoke-short:
 	FLEET_SHORT=1 FLEET_BENCH_OUT=/tmp/adwars-bench-fleet-smoke.json sh scripts/fleet_smoke.sh
+
+# brownout-smoke is the overload-governor gate: two capacity-starved
+# adwars-serve replicas with -degrade on behind adwars-gateway, overdriven
+# far past capacity. Passes only if every replica's degradation ladder
+# climbs to at least L2 (hot-tier-only matching) and steps back to L0
+# with exactly one climb and one descent (hysteresis held, no flapping),
+# the loadgen ledger balances with zero unexplained 5xx, some answers
+# were really served hot-only, and a post-recovery probe is
+# byte-identical to the unloaded control. Merges the brownout figures
+# (brownout_hot_only_fraction, retry_budget_exhaustions,
+# degrade_transition_p99_ns) into BENCH_chaos.json.
+brownout-smoke:
+	sh scripts/brownout_smoke.sh
+
+# brownout-smoke-short is the verify-speed variant: same gates, shorter
+# firing window, bench JSON parked in /tmp instead of the repo root.
+brownout-smoke-short:
+	BROWNOUT_SHORT=1 BROWNOUT_BENCH_OUT=/tmp/adwars-bench-brownout-smoke.json sh scripts/brownout_smoke.sh
 
 # fault-check exercises the headline robustness claim end to end: the
 # retrospective CLI at a 10% transient fault rate must emit byte-identical

@@ -11,7 +11,16 @@
 //	adwars-gateway -backends host:port,host:port,... [-addr :8090]
 //	               [-health-interval D] [-fail-threshold N] [-cooldown D]
 //	               [-retries N] [-hedge-delay D] [-per-try-timeout D]
+//	               [-retry-budget N] [-retry-refill F]
 //	               [-drain D] [-portfile PATH]
+//
+// Retries and hedges spend from a per-replica token budget (capacity
+// -retry-budget, refilled by -retry-refill tokens per successful
+// exchange), so a struggling fleet is never hammered with unbounded
+// extra attempts. The gateway also stamps X-Adwars-Deadline — the
+// remaining per-try time budget in milliseconds, narrowed by any
+// deadline the client already propagated — so replicas can refuse work
+// they cannot finish in time.
 //
 // SIGINT/SIGTERM drain in-flight requests and flush a final metrics
 // snapshot to stderr.
@@ -42,6 +51,8 @@ func main() {
 	retries := flag.Int("retries", 0, "max distinct replicas tried per request (0 = all)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "fire a second attempt on another replica after this delay (0 = hedging off)")
 	perTryTimeout := flag.Duration("per-try-timeout", 0, "timeout for one replica exchange (0 = default 5s)")
+	retryBudget := flag.Float64("retry-budget", 0, "per-replica retry token bucket capacity (0 = default 10)")
+	retryRefill := flag.Float64("retry-refill", 0, "retry tokens earned per successful exchange (0 = default 0.1)")
 	drain := flag.Duration("drain", 0, "graceful-shutdown drain timeout (0 = default 5s)")
 	portfile := flag.String("portfile", "", "write the bound host:port to this file after listening")
 	flag.Parse()
@@ -55,6 +66,8 @@ func main() {
 			HealthInterval: *healthInterval,
 			FailThreshold:  *failThreshold,
 			Cooldown:       *cooldown,
+			RetryBudget:    *retryBudget,
+			RetryRefill:    *retryRefill,
 		},
 		MaxAttempts:   *retries,
 		HedgeDelay:    *hedgeDelay,

@@ -20,8 +20,20 @@
 // detector and generated benign scripts.
 //
 // On a 429 the worker honors the server's Retry-After header, sleeping
-// min(Retry-After, -max-backoff) before its next request; the summary
-// reports how often and how long workers backed off.
+// a jittered fraction (50–100%) of min(Retry-After, -max-backoff) before
+// its next request, so workers shed together do not re-arrive together;
+// the summary reports how often and how long workers backed off.
+//
+// Against a brownout-governed server every response carries its
+// degradation level in X-Adwars-Degrade; the summary and the -check
+// ledger break out response counts per observed level. -degrade-url
+// takes comma-separated replica base URLs whose /admin/degrade to read:
+// with -degrade-check the run waits (up to 15s) for each replica to
+// recover to L0 and then asserts the ladder climbed to at least L2 and
+// stepped back level-by-level without flapping (transitions == 2×peak).
+// -bench-brownout emits a `BenchmarkBrownoutLoadgen` line carrying the
+// hot-only response fraction, the gateway's retry-budget exhaustions,
+// and the worst replica transition p99 for BENCH_chaos.json.
 //
 // -chaos turns a -fault-frac fraction of requests hostile: malformed JSON,
 // oversized bodies, slow-trickle uploads, and mid-body aborts, mixed with
@@ -87,6 +99,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -115,9 +128,12 @@ type counters struct {
 	// the balance across the fleet and exactly what every request became.
 	perReplica map[string]int64
 	perStatus  map[int]int64
+	// perDegrade attributes answered requests by the X-Adwars-Degrade
+	// header: how much of the run was served at each brownout level.
+	perDegrade map[string]int64
 }
 
-func (c *counters) observe(status int, replica string) {
+func (c *counters) observe(status int, replica, degrade string) {
 	if c.perStatus == nil {
 		c.perStatus = make(map[int]int64)
 	}
@@ -127,6 +143,12 @@ func (c *counters) observe(status int, replica string) {
 			c.perReplica = make(map[string]int64)
 		}
 		c.perReplica[replica]++
+	}
+	if degrade != "" {
+		if c.perDegrade == nil {
+			c.perDegrade = make(map[string]int64)
+		}
+		c.perDegrade[degrade]++
 	}
 }
 
@@ -160,6 +182,28 @@ func (c *counters) add(o *counters) {
 		}
 		c.perStatus[k] += v
 	}
+	for k, v := range o.perDegrade {
+		if c.perDegrade == nil {
+			c.perDegrade = make(map[string]int64)
+		}
+		c.perDegrade[k] += v
+	}
+}
+
+// hotOnlyFraction is the share of answered requests served at L2 or
+// above — levels where match answers come from the hot tier only.
+func (c *counters) hotOnlyFraction() float64 {
+	var all, hot int64
+	for lvl, n := range c.perDegrade {
+		all += n
+		if lvl >= "L2" {
+			hot += n
+		}
+	}
+	if all == 0 {
+		return 0
+	}
+	return float64(hot) / float64(all)
 }
 
 // faultKind enumerates the hostile request shapes of chaos mode.
@@ -190,6 +234,9 @@ func main() {
 	faultFrac := flag.Float64("fault-frac", 0.25, "with -chaos, fraction of requests made hostile")
 	bench := flag.Bool("bench", false, "emit a BenchmarkChaosLoadgen line for benchjson")
 	benchFleet := flag.Bool("bench-fleet", false, "emit a BenchmarkFleetLoadgen line (target must be an adwars-gateway)")
+	benchBrownout := flag.Bool("bench-brownout", false, "emit a BenchmarkBrownoutLoadgen line (hot-only fraction, retry-budget exhaustions, transition p99)")
+	degradeURLs := flag.String("degrade-url", "", "comma-separated replica base URLs whose /admin/degrade to read for -degrade-check and -bench-brownout")
+	degradeCheck := flag.Bool("degrade-check", false, "after the run, wait for every -degrade-url replica to recover to L0 and assert the ladder climbed >= L2 and did not flap")
 	probe := flag.Bool("probe", false, "send canonical requests, retry to 2xx, print bodies, exit")
 	probeAttempts := flag.Int("probe-attempts", 50, "max retries per canonical probe request")
 	flag.Parse()
@@ -290,7 +337,8 @@ func main() {
 				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				c.latencies = append(c.latencies, time.Since(t0))
-				c.observe(resp.StatusCode, resp.Header.Get("X-Adwars-Replica"))
+				c.observe(resp.StatusCode, resp.Header.Get("X-Adwars-Replica"),
+					resp.Header.Get("X-Adwars-Degrade"))
 				switch {
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					c.ok2xx++
@@ -303,6 +351,11 @@ func main() {
 				case resp.StatusCode == http.StatusTooManyRequests:
 					c.shed429++
 					if d := retryAfter(resp, *maxBackoff); d > 0 {
+						// Jitter the honored backoff into [d/2, d]: workers shed
+						// in the same overload wave would otherwise all sleep the
+						// same capped duration and re-arrive as a synchronized
+						// herd that re-triggers the shed that sent them away.
+						d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 						if remaining := time.Until(deadline); d > remaining {
 							d = remaining
 						}
@@ -362,9 +415,17 @@ func main() {
 	if *benchFleet {
 		emitFleetBenchLine(client, *target, &total, elapsed)
 	}
+	if *benchBrownout {
+		emitBrownoutBenchLine(client, *target, splitURLs(*degradeURLs), &total, elapsed)
+	}
 
 	if *check {
 		if !runChecks(&total, *chaos) {
+			os.Exit(1)
+		}
+	}
+	if *degradeCheck {
+		if !runDegradeCheck(client, splitURLs(*degradeURLs)) {
 			os.Exit(1)
 		}
 	}
@@ -683,6 +744,11 @@ func runChecks(total *counters, chaos bool) bool {
 	if accounted := total.ok2xx + total.shed429; accounted != total.sent {
 		return fail("sent %d but only %d accounted as 2xx+429", total.sent, accounted)
 	}
+	if len(total.perDegrade) > 0 {
+		fmt.Printf("loadgen: CHECK OK (all requests 2xx or 429, zero 5xx; by degrade level:%s)\n",
+			degradeBreakdown(total))
+		return true
+	}
 	fmt.Println("loadgen: CHECK OK (all requests 2xx or 429, zero 5xx)")
 	return true
 }
@@ -770,6 +836,136 @@ func printBreakdowns(total *counters) {
 		}
 		fmt.Println()
 	}
+	if len(total.perDegrade) > 0 {
+		fmt.Printf("  by degrade level:%s  (hot-only fraction %.3f)\n",
+			degradeBreakdown(total), total.hotOnlyFraction())
+	}
+}
+
+// degradeBreakdown renders the per-level response counts in ladder order.
+func degradeBreakdown(total *counters) string {
+	levels := make([]string, 0, len(total.perDegrade))
+	for l := range total.perDegrade {
+		levels = append(levels, l)
+	}
+	sort.Strings(levels)
+	var sb strings.Builder
+	for _, l := range levels {
+		fmt.Fprintf(&sb, "  %s=%d", l, total.perDegrade[l])
+	}
+	return sb.String()
+}
+
+// splitURLs splits a comma-separated URL list, dropping empties.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// degradeSnap is the slice of a replica's /admin/degrade snapshot the
+// recovery check and brownout benchmark read.
+type degradeSnap struct {
+	Level           string `json:"level"`
+	LevelNum        int    `json:"level_num"`
+	PeakLevel       int    `json:"peak_level"`
+	Transitions     uint64 `json:"transitions"`
+	StepUps         uint64 `json:"step_ups"`
+	StepDowns       uint64 `json:"step_downs"`
+	TransitionP99Ns int64  `json:"transition_p99_ns"`
+}
+
+func fetchDegrade(client *http.Client, base string) (*degradeSnap, error) {
+	resp, err := client.Get(base + "/admin/degrade")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/admin/degrade: status %d (replica not running -degrade?)", base, resp.StatusCode)
+	}
+	var snap degradeSnap
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// runDegradeCheck is the brownout recovery gate: each replica must come
+// back to L0 within the poll window, its ladder must have climbed to at
+// least L2 under the load this run generated, and the transition ledger
+// must show exactly one climb and one descent — transitions == 2×peak
+// with step-ups == step-downs — so hysteresis demonstrably prevented
+// flapping.
+func runDegradeCheck(client *http.Client, urls []string) bool {
+	fail := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(os.Stderr, "loadgen: DEGRADE-CHECK FAILED: "+format+"\n", args...)
+		return false
+	}
+	if len(urls) == 0 {
+		return fail("no -degrade-url given")
+	}
+	for _, u := range urls {
+		var snap *degradeSnap
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			s, err := fetchDegrade(client, u)
+			if err != nil {
+				return fail("%v", err)
+			}
+			snap = s
+			if snap.LevelNum == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if snap.LevelNum != 0 {
+			return fail("%s: still at %s after 15s, never recovered to L0", u, snap.Level)
+		}
+		if snap.PeakLevel < 2 {
+			return fail("%s: peak level L%d, want >= L2 (the run never pushed the ladder)", u, snap.PeakLevel)
+		}
+		if snap.Transitions != 2*uint64(snap.PeakLevel) || snap.StepUps != snap.StepDowns {
+			return fail("%s: %d transitions (%d up, %d down) for peak L%d — want exactly %d (one climb, one descent): the ladder flapped",
+				u, snap.Transitions, snap.StepUps, snap.StepDowns, snap.PeakLevel, 2*snap.PeakLevel)
+		}
+		fmt.Printf("loadgen: degrade %s: peak L%d, %d transitions (%d up / %d down), recovered to L0\n",
+			u, snap.PeakLevel, snap.Transitions, snap.StepUps, snap.StepDowns)
+	}
+	fmt.Printf("loadgen: DEGRADE-CHECK OK (%d replicas climbed >= L2 and recovered without flapping)\n", len(urls))
+	return true
+}
+
+// emitBrownoutBenchLine prints the brownout benchmark result: the share
+// of answers served hot-only, the gateway's retry-budget exhaustions,
+// and the worst replica's level-transition p99.
+func emitBrownoutBenchLine(client *http.Client, target string, degradeURLs []string, total *counters, elapsed time.Duration) {
+	budgetExhaustions := float64(-1)
+	if gw, err := fetchGatewayVars(client, target); err == nil {
+		budgetExhaustions = gw.BudgetExhausted
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: warning: gateway /debug/vars unreadable: %v\n", err)
+	}
+	transP99 := int64(-1)
+	for _, u := range degradeURLs {
+		if snap, err := fetchDegrade(client, u); err == nil {
+			if snap.TransitionP99Ns > transP99 {
+				transP99 = snap.TransitionP99Ns
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: warning: %v\n", err)
+		}
+	}
+	nsPerOp := float64(elapsed.Nanoseconds())
+	if total.sent > 0 {
+		nsPerOp /= float64(total.sent)
+	}
+	fmt.Printf("BenchmarkBrownoutLoadgen %d %.0f ns/op %.4f hot-only-fraction %.0f retry-budget-exhaustions %d degrade-transition-p99-ns\n",
+		total.sent, nsPerOp, total.hotOnlyFraction(), budgetExhaustions, transP99)
 }
 
 // emitFleetBenchLine prints the fleet benchmark result: throughput through
@@ -793,9 +989,10 @@ func emitFleetBenchLine(client *http.Client, target string, total *counters, ela
 // gatewayVars is the slice of the gateway's "adwars_gateway" expvar tree
 // the fleet benchmark reports.
 type gatewayVars struct {
-	Failovers float64 `json:"failovers"`
-	Retries   float64 `json:"retries"`
-	Hedges    float64 `json:"hedges"`
+	Failovers       float64 `json:"failovers"`
+	Retries         float64 `json:"retries"`
+	Hedges          float64 `json:"hedges"`
+	BudgetExhausted float64 `json:"retry_budget_exhaustions"`
 }
 
 func fetchGatewayVars(client *http.Client, target string) (*gatewayVars, error) {

@@ -12,6 +12,17 @@
 //	             [-replica ID] [-drain-announce D]
 //	             [-analytics] [-analytics-sample F] [-analytics-spill DIR]
 //	             [-analytics-bucket D]
+//	             [-degrade] [-degrade-interval D] [-degrade-queue-frac F]
+//	             [-degrade-p99 D] [-degrade-drop-rate F]
+//	             [-degrade-up-ticks N] [-degrade-down-ticks N]
+//
+// -degrade enables the adaptive overload governor: a ticker watches live
+// pressure (admission queue depth, windowed match p99, analytics drop
+// rate) and steps a degradation ladder L0..L4 — forced analytics
+// sampling, hot-tier-only matching, classify shed, batch shed — with
+// hysteresis so the level climbs fast and recovers calmly. Every
+// response carries the level in X-Adwars-Degrade; /admin/degrade
+// exposes the snapshot and manual pin/unpin.
 //
 // -analytics enables the decision analytics pipeline: every /v1/match and
 // /v1/classify verdict is logged (sampled at -analytics-sample) into
@@ -47,6 +58,7 @@ import (
 
 	"adwars/internal/analytics"
 	"adwars/internal/artifact"
+	"adwars/internal/degrade"
 	"adwars/internal/serve"
 )
 
@@ -73,6 +85,13 @@ func main() {
 	anlSample := flag.Float64("analytics-sample", 1.0, "fraction of decisions recorded (1.0 = exact reconciliation)")
 	anlSpill := flag.String("analytics-spill", "", "directory for rotated JSONL analytics spill files (empty = in-memory only)")
 	anlBucket := flag.Duration("analytics-bucket", 0, "analytics aggregation bucket width (0 = default 10s)")
+	degOn := flag.Bool("degrade", false, "enable the adaptive overload governor (brownout ladder L0..L4)")
+	degInterval := flag.Duration("degrade-interval", 0, "governor tick cadence (0 = default 100ms)")
+	degQueueFrac := flag.Float64("degrade-queue-frac", 0, "queue-depth fraction that counts as pressure (0 = default 0.5)")
+	degP99 := flag.Duration("degrade-p99", 0, "windowed match p99 that counts as pressure (0 = default 20ms)")
+	degDropRate := flag.Float64("degrade-drop-rate", 0, "analytics ring drop rate that counts as pressure (0 = default 0.01)")
+	degUpTicks := flag.Int("degrade-up-ticks", 0, "consecutive hot ticks before stepping up (0 = default 2)")
+	degDownTicks := flag.Int("degrade-down-ticks", 0, "consecutive calm ticks before stepping down (0 = default 5)")
 	flag.Parse()
 
 	if *model == "" && *lists == "" {
@@ -104,6 +123,20 @@ func main() {
 			*anlSample, *anlSpill)
 	}
 
+	var deg *degrade.Config
+	if *degOn {
+		deg = &degrade.Config{
+			Interval:      *degInterval,
+			QueueHighFrac: *degQueueFrac,
+			P99HighNs:     degP99.Nanoseconds(),
+			DropHighRate:  *degDropRate,
+			StepUpTicks:   *degUpTicks,
+			StepDownTicks: *degDownTicks,
+		}
+		fmt.Fprintf(os.Stderr, "adwars-serve: overload governor on (interval=%v p99=%v up=%d down=%d)\n",
+			*degInterval, *degP99, *degUpTicks, *degDownTicks)
+	}
+
 	s := serve.New(serve.Config{
 		ModelPath:     *model,
 		ListsPath:     *lists,
@@ -118,6 +151,7 @@ func main() {
 		MetricsOut:    os.Stderr,
 		Chaos:         chaos,
 		Analytics:     anl,
+		Degrade:       deg,
 	})
 	if err := s.AnalyticsError(); err != nil {
 		log.Fatalf("analytics: %v", err)

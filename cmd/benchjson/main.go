@@ -13,6 +13,12 @@
 // With positional arguments the inputs are read from files instead of
 // stdin; a missing or unreadable input file is a warning, not a failure,
 // so a partial benchmark run still produces a report from what exists.
+//
+// -merge seeds the report from an existing JSON file before parsing the
+// inputs, so independent runs can accrete into one document (the chaos
+// and brownout smokes both land in BENCH_chaos.json). Benchmarks are
+// deduplicated by name with the newest occurrence winning, and every
+// derived figure is recomputed over the merged set.
 package main
 
 import (
@@ -141,13 +147,35 @@ type Report struct {
 	// FleetReplicasSeen is how many distinct replica identities answered
 	// through the gateway during the run.
 	FleetReplicasSeen float64 `json:"fleet_replicas_seen,omitempty"`
+	// BrownoutHotOnlyFraction is the share of brownout-smoke answers
+	// served at L2+ (hot-tier-only matching) — proof the ladder actually
+	// browned the run out rather than shedding or serving fully.
+	BrownoutHotOnlyFraction float64 `json:"brownout_hot_only_fraction,omitempty"`
+	// RetryBudgetExhaustions is the gateway's count of retry/hedge
+	// attempts suppressed by an empty per-replica token budget during the
+	// brownout run. A pointer so the meaningful zero (budgets never ran
+	// dry) survives omitempty; -1 means /debug/vars was unreadable.
+	RetryBudgetExhaustions *float64 `json:"retry_budget_exhaustions,omitempty"`
+	// DegradeTransitionP99Ns is the worst replica's p99 cost of one
+	// governor level transition (ladder step + hook dispatch) — the
+	// bench-smoke gate bounds it, since transitions happen on the ticker
+	// goroutine but publish to every hot-path reader.
+	DegradeTransitionP99Ns float64 `json:"degrade_transition_p99_ns,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	merge := flag.String("merge", "", "seed the report from this existing JSON file before parsing inputs")
 	flag.Parse()
 
 	rep := &Report{}
+	if *merge != "" {
+		if data, err := os.ReadFile(*merge); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: -merge %s: %v (starting fresh)\n", *merge, err)
+		} else if err := json.Unmarshal(data, rep); err != nil {
+			log.Fatalf("-merge %s: %v", *merge, err)
+		}
+	}
 	if flag.NArg() == 0 {
 		if err := parse(bufio.NewScanner(os.Stdin), rep); err != nil {
 			log.Fatal(err)
@@ -172,6 +200,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: warning: no readable inputs; emitting empty report")
 		}
 	}
+	rep.Benchmarks = dedupe(rep.Benchmarks)
 	derive(rep)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -210,6 +239,23 @@ func parse(sc *bufio.Scanner, rep *Report) error {
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	return sc.Err()
+}
+
+// dedupe keeps the newest occurrence of each benchmark name (merged
+// reports come first, fresh parses last), preserving the order in which
+// the surviving entries last appeared.
+func dedupe(in []Benchmark) []Benchmark {
+	last := make(map[string]int, len(in))
+	for i, b := range in {
+		last[b.Name] = i
+	}
+	out := in[:0]
+	for i, b := range in {
+		if last[b.Name] == i {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // derive computes the headline cross-benchmark figures.
@@ -278,6 +324,12 @@ func derive(rep *Report) {
 			rep.FleetRetries = b.Metrics["retries"]
 			rep.FleetHedges = b.Metrics["hedges"]
 			rep.FleetReplicasSeen = b.Metrics["replicas-seen"]
+		case "BrownoutLoadgen":
+			rep.BrownoutHotOnlyFraction = b.Metrics["hot-only-fraction"]
+			if v, ok := b.Metrics["retry-budget-exhaustions"]; ok {
+				rep.RetryBudgetExhaustions = &v
+			}
+			rep.DegradeTransitionP99Ns = b.Metrics["degrade-transition-p99-ns"]
 		}
 	}
 	if indexed > 0 && linear > 0 {

@@ -384,6 +384,31 @@ func (l *List) AppendHits(dst []Hit, q Request) []Hit {
 	return dst
 }
 
+// AppendHitsHot is AppendHits restricted to the hot-tier automaton: the
+// cold tier — the long tail of rules usage telemetry saw never fire —
+// is skipped entirely. It is the overload governor's brownout match
+// path (ladder level L2+): cheaper by the cold probe and the cold
+// working set, at the cost of possibly missing a cold blocking rule.
+// The degradation is one-sided by the tier invariants (every exception
+// and every keyword-less rule is hot): an Allowed verdict is exact,
+// a Blocked verdict is exact, and the only possible drift is a cold
+// block reported as NoMatch. On an untiered list (no cold automaton)
+// the result is identical to AppendHits. Non-ASCII URLs fall back to
+// the full-fidelity token index either way.
+func (l *List) AppendHitsHot(dst []Hit, q Request) []Hit {
+	c := newMatchCtx(q)
+	c.resetCands()
+	if !l.auto.scanInto(&c) {
+		return l.appendHitsTokenIndexCtx(&c, dst)
+	}
+	for _, ord := range c.sortedCands() {
+		if r := l.rules[ord]; r.matchCtx(&c) {
+			dst = append(dst, Hit{r, int(ord)})
+		}
+	}
+	return dst
+}
+
 // DecideHits derives the match verdict from an AppendHits result: the
 // first matching exception in insertion order wins, else the first
 // matching block — the same rule (and ordinal) MatchRequest returns. The

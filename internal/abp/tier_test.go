@@ -99,6 +99,77 @@ func TestTieredDifferential(t *testing.T) {
 	}
 }
 
+// TestAppendHitsHotUntieredIdentical: on a list with no cold tier the
+// brownout path is the full path — byte-for-byte the same hits.
+func TestAppendHitsHotUntieredIdentical(t *testing.T) {
+	plain := NewList("tier", benchRules(2000))
+	for _, q := range tierQueries() {
+		want := plain.AppendHits(nil, q)
+		got := plain.AppendHitsHot(nil, q)
+		if len(got) != len(want) {
+			t.Fatalf("%q: hot-only %d hits != full %d on untiered list", q.URL, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q: hot-only hit[%d] = %v != %v", q.URL, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendHitsHotDegradationIsOneSided pins the brownout contract on a
+// tiered list: the hot-only hit set is a subset of the full set, every
+// Allowed verdict is exact (exceptions are hot by construction), every
+// hot-only Blocked verdict agrees with the full path, and the ONLY
+// permitted drift is a cold block degraded to NoMatch. The adversarial
+// all-cold split must actually exhibit that drift, or the test has no
+// teeth.
+func TestAppendHitsHotDegradationIsOneSided(t *testing.T) {
+	plain := NewList("tier", benchRules(2000))
+	splits := map[string]func(int) bool{
+		"all-cold": nil,
+		"stripe-2": func(ord int) bool { return ord%2 == 0 },
+		"low-hot":  func(ord int) bool { return ord < 700 },
+	}
+	for name, keep := range splits {
+		tiered := plain.CompileTiered(keep)
+		drifted := false
+		for _, q := range tierQueries() {
+			full := tiered.AppendHits(nil, q)
+			hot := tiered.AppendHitsHot(nil, q)
+			// Subset, in order.
+			fi := 0
+			for _, h := range hot {
+				for fi < len(full) && full[fi] != h {
+					fi++
+				}
+				if fi == len(full) {
+					t.Fatalf("%s: %q: hot-only hit %v absent from full set", name, q.URL, h)
+				}
+				fi++
+			}
+			fd, fr, _ := DecideHits(full)
+			hd, hr, _ := DecideHits(hot)
+			switch {
+			case fd == hd:
+				if raw(fr) != raw(hr) {
+					t.Fatalf("%s: %q: same verdict, different rule: %s vs %s", name, q.URL, raw(hr), raw(fr))
+				}
+			case fd == Blocked && hd == NoMatch:
+				drifted = true // the one permitted degradation
+			default:
+				t.Fatalf("%s: %q: impermissible drift: hot-only %v, full %v", name, q.URL, hd, fd)
+			}
+			if fd == Allowed && hd != Allowed {
+				t.Fatalf("%s: %q: Allowed verdict lost under brownout", name, q.URL)
+			}
+		}
+		if name == "all-cold" && !drifted {
+			t.Fatalf("%s: no cold block degraded — the differential exercised nothing", name)
+		}
+	}
+}
+
 // TestTieredDeterministic pins tier compilation determinism: the same
 // rules and keep set must serialize to identical hot and cold bytes
 // (snapshot versions are content CRCs; a recompile must not change them).

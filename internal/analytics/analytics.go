@@ -109,15 +109,16 @@ func (c *Config) drainInterval() time.Duration {
 // reconciliation-exact rather than merely 99.999%-probable.
 type sampler struct {
 	exact     bool
+	rate      float64
 	threshold uint64
 	state     atomic.Uint64
 }
 
 func newSampler(rate float64) *sampler {
 	if rate >= 1 {
-		return &sampler{exact: true}
+		return &sampler{exact: true, rate: 1}
 	}
-	return &sampler{threshold: uint64(rate * math.MaxUint64)}
+	return &sampler{rate: rate, threshold: uint64(rate * math.MaxUint64)}
 }
 
 func (s *sampler) keep() bool {
@@ -141,6 +142,7 @@ type Collector struct {
 	cfg Config
 
 	smp   *sampler
+	ovr   atomic.Pointer[sampler] // overload-governor override; nil = use smp
 	rings []*ring
 	rr    atomic.Uint64 // round-robin shard cursor
 
@@ -187,7 +189,11 @@ func NewCollector(cfg Config) (*Collector, error) {
 // sampled out (counted), accepted into a ring, or dropped because the
 // ring is full (counted). The serving hot path calls this inline.
 func (c *Collector) Record(ev Event) {
-	if !c.smp.keep() {
+	smp := c.smp
+	if o := c.ovr.Load(); o != nil {
+		smp = o
+	}
+	if !smp.keep() {
 		c.sampledOut.Add(1)
 		return
 	}
@@ -245,6 +251,28 @@ func (c *Collector) Close() error {
 	return c.closeErr
 }
 
+// SetSampleOverride forces the sample rate down to rate until
+// ClearSampleOverride — the overload governor's lever for shedding
+// analytics volume before it sheds request fidelity. The swap is one
+// atomic pointer store; Record picks it up on its next call with a
+// single extra atomic load and no allocation.
+func (c *Collector) SetSampleOverride(rate float64) {
+	c.ovr.Store(newSampler(rate))
+}
+
+// ClearSampleOverride restores the configured sample rate.
+func (c *Collector) ClearSampleOverride() {
+	c.ovr.Store(nil)
+}
+
+// effectiveRate is the sample rate Record is currently applying.
+func (c *Collector) effectiveRate() float64 {
+	if o := c.ovr.Load(); o != nil {
+		return o.rate
+	}
+	return c.cfg.sampleRate()
+}
+
 // drops sums the per-ring full-drop counters.
 func (c *Collector) drops() uint64 {
 	var n uint64
@@ -273,6 +301,10 @@ type Counters struct {
 	// for the consumer).
 	RingOccupancy int     `json:"ring_occupancy"`
 	SampleRate    float64 `json:"sample_rate"`
+	// EffectiveRate is the rate Record is applying right now — it
+	// diverges from SampleRate while the overload governor holds a
+	// sample override.
+	EffectiveRate float64 `json:"effective_rate"`
 }
 
 // CountersNow reads the producer-side counters without locking.
@@ -283,6 +315,7 @@ func (c *Collector) CountersNow() Counters {
 		SampledOut:    c.sampledOut.Load(),
 		RingOccupancy: c.ringOccupancy(),
 		SampleRate:    c.cfg.sampleRate(),
+		EffectiveRate: c.effectiveRate(),
 	}
 }
 

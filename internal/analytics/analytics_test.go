@@ -194,6 +194,72 @@ func TestRecordZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSampleOverride checks the governor lever: an override forces the
+// effective rate down, shows up in the counters, and Clear restores the
+// configured rate exactly.
+func TestSampleOverride(t *testing.T) {
+	c, err := NewCollector(Config{SampleRate: 1, RingSize: 1 << 14, DrainInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const burst = 10000
+	for i := 0; i < burst; i++ {
+		c.Record(Event{UnixNano: 1, Kind: KindMatch, Verdict: VerdictNoMatch, Ordinal: -1})
+	}
+	cn := c.CountersNow()
+	if cn.SampledOut != 0 || cn.EffectiveRate != 1 {
+		t.Fatalf("before override: sampledOut=%d effective=%.2f, want 0/1.0", cn.SampledOut, cn.EffectiveRate)
+	}
+
+	c.SetSampleOverride(0.1)
+	if got := c.CountersNow().EffectiveRate; got != 0.1 {
+		t.Fatalf("effective rate under override = %.2f, want 0.1", got)
+	}
+	for i := 0; i < burst; i++ {
+		c.Record(Event{UnixNano: 1, Kind: KindMatch, Verdict: VerdictNoMatch, Ordinal: -1})
+	}
+	cn = c.CountersNow()
+	// At override 0.1 the overwhelming majority of the burst must be
+	// sampled out (loose band: splitmix64 keeps ~10%).
+	if cn.SampledOut < burst/2 {
+		t.Fatalf("override 0.1 sampled out only %d of %d", cn.SampledOut, burst)
+	}
+	if cn.SampleRate != 1 {
+		t.Fatalf("configured rate mutated to %.2f under override", cn.SampleRate)
+	}
+
+	c.ClearSampleOverride()
+	if got := c.CountersNow().EffectiveRate; got != 1 {
+		t.Fatalf("effective rate after clear = %.2f, want 1.0", got)
+	}
+	before := c.CountersNow().SampledOut
+	for i := 0; i < burst; i++ {
+		c.Record(Event{UnixNano: 1, Kind: KindMatch, Verdict: VerdictNoMatch, Ordinal: -1})
+	}
+	if got := c.CountersNow().SampledOut; got != before {
+		t.Fatalf("events sampled out after clear: %d -> %d", before, got)
+	}
+}
+
+// TestRecordZeroAllocsUnderOverride pins that the override path adds no
+// allocations to Record.
+func TestRecordZeroAllocsUnderOverride(t *testing.T) {
+	c, err := NewCollector(Config{SampleRate: 1, RingSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetSampleOverride(0.5)
+	ev := Event{UnixNano: 123, Kind: KindMatch, Verdict: VerdictBlocked, Ordinal: 4,
+		Domain: "dom.example", Rule: "||ads^"}
+	allocs := testing.AllocsPerRun(1000, func() { c.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("Record under override allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // TestReportFromRows exercises the report builder and renderer over a
 // hand-built row set.
 func TestReportFromRows(t *testing.T) {

@@ -1,0 +1,437 @@
+// Package degrade is the adaptive overload governor: it watches live
+// pressure signals (admission queue depth, in-flight latency p99,
+// analytics ring drop rate) and steps a global degradation level
+// through a hysteresis-damped ladder. The serving hot path reads the
+// current level with a single atomic load — no locks, no allocations —
+// and sheds fidelity in stages instead of flipping straight from
+// full service to 429:
+//
+//	L0  full service
+//	L1  analytics sampling forced down
+//	L2  match answers from the hot-tier automaton only (cold skipped)
+//	L3  /v1/classify degraded to match-only fallback (classify shed)
+//	L4  non-priority traffic shed early with jittered Retry-After
+//
+// Hysteresis: the governor steps UP one level only after StepUpTicks
+// consecutive over-pressure observations, and steps DOWN one level only
+// after StepDownTicks consecutive calm observations — with the counters
+// reset on every transition, so recovery is level-by-level rather than
+// a cliff, and a borderline signal holds the current level instead of
+// flapping. Operators can pin the ladder to a fixed level via
+// /admin/degrade; a pinned governor keeps observing but stops stepping.
+package degrade
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is one rung of the degradation ladder. Levels are ordered:
+// higher sheds more fidelity.
+type Level int32
+
+const (
+	L0 Level = iota // full service
+	L1              // analytics sampling forced down
+	L2              // hot-tier-only match answers
+	L3              // classify shed (clients fall back to /v1/match)
+	L4              // non-priority traffic shed early
+)
+
+// levelNames is indexed by Level; the shared strings make String and
+// the serve-side header stamp allocation-free.
+var levelNames = [5]string{"L0", "L1", "L2", "L3", "L4"}
+
+func (l Level) String() string {
+	if l < L0 || l > L4 {
+		return "L?"
+	}
+	return levelNames[l]
+}
+
+// Signals is one observation of the pressure inputs. All values are
+// windowed (per observation interval), not cumulative: the source must
+// hand the governor deltas, or a past overload would pin the ladder up
+// forever.
+type Signals struct {
+	// QueueDepth is the current admission queue occupancy.
+	QueueDepth int64 `json:"queue_depth"`
+	// QueueLimit is the admission queue capacity (for the fraction).
+	QueueLimit int64 `json:"queue_limit"`
+	// MatchP99Ns is the in-flight latency p99 over the last window, in
+	// nanoseconds. Zero when the window saw no traffic.
+	MatchP99Ns int64 `json:"match_p99_ns"`
+	// DropRate is the analytics ring drop fraction over the last
+	// window, in [0,1]. Zero when analytics is off or idle.
+	DropRate float64 `json:"drop_rate"`
+}
+
+// Config tunes the governor. The zero value is usable: every field has
+// a sane default.
+type Config struct {
+	// Interval is the observation cadence. Default 100ms.
+	Interval time.Duration
+	// QueueHighFrac: queue depth above this fraction of the limit is
+	// over-pressure. Default 0.5.
+	QueueHighFrac float64
+	// P99HighNs: windowed match p99 above this is over-pressure.
+	// Default 20ms.
+	P99HighNs int64
+	// DropHighRate: windowed analytics drop rate above this is
+	// over-pressure. Default 0.01.
+	DropHighRate float64
+	// StepUpTicks consecutive over-pressure observations are required
+	// before climbing one level. Default 2.
+	StepUpTicks int
+	// StepDownTicks consecutive calm observations are required before
+	// descending one level. Default 5.
+	StepDownTicks int
+	// CalmFrac scales the high thresholds down to form the calm band:
+	// an observation is calm only when every signal is below
+	// CalmFrac × its high threshold. The gap between calm and high is
+	// the hysteresis dead zone where the level holds. Default 0.5.
+	CalmFrac float64
+	// MaxLevel caps the ladder. Default L4.
+	MaxLevel Level
+	// Source produces one windowed observation per tick. Required for
+	// Start; Tick can be driven directly in tests without it.
+	Source func() Signals
+	// OnTransition, if set, is called synchronously after every level
+	// change (automatic or pinned) with the old and new levels.
+	OnTransition func(from, to Level)
+}
+
+func (c *Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *Config) queueHighFrac() float64 {
+	if c.QueueHighFrac > 0 {
+		return c.QueueHighFrac
+	}
+	return 0.5
+}
+
+func (c *Config) p99HighNs() int64 {
+	if c.P99HighNs > 0 {
+		return c.P99HighNs
+	}
+	return int64(20 * time.Millisecond)
+}
+
+func (c *Config) dropHighRate() float64 {
+	if c.DropHighRate > 0 {
+		return c.DropHighRate
+	}
+	return 0.01
+}
+
+func (c *Config) stepUpTicks() int {
+	if c.StepUpTicks > 0 {
+		return c.StepUpTicks
+	}
+	return 2
+}
+
+func (c *Config) stepDownTicks() int {
+	if c.StepDownTicks > 0 {
+		return c.StepDownTicks
+	}
+	return 5
+}
+
+func (c *Config) calmFrac() float64 {
+	if c.CalmFrac > 0 {
+		return c.CalmFrac
+	}
+	return 0.5
+}
+
+func (c *Config) maxLevel() Level {
+	if c.MaxLevel > L0 && c.MaxLevel <= L4 {
+		return c.MaxLevel
+	}
+	return L4
+}
+
+// transitionRing keeps the most recent transition costs for the p99
+// export. Tiny, mutex-guarded: transitions are rare by construction
+// (hysteresis bounds them to at most one per StepUpTicks intervals).
+const transitionRingSize = 64
+
+// Governor steps the degradation level. Construct with New; Start
+// launches the observation loop (optional — Tick can be driven
+// manually, which is what the unit tests do).
+type Governor struct {
+	cfg Config
+
+	level  atomic.Int32 // current Level; the ONLY hot-path read
+	pinned atomic.Int32 // -1 = unpinned, else the pinned Level
+
+	hotTicks  int // consecutive over-pressure ticks (loop-only state)
+	calmTicks int // consecutive calm ticks (loop-only state)
+
+	ticks       atomic.Uint64
+	stepUps     atomic.Uint64
+	stepDowns   atomic.Uint64
+	transitions atomic.Uint64
+	peak        atomic.Int32
+	lastSignals atomic.Pointer[Signals]
+
+	jitterState atomic.Uint64 // splitmix64 counter for Jitter3
+
+	ringMu   sync.Mutex
+	ring     [transitionRingSize]int64 // transition durations, ns
+	ringN    int
+	ringNext int
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a governor at L0. No goroutine is started — call Start
+// for the background observation loop, or drive Tick directly.
+func New(cfg Config) *Governor {
+	g := &Governor{cfg: cfg, done: make(chan struct{})}
+	g.pinned.Store(-1)
+	return g
+}
+
+// Level is the hot-path read: one atomic load, zero allocations.
+func (g *Governor) Level() Level {
+	return Level(g.level.Load())
+}
+
+// Jitter3 returns a value in {0,1,2} from a lock-free splitmix64
+// stream — used to spread Retry-After hints so shed clients do not
+// return in one synchronized wave. Zero allocations.
+func (g *Governor) Jitter3() int {
+	x := g.jitterState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % 3)
+}
+
+// Start launches the observation loop. Idempotent; requires
+// Config.Source.
+func (g *Governor) Start() {
+	if g.cfg.Source == nil {
+		return
+	}
+	g.startOnce.Do(func() {
+		g.wg.Add(1)
+		go g.run()
+	})
+}
+
+// Close stops the observation loop (if started). Idempotent.
+func (g *Governor) Close() {
+	g.closeOnce.Do(func() {
+		close(g.done)
+	})
+	g.wg.Wait()
+}
+
+func (g *Governor) run() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-t.C:
+			g.Tick(g.cfg.Source())
+		}
+	}
+}
+
+// Tick feeds one observation through the hysteresis ladder. Exported
+// so tests (and alternative drivers) can step the governor
+// deterministically without the timer loop. Not safe for concurrent
+// Tick callers (the loop is the only production caller); safe against
+// concurrent Level/Snapshot/Pin readers.
+func (g *Governor) Tick(s Signals) {
+	g.ticks.Add(1)
+	sc := s
+	g.lastSignals.Store(&sc)
+
+	if g.pinned.Load() >= 0 {
+		// Pinned: keep observing, stop stepping, and do not let stale
+		// streak counters fire the instant the operator unpins.
+		g.hotTicks, g.calmTicks = 0, 0
+		return
+	}
+
+	switch g.classify(s) {
+	case pressureHot:
+		g.calmTicks = 0
+		g.hotTicks++
+		if cur := g.Level(); g.hotTicks >= g.cfg.stepUpTicks() && cur < g.cfg.maxLevel() {
+			g.setLevel(cur, cur+1)
+			g.hotTicks = 0
+		}
+	case pressureCalm:
+		g.hotTicks = 0
+		g.calmTicks++
+		if cur := g.Level(); g.calmTicks >= g.cfg.stepDownTicks() && cur > L0 {
+			g.setLevel(cur, cur-1)
+			g.calmTicks = 0
+		}
+	default:
+		// The hysteresis dead zone: neither hot nor calm. Hold the
+		// level and restart both streaks.
+		g.hotTicks, g.calmTicks = 0, 0
+	}
+}
+
+type pressure int
+
+const (
+	pressureHold pressure = iota
+	pressureHot
+	pressureCalm
+)
+
+// classify buckets one observation: hot if ANY signal exceeds its high
+// threshold, calm only if ALL signals sit below CalmFrac × high.
+func (g *Governor) classify(s Signals) pressure {
+	queueFrac := 0.0
+	if s.QueueLimit > 0 {
+		queueFrac = float64(s.QueueDepth) / float64(s.QueueLimit)
+	}
+	qHigh := g.cfg.queueHighFrac()
+	pHigh := g.cfg.p99HighNs()
+	dHigh := g.cfg.dropHighRate()
+	if queueFrac > qHigh || s.MatchP99Ns > pHigh || s.DropRate > dHigh {
+		return pressureHot
+	}
+	cf := g.cfg.calmFrac()
+	if queueFrac < cf*qHigh && float64(s.MatchP99Ns) < cf*float64(pHigh) && s.DropRate < cf*dHigh {
+		return pressureCalm
+	}
+	return pressureHold
+}
+
+// setLevel performs one transition: swap the level, fire the hook,
+// account the cost.
+func (g *Governor) setLevel(from, to Level) {
+	t0 := time.Now()
+	g.level.Store(int32(to))
+	if g.cfg.OnTransition != nil {
+		g.cfg.OnTransition(from, to)
+	}
+	d := time.Since(t0).Nanoseconds()
+
+	g.transitions.Add(1)
+	if to > from {
+		g.stepUps.Add(1)
+	} else {
+		g.stepDowns.Add(1)
+	}
+	for {
+		p := g.peak.Load()
+		if int32(to) <= p || g.peak.CompareAndSwap(p, int32(to)) {
+			break
+		}
+	}
+	g.ringMu.Lock()
+	g.ring[g.ringNext] = d
+	g.ringNext = (g.ringNext + 1) % transitionRingSize
+	if g.ringN < transitionRingSize {
+		g.ringN++
+	}
+	g.ringMu.Unlock()
+}
+
+// Pin fixes the ladder at lvl until Unpin: the level changes
+// immediately (firing OnTransition if it moved) and automatic stepping
+// stops. Clamped to [L0, MaxLevel].
+func (g *Governor) Pin(lvl Level) {
+	if lvl < L0 {
+		lvl = L0
+	}
+	if max := g.cfg.maxLevel(); lvl > max {
+		lvl = max
+	}
+	g.pinned.Store(int32(lvl))
+	if cur := g.Level(); cur != lvl {
+		g.setLevel(cur, lvl)
+	}
+}
+
+// Unpin returns control to the automatic ladder. The level stays where
+// it was pinned and descends (or climbs) from there by hysteresis.
+func (g *Governor) Unpin() {
+	g.pinned.Store(-1)
+}
+
+// Pinned reports the pinned level, or -1 when automatic.
+func (g *Governor) Pinned() Level {
+	return Level(g.pinned.Load())
+}
+
+// TransitionP99Ns is the p99 transition cost over the recent ring, or
+// 0 when no transition has happened yet.
+func (g *Governor) TransitionP99Ns() int64 {
+	g.ringMu.Lock()
+	defer g.ringMu.Unlock()
+	if g.ringN == 0 {
+		return 0
+	}
+	buf := make([]int64, g.ringN)
+	copy(buf, g.ring[:g.ringN])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (99*g.ringN + 99) / 100
+	if idx >= g.ringN {
+		idx = g.ringN - 1
+	}
+	return buf[idx]
+}
+
+// Snapshot is the observability surface for /admin/degrade and
+// /debug/vars.
+type Snapshot struct {
+	Level           string   `json:"level"`
+	LevelNum        int      `json:"level_num"`
+	Pinned          bool     `json:"pinned"`
+	PinnedLevel     int      `json:"pinned_level,omitempty"`
+	PeakLevel       int      `json:"peak_level"`
+	Transitions     uint64   `json:"transitions"`
+	StepUps         uint64   `json:"step_ups"`
+	StepDowns       uint64   `json:"step_downs"`
+	Ticks           uint64   `json:"ticks"`
+	TransitionP99Ns int64    `json:"transition_p99_ns"`
+	LastSignals     *Signals `json:"last_signals,omitempty"`
+}
+
+// Snapshot captures the governor state. Safe concurrent with Tick.
+func (g *Governor) Snapshot() Snapshot {
+	lvl := g.Level()
+	snap := Snapshot{
+		Level:           lvl.String(),
+		LevelNum:        int(lvl),
+		PeakLevel:       int(g.peak.Load()),
+		Transitions:     g.transitions.Load(),
+		StepUps:         g.stepUps.Load(),
+		StepDowns:       g.stepDowns.Load(),
+		Ticks:           g.ticks.Load(),
+		TransitionP99Ns: g.TransitionP99Ns(),
+		LastSignals:     g.lastSignals.Load(),
+	}
+	if p := g.pinned.Load(); p >= 0 {
+		snap.Pinned = true
+		snap.PinnedLevel = int(p)
+	}
+	return snap
+}

@@ -1,0 +1,346 @@
+package degrade
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// hot/calm/hold signal fixtures against the default thresholds
+// (queue high 0.5, p99 high 20ms, drop high 0.01; calm frac 0.5).
+func hotSignals() Signals {
+	return Signals{QueueDepth: 8, QueueLimit: 10, MatchP99Ns: int64(50 * time.Millisecond), DropRate: 0.5}
+}
+
+func calmSignals() Signals {
+	return Signals{QueueDepth: 0, QueueLimit: 10, MatchP99Ns: 0, DropRate: 0}
+}
+
+func holdSignals() Signals {
+	// Queue at 0.4 of limit: below high (0.5) but above calm (0.25).
+	return Signals{QueueDepth: 4, QueueLimit: 10, MatchP99Ns: 0, DropRate: 0}
+}
+
+func newTestGovernor(t *testing.T, cfg Config) *Governor {
+	t.Helper()
+	return New(cfg)
+}
+
+func TestLadderClimbsWithHysteresis(t *testing.T) {
+	g := newTestGovernor(t, Config{StepUpTicks: 2, StepDownTicks: 3})
+
+	// One hot tick is not enough.
+	g.Tick(hotSignals())
+	if got := g.Level(); got != L0 {
+		t.Fatalf("after 1 hot tick: level %v, want L0", got)
+	}
+	// The second consecutive hot tick climbs one level.
+	g.Tick(hotSignals())
+	if got := g.Level(); got != L1 {
+		t.Fatalf("after 2 hot ticks: level %v, want L1", got)
+	}
+	// Counters reset on the step: two more hot ticks for the next rung.
+	g.Tick(hotSignals())
+	if got := g.Level(); got != L1 {
+		t.Fatalf("after 3 hot ticks: level %v, want L1 (streak reset)", got)
+	}
+	g.Tick(hotSignals())
+	if got := g.Level(); got != L2 {
+		t.Fatalf("after 4 hot ticks: level %v, want L2", got)
+	}
+	// Climb to the cap and stay there.
+	for i := 0; i < 10; i++ {
+		g.Tick(hotSignals())
+	}
+	if got := g.Level(); got != L4 {
+		t.Fatalf("under sustained pressure: level %v, want L4 cap", got)
+	}
+}
+
+func TestLadderRecoversLevelByLevel(t *testing.T) {
+	g := newTestGovernor(t, Config{StepUpTicks: 1, StepDownTicks: 3})
+	for i := 0; i < 4; i++ {
+		g.Tick(hotSignals())
+	}
+	if got := g.Level(); got != L4 {
+		t.Fatalf("setup: level %v, want L4", got)
+	}
+
+	// Each descent needs StepDownTicks consecutive calm observations,
+	// and the streak resets after each step: L4→L0 is 4 × 3 ticks.
+	for step := 4; step > 0; step-- {
+		for i := 0; i < 2; i++ {
+			g.Tick(calmSignals())
+			if got := g.Level(); got != Level(step) {
+				t.Fatalf("mid-streak: level %v, want L%d", got, step)
+			}
+		}
+		g.Tick(calmSignals())
+		if got := g.Level(); got != Level(step-1) {
+			t.Fatalf("after calm streak: level %v, want L%d", got, step-1)
+		}
+	}
+
+	snap := g.Snapshot()
+	if snap.PeakLevel != 4 {
+		t.Fatalf("peak_level = %d, want 4", snap.PeakLevel)
+	}
+	// No flapping: each rung crossed exactly once up and once down.
+	if snap.Transitions != 8 || snap.StepUps != 4 || snap.StepDowns != 4 {
+		t.Fatalf("transitions=%d stepUps=%d stepDowns=%d, want 8/4/4",
+			snap.Transitions, snap.StepUps, snap.StepDowns)
+	}
+}
+
+func TestDeadZoneHoldsLevelAndResetsStreaks(t *testing.T) {
+	g := newTestGovernor(t, Config{StepUpTicks: 2, StepDownTicks: 2})
+	g.Tick(hotSignals())
+	g.Tick(hotSignals())
+	if got := g.Level(); got != L1 {
+		t.Fatalf("setup: level %v, want L1", got)
+	}
+
+	// A long run of in-between observations never moves the level.
+	for i := 0; i < 20; i++ {
+		g.Tick(holdSignals())
+	}
+	if got := g.Level(); got != L1 {
+		t.Fatalf("dead zone: level %v, want L1 held", got)
+	}
+
+	// And it resets the calm streak: calm, hold, calm must NOT step
+	// down (non-consecutive), but calm, calm must.
+	g.Tick(calmSignals())
+	g.Tick(holdSignals())
+	g.Tick(calmSignals())
+	if got := g.Level(); got != L1 {
+		t.Fatalf("broken calm streak stepped down: level %v, want L1", got)
+	}
+	g.Tick(calmSignals())
+	if got := g.Level(); got != L0 {
+		t.Fatalf("consecutive calm: level %v, want L0", got)
+	}
+}
+
+func TestAnySignalTriggersPressure(t *testing.T) {
+	g := newTestGovernor(t, Config{StepUpTicks: 1})
+	cases := []struct {
+		name string
+		s    Signals
+	}{
+		{"queue", Signals{QueueDepth: 9, QueueLimit: 10}},
+		{"p99", Signals{QueueLimit: 10, MatchP99Ns: int64(30 * time.Millisecond)}},
+		{"drops", Signals{QueueLimit: 10, DropRate: 0.2}},
+	}
+	for _, tc := range cases {
+		before := g.Level()
+		g.Tick(tc.s)
+		if got := g.Level(); got != before+1 {
+			t.Fatalf("%s signal: level %v, want %v", tc.name, got, before+1)
+		}
+	}
+}
+
+func TestPinOverridesLadder(t *testing.T) {
+	g := newTestGovernor(t, Config{StepUpTicks: 1, StepDownTicks: 1})
+	g.Pin(L3)
+	if got := g.Level(); got != L3 {
+		t.Fatalf("pinned level %v, want L3", got)
+	}
+	if got := g.Pinned(); got != L3 {
+		t.Fatalf("Pinned() = %v, want L3", got)
+	}
+	// Ticks in either direction do not move a pinned governor.
+	g.Tick(hotSignals())
+	g.Tick(calmSignals())
+	g.Tick(calmSignals())
+	if got := g.Level(); got != L3 {
+		t.Fatalf("pinned governor moved: level %v, want L3", got)
+	}
+	snap := g.Snapshot()
+	if !snap.Pinned || snap.PinnedLevel != 3 {
+		t.Fatalf("snapshot pinned=%v pinned_level=%d, want true/3", snap.Pinned, snap.PinnedLevel)
+	}
+
+	// Unpin: the level stays put, then descends by hysteresis.
+	g.Unpin()
+	if got := g.Pinned(); got != Level(-1) {
+		t.Fatalf("Pinned() after Unpin = %v, want -1", got)
+	}
+	if got := g.Level(); got != L3 {
+		t.Fatalf("level after Unpin = %v, want L3", got)
+	}
+	g.Tick(calmSignals())
+	if got := g.Level(); got != L2 {
+		t.Fatalf("level after calm tick = %v, want L2", got)
+	}
+}
+
+func TestPinClampsToLadderBounds(t *testing.T) {
+	g := newTestGovernor(t, Config{MaxLevel: L2})
+	g.Pin(L4)
+	if got := g.Level(); got != L2 {
+		t.Fatalf("pin above MaxLevel: level %v, want L2", got)
+	}
+	g.Pin(Level(-5))
+	if got := g.Level(); got != L0 {
+		t.Fatalf("pin below L0: level %v, want L0", got)
+	}
+}
+
+func TestMaxLevelCapsClimb(t *testing.T) {
+	g := newTestGovernor(t, Config{StepUpTicks: 1, MaxLevel: L2})
+	for i := 0; i < 10; i++ {
+		g.Tick(hotSignals())
+	}
+	if got := g.Level(); got != L2 {
+		t.Fatalf("capped ladder: level %v, want L2", got)
+	}
+}
+
+func TestOnTransitionHookSeesEveryStep(t *testing.T) {
+	type hop struct{ from, to Level }
+	var hops []hop
+	g := New(Config{StepUpTicks: 1, StepDownTicks: 1, OnTransition: func(from, to Level) {
+		hops = append(hops, hop{from, to})
+	}})
+	g.Tick(hotSignals())
+	g.Tick(hotSignals())
+	g.Tick(calmSignals())
+	want := []hop{{L0, L1}, {L1, L2}, {L2, L1}}
+	if len(hops) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %v", len(hops), len(want), hops)
+	}
+	for i, h := range hops {
+		if h != want[i] {
+			t.Fatalf("hop %d = %v→%v, want %v→%v", i, h.from, h.to, want[i].from, want[i].to)
+		}
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	g := New(Config{Interval: time.Millisecond, Source: func() Signals {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return calmSignals()
+	}})
+	g.Start()
+	g.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := calls
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observation loop never ran: %d calls", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Close()
+	g.Close() // idempotent
+}
+
+func TestCloseWithoutStartIsSafe(t *testing.T) {
+	g := New(Config{})
+	g.Close()
+}
+
+func TestSnapshotCarriesLastSignals(t *testing.T) {
+	g := New(Config{})
+	s := hotSignals()
+	g.Tick(s)
+	snap := g.Snapshot()
+	if snap.LastSignals == nil || *snap.LastSignals != s {
+		t.Fatalf("last_signals = %+v, want %+v", snap.LastSignals, s)
+	}
+	if snap.Ticks != 1 {
+		t.Fatalf("ticks = %d, want 1", snap.Ticks)
+	}
+}
+
+// TestDegradeLevelZeroAllocs is the bench-smoke gate: the hot-path
+// level read and the shed-jitter draw must not allocate.
+func TestDegradeLevelZeroAllocs(t *testing.T) {
+	g := New(Config{})
+	g.Pin(L2)
+	var sink Level
+	var jsink int
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = g.Level()
+		jsink = g.Jitter3()
+	})
+	if allocs != 0 {
+		t.Fatalf("Level+Jitter3 allocate %.1f allocs/op, want 0", allocs)
+	}
+	_, _ = sink, jsink
+}
+
+// TestDegradeTransitionCost is the bench-smoke gate on transition
+// overhead: one ladder step (atomic swap + hook + ring accounting)
+// must stay far below one observation interval.
+func TestDegradeTransitionCost(t *testing.T) {
+	g := New(Config{StepUpTicks: 1, StepDownTicks: 1, OnTransition: func(from, to Level) {}})
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			g.Tick(hotSignals())
+		} else {
+			g.Tick(calmSignals())
+		}
+	}
+	p99 := g.TransitionP99Ns()
+	if p99 <= 0 {
+		t.Fatalf("transition p99 = %d, want > 0 after transitions", p99)
+	}
+	// 1ms is three orders of magnitude above the measured cost; this
+	// trips only if a transition starts doing real work.
+	if limit := int64(time.Millisecond); p99 > limit {
+		t.Fatalf("transition p99 = %dns, want <= %dns", p99, limit)
+	}
+}
+
+func TestJitter3Spread(t *testing.T) {
+	g := New(Config{})
+	var counts [3]int
+	for i := 0; i < 3000; i++ {
+		v := g.Jitter3()
+		if v < 0 || v > 2 {
+			t.Fatalf("Jitter3 = %d, want 0..2", v)
+		}
+		counts[v]++
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("Jitter3 never produced %d: %v", i, counts)
+		}
+	}
+}
+
+func BenchmarkDegradeLevelRead(b *testing.B) {
+	g := New(Config{})
+	b.ReportAllocs()
+	var sink Level
+	for i := 0; i < b.N; i++ {
+		sink = g.Level()
+	}
+	_ = sink
+}
+
+func BenchmarkDegradeTransition(b *testing.B) {
+	g := New(Config{StepUpTicks: 1, StepDownTicks: 1})
+	hot, calm := hotSignals(), calmSignals()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			g.Tick(hot)
+		} else {
+			g.Tick(calm)
+		}
+	}
+	b.ReportMetric(float64(g.TransitionP99Ns()), "transition-p99-ns")
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import "sync"
+
+// retryBudget is a per-backend token bucket bounding the *extra* load
+// the gateway may generate against that backend: every retry and every
+// hedge attempt spends one token, and only successful exchanges earn
+// tokens back (a fractional refill per success). Under a healthy fleet
+// the bucket sits full and the gateway behaves exactly as before; under
+// sustained failure the bucket drains and retries stop — which is the
+// point: amplifying traffic against a browning-out backend turns a
+// local overload into a fleet-wide retry storm.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	refill float64 // tokens earned per successful exchange
+}
+
+func newRetryBudget(cap, refill float64) *retryBudget {
+	if cap <= 0 {
+		cap = 10
+	}
+	if refill <= 0 {
+		refill = 0.1
+	}
+	return &retryBudget{tokens: cap, cap: cap, refill: refill}
+}
+
+// spend takes one token; false means the budget is exhausted and the
+// caller must not send the extra attempt.
+func (b *retryBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// earn credits one success's worth of refill, capped at the bucket size.
+func (b *retryBudget) earn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.refill
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// level reads the current token count for metrics.
+func (b *retryBudget) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

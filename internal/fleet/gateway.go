@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -233,6 +234,10 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 
 // attemptChain tries successive backends until one answers (any status
 // below 500), the attempt budget is spent, or no backend remains.
+// Extra attempts — retries (i > 0) and every attempt of a hedge chain —
+// must be paid for out of the target backend's retry budget: when the
+// bucket is dry the chain stops instead of amplifying load against a
+// fleet that is already failing.
 func (g *Gateway) attemptChain(ctx context.Context, r *http.Request, body []byte,
 	tried *triedSet, resc chan<- attemptResult, hedge bool) {
 	budget := g.cfg.maxAttempts(g.pool)
@@ -246,6 +251,13 @@ func (g *Gateway) attemptChain(ctx context.Context, r *http.Request, body []byte
 		if b == nil {
 			break
 		}
+		if i > 0 || hedge {
+			if !b.budget.spend() {
+				g.met.budgetExhausted.Add(1)
+				lastErr = fmt.Errorf("backend %s: retry budget exhausted", b.ID())
+				break
+			}
+		}
 		if i > 0 {
 			g.met.retries.Add(1)
 		}
@@ -255,6 +267,7 @@ func (g *Gateway) attemptChain(ctx context.Context, r *http.Request, body []byte
 			// 429 shed (backpressure a retry would amplify) and 4xx input
 			// rejections (deterministic: every replica would refuse too).
 			b.br.success()
+			b.budget.earn()
 			if res.status == http.StatusTooManyRequests {
 				g.met.passthrough.Add(1)
 			}
@@ -288,6 +301,7 @@ func (g *Gateway) forward(ctx context.Context, b *Backend, r *http.Request, body
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Del("Connection")
+	setDeadlineHeader(req, ctx)
 	b.requests.Add(1)
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -304,6 +318,33 @@ func (g *Gateway) forward(ctx context.Context, b *Backend, r *http.Request, body
 		body:    rbody,
 		backend: b,
 	}, nil
+}
+
+// DeadlineHeader carries the remaining request deadline downstream as
+// integer milliseconds. Milliseconds-remaining (not an absolute
+// timestamp) keeps the wire format clock-skew-free: each hop re-derives
+// "how long do I have" from its own clock.
+const DeadlineHeader = "X-Adwars-Deadline"
+
+// setDeadlineHeader stamps the outbound request with the tightest known
+// deadline: the per-try context deadline, narrowed further by any
+// deadline the client itself propagated in. Serve admission reads this
+// to refuse work it cannot finish in time instead of queueing it to die.
+func setDeadlineHeader(req *http.Request, ctx context.Context) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if vs := req.Header[DeadlineHeader]; len(vs) > 0 {
+		if inbound, err := strconv.ParseInt(vs[0], 10, 64); err == nil && inbound < ms {
+			ms = inbound
+		}
+	}
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
 }
 
 // deliver relays a buffered backend response to the client, replica

@@ -24,6 +24,7 @@ func newTestGateway(t *testing.T, cfg GatewayConfig) (*Gateway, *httptest.Server
 }
 
 func TestGatewayBalancesAndIsByteIdentical(t *testing.T) {
+	checkGoroutineLeaks(t)
 	seed := sealedLists(t, "v1")
 	reps := []*replica{
 		newReplica(t, "r1", seed),
@@ -57,6 +58,7 @@ func TestGatewayBalancesAndIsByteIdentical(t *testing.T) {
 }
 
 func TestGatewayFailoverOnDeadBackend(t *testing.T) {
+	checkGoroutineLeaks(t)
 	seed := sealedLists(t, "v1")
 	reps := []*replica{
 		newReplica(t, "r1", seed),
@@ -96,6 +98,7 @@ func TestGatewayFailoverOnDeadBackend(t *testing.T) {
 }
 
 func TestGatewayAllBackendsDead(t *testing.T) {
+	checkGoroutineLeaks(t)
 	seed := sealedLists(t, "v1")
 	r1 := newReplica(t, "r1", seed)
 	g, ts := newTestGateway(t, GatewayConfig{Backends: []string{r1.ts.URL}})
@@ -119,6 +122,7 @@ func TestGatewayAllBackendsDead(t *testing.T) {
 }
 
 func TestGateway429PassthroughNoRetry(t *testing.T) {
+	checkGoroutineLeaks(t)
 	// A shedding replica is backpressure, not failure: the gateway must
 	// relay the 429 untouched instead of amplifying load with retries.
 	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -159,6 +163,7 @@ func TestGateway429PassthroughNoRetry(t *testing.T) {
 }
 
 func TestGatewayHedgeWinsOverSlowBackend(t *testing.T) {
+	checkGoroutineLeaks(t)
 	// Slow enough that the hedge always beats it, bounded so the test
 	// server can drain; the answer it eventually gives is a retryable 503
 	// in case a pathologically slow hedge ever loses the race.
@@ -205,6 +210,7 @@ func TestGatewayHedgeWinsOverSlowBackend(t *testing.T) {
 }
 
 func TestGatewayHealthLoopRoutesAroundDrain(t *testing.T) {
+	checkGoroutineLeaks(t)
 	seed := sealedLists(t, "v1")
 	reps := []*replica{newReplica(t, "r1", seed), newReplica(t, "r2", seed)}
 	g, ts := newTestGateway(t, GatewayConfig{Backends: urls(reps)})
@@ -249,6 +255,7 @@ func TestGatewayHealthLoopRoutesAroundDrain(t *testing.T) {
 }
 
 func TestGatewayDebugVarsExposesTree(t *testing.T) {
+	checkGoroutineLeaks(t)
 	r1 := newReplica(t, "r1", sealedLists(t, "v1"))
 	_, ts := newTestGateway(t, GatewayConfig{Backends: []string{r1.ts.URL}})
 	if status, _, _ := matchVia(t, ts.URL); status != http.StatusOK {

@@ -19,6 +19,10 @@ type gatewayMetrics struct {
 	hedgeWins   atomic.Uint64 // requests won by the hedge chain
 	noBackend   atomic.Uint64 // 502s: every attempt exhausted
 	passthrough atomic.Uint64 // backend 429s relayed untouched (no retry)
+	// budgetExhausted counts attempt chains stopped because the target
+	// backend's retry budget was dry — extra load the gateway refused
+	// to generate.
+	budgetExhausted atomic.Uint64
 }
 
 // backendSnapshot is one backend's counters in the metrics tree.
@@ -31,6 +35,8 @@ type backendSnapshot struct {
 	Failures  uint64 `json:"failures"`
 	Ejections uint64 `json:"ejections"`
 	Unready   uint64 `json:"unready_checks"`
+	// BudgetTokens is the backend's remaining retry-budget tokens.
+	BudgetTokens float64 `json:"budget_tokens"`
 }
 
 type gatewaySnapshot struct {
@@ -40,9 +46,10 @@ type gatewaySnapshot struct {
 	Failovers   uint64            `json:"failovers"`
 	Hedges      uint64            `json:"hedges"`
 	HedgeWins   uint64            `json:"hedge_wins"`
-	NoBackend   uint64            `json:"no_backend_5xx"`
-	Passthrough uint64            `json:"passthrough_429"`
-	Backends    []backendSnapshot `json:"backends"`
+	NoBackend       uint64            `json:"no_backend_5xx"`
+	Passthrough     uint64            `json:"passthrough_429"`
+	BudgetExhausted uint64            `json:"retry_budget_exhaustions"`
+	Backends        []backendSnapshot `json:"backends"`
 }
 
 // snapshotFor renders the tree over the given pool.
@@ -54,18 +61,20 @@ func (m *gatewayMetrics) snapshotFor(p *Pool) gatewaySnapshot {
 		Failovers:   m.failovers.Load(),
 		Hedges:      m.hedges.Load(),
 		HedgeWins:   m.hedgeWins.Load(),
-		NoBackend:   m.noBackend.Load(),
-		Passthrough: m.passthrough.Load(),
+		NoBackend:       m.noBackend.Load(),
+		Passthrough:     m.passthrough.Load(),
+		BudgetExhausted: m.budgetExhausted.Load(),
 	}
 	for _, b := range p.Backends() {
 		bs := backendSnapshot{
-			URL:       b.URL,
-			Healthy:   b.healthy.Load(),
-			Breaker:   b.br.current().String(),
-			Requests:  b.requests.Load(),
-			Failures:  b.failures.Load(),
-			Ejections: b.ejections.Load(),
-			Unready:   b.unready.Load(),
+			URL:          b.URL,
+			Healthy:      b.healthy.Load(),
+			Breaker:      b.br.current().String(),
+			Requests:     b.requests.Load(),
+			Failures:     b.failures.Load(),
+			Ejections:    b.ejections.Load(),
+			Unready:      b.unready.Load(),
+			BudgetTokens: b.budget.level(),
 		}
 		if id := b.ID(); id != b.URL {
 			bs.Replica = id

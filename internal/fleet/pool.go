@@ -29,14 +29,22 @@ type Backend struct {
 
 	br *breaker
 
+	// budget bounds the extra attempts (retries + hedges) the gateway
+	// may aim at this backend; refilled by successes.
+	budget *retryBudget
+
 	requests  atomic.Uint64 // proxied requests sent to this backend
 	failures  atomic.Uint64 // transport errors + replica 5xx
 	ejections atomic.Uint64 // circuit-breaker trips
 	unready   atomic.Uint64 // active health checks that came back not-ready
 }
 
-func newBackend(url string, failThreshold int, cooldown time.Duration) *Backend {
-	b := &Backend{URL: url, br: newBreaker(failThreshold, cooldown)}
+func newBackend(url string, failThreshold int, cooldown time.Duration, budgetCap, budgetRefill float64) *Backend {
+	b := &Backend{
+		URL:    url,
+		br:     newBreaker(failThreshold, cooldown),
+		budget: newRetryBudget(budgetCap, budgetRefill),
+	}
 	b.healthy.Store(true)
 	return b
 }
@@ -75,6 +83,12 @@ type PoolConfig struct {
 	// Cooldown is how long an ejected backend sits out before its
 	// half-open probe (0 = 1s).
 	Cooldown time.Duration
+	// RetryBudget is the per-backend retry/hedge token bucket size
+	// (0 = 10).
+	RetryBudget float64
+	// RetryRefill is the fraction of a token earned back per
+	// successful exchange (0 = 0.1).
+	RetryRefill float64
 }
 
 func (c *PoolConfig) healthInterval() time.Duration {
@@ -118,7 +132,8 @@ func NewPool(urls []string, cfg PoolConfig) *Pool {
 		if !strings.Contains(u, "://") {
 			u = "http://" + u
 		}
-		p.backends = append(p.backends, newBackend(strings.TrimSuffix(u, "/"), cfg.FailThreshold, cfg.Cooldown))
+		p.backends = append(p.backends, newBackend(strings.TrimSuffix(u, "/"),
+			cfg.FailThreshold, cfg.Cooldown, cfg.RetryBudget, cfg.RetryRefill))
 	}
 	return p
 }

@@ -18,6 +18,7 @@ import (
 	"adwars/internal/abp"
 	"adwars/internal/analytics"
 	"adwars/internal/artifact"
+	"adwars/internal/degrade"
 	"adwars/internal/features"
 	"adwars/internal/ml"
 )
@@ -46,6 +47,11 @@ type MatchResult struct {
 	Blocked  bool        `json:"blocked"`
 	Decision string      `json:"decision"`
 	Lists    []ListMatch `json:"lists"`
+	// Degraded annotates an answer computed under brownout: "hot-only"
+	// means only the hot-tier automata were consulted (governor at L2+),
+	// so a cold-tier block may read as no_match. Omitted at full service,
+	// keeping L0 bodies byte-identical to a governor-less server.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // ClassifyResult is the anti-adblock verdict for one script.
@@ -237,21 +243,117 @@ func (s *Server) snapshotInfo() SnapshotInfo {
 	return info
 }
 
-// beginAdmitted admits one request: acquire a worker-pool ticket, absorb
-// the configured test/chaos delays, and hand back the latency clock. On
-// shed it writes the 429 itself and returns ok=false. Every true return
-// must be paired with endAdmitted — the pair is the closure-free form of
-// admitted, used by the match hot path so admission adds zero allocations.
+// degradeHeaderVals holds the pre-built header value slice for each
+// ladder level, and retryAfterVals the jittered Retry-After values, so
+// stamping a response is a map assignment of a shared slice — no
+// per-request allocation. Handlers must never mutate these.
+var (
+	degradeHeaderVals = [5][]string{{"L0"}, {"L1"}, {"L2"}, {"L3"}, {"L4"}}
+	retryAfterVals    = [3][]string{{"1"}, {"2"}, {"3"}}
+)
+
+// DegradeHeader carries the governor level every response was served
+// under; DeadlineHeader carries the caller's remaining deadline budget
+// in milliseconds (a duration, not a wall timestamp, so it survives
+// clock skew between hops).
+const (
+	DegradeHeader  = "X-Adwars-Degrade"
+	DeadlineHeader = "X-Adwars-Deadline"
+)
+
+// deadlineMs extracts the propagated deadline budget. The header lookup
+// indexes the map directly with the canonical key and the parse is a
+// manual digit walk — no strconv, no allocation on the hot path. A
+// malformed value reads as "no deadline" rather than an error: the
+// header is advisory, and refusing work over a garbled hint would turn
+// a telemetry bug into an outage.
+func deadlineMs(r *http.Request) (int64, bool) {
+	vs := r.Header[DeadlineHeader]
+	if len(vs) == 0 || vs[0] == "" {
+		return 0, false
+	}
+	v := vs[0]
+	var ms int64
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		ms = ms*10 + int64(c-'0')
+		if ms > 1<<40 {
+			return ms, true
+		}
+	}
+	return ms, true
+}
+
+// degradeSheds reports whether the ladder sheds this endpoint at lvl:
+// L3 drops the classify plane (model inference is the expensive
+// non-priority work), L4 additionally drops match batches. Single
+// matches are never shed here — they stay on normal admission so the
+// core service degrades last.
+func degradeSheds(ep string, lvl degrade.Level) bool {
+	switch ep {
+	case epClassify, epClassifyBatch:
+		return lvl >= degrade.L3
+	case epMatchBatch:
+		return lvl >= degrade.L4
+	}
+	return false
+}
+
+// refuse429 books a pre-work rejection (shed, degrade shed, deadline
+// refusal) against the endpoint's stats and writes the envelope with a
+// jittered Retry-After so synchronized clients desynchronize instead of
+// re-arriving as one thundering herd.
+func (s *Server) refuse429(stats *endpointStats, start time.Time, w http.ResponseWriter, code, msg string) {
+	stats.shed.Add(1)
+	stats.requests.Add(1)
+	stats.latency.Observe(time.Since(start))
+	retry := retryAfterVals[0]
+	if s.gov != nil {
+		retry = retryAfterVals[s.gov.Jitter3()]
+	}
+	w.Header()["Retry-After"] = retry
+	writeError(w, http.StatusTooManyRequests, code, "%s", msg)
+}
+
+// beginAdmitted admits one request: stamp the degradation level, apply
+// the governor's pre-admission gates (ladder sheds, deadline refusal),
+// acquire a worker-pool ticket, absorb the configured test/chaos delays,
+// and hand back the latency clock. On shed it writes the 429 itself and
+// returns ok=false. Every true return must be paired with endAdmitted —
+// the pair is the closure-free form of admitted, used by the match hot
+// path so admission adds zero allocations.
 func (s *Server) beginAdmitted(ep string, w http.ResponseWriter, r *http.Request) (start time.Time, ok bool) {
 	stats := s.met.endpoints[ep]
 	start = time.Now()
+	if s.gov != nil {
+		lvl := s.gov.Level()
+		w.Header()[DegradeHeader] = degradeHeaderVals[lvl]
+		if degradeSheds(ep, lvl) {
+			s.met.degradeShed.Add(1)
+			s.refuse429(stats, start, w, "degraded",
+				"service degraded, endpoint temporarily shed")
+			return start, false
+		}
+	}
+	// A request that cannot finish inside its propagated deadline is
+	// refused before it can occupy a queue slot: the caller would hang
+	// up before the answer anyway, so queueing it is pure dead work.
+	// Strictly-less keeps the exact-boundary request admitted (it can
+	// still make it if a slot frees immediately). Independent of the
+	// governor — the gate only exists when a caller propagated the
+	// header, so deadline-less traffic is untouched.
+	if ms, have := deadlineMs(r); have &&
+		time.Duration(ms)*time.Millisecond < s.cfg.queueTimeout() {
+		s.met.deadlineRefused.Add(1)
+		s.refuse429(stats, start, w, "deadline",
+			"deadline too short to queue, refused early")
+		return start, false
+	}
 	if _, err := s.adm.acquire(r.Context()); err != nil {
-		stats.shed.Add(1)
-		stats.requests.Add(1)
-		stats.latency.Observe(time.Since(start))
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "shed",
-			"server overloaded, retry later")
+		s.refuse429(stats, start, w, "shed", "server overloaded, retry later")
 		return start, false
 	}
 	if s.testDelay > 0 {
@@ -311,6 +413,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/admin/snapshot/", s.handleSnapshot)
 	mux.HandleFunc("/admin/usage", s.handleUsage)
 	mux.HandleFunc("/admin/analytics", s.handleAnalytics)
+	mux.HandleFunc("/admin/degrade", s.handleDegrade)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
@@ -383,21 +486,34 @@ type matchWinner struct {
 	ordinal int32
 }
 
+// degradeHotOnly reports whether the governor has browned matching down
+// to the hot tier (L2 and above).
+func (s *Server) degradeHotOnly() bool {
+	return s.gov != nil && s.gov.Level() >= degrade.L2
+}
+
 // matchOne answers one query against every list in the state with a
 // single automaton probe per list: AppendHits collects every matching
 // rule, DecideHits reduces them to the verdict, and the winning ordinal
 // feeds the list's usage counters. Results alias sc's arenas. The second
 // return identifies the merged winner — under merged-list semantics the
 // first exception anywhere, else the first block anywhere — for the
-// analytics event.
-func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) (MatchResult, matchWinner) {
+// analytics event. Under hotOnly (governor at L2+) the probe consults
+// only the hot-tier automata and the result is annotated "hot-only":
+// exceptions always live hot, so the only possible drift from a full
+// answer is a cold-tier block reading as no_match.
+func matchOne(ls *listsState, q MatchQuery, sc *matchScratch, hotOnly bool) (MatchResult, matchWinner) {
 	req := abp.Request{URL: q.URL, Type: abp.RequestType(q.Type), PageDomain: q.PageDomain}
 	listsStart := len(sc.lists)
 	anyBlocked, anyAllowed := false, false
 	var blockRule, allowRule *abp.Rule
 	var blockOrd, allowOrd int32 = -1, -1
 	for _, l := range ls.snap.Lists {
-		sc.hits = l.AppendHits(sc.hits[:0], req)
+		if hotOnly {
+			sc.hits = l.AppendHitsHot(sc.hits[:0], req)
+		} else {
+			sc.hits = l.AppendHits(sc.hits[:0], req)
+		}
 		dec, rule, ord := abp.DecideHits(sc.hits)
 		l.RecordUsage(ord)
 		lm := ListMatch{List: l.Name, Decision: dec.String()}
@@ -426,6 +542,9 @@ func matchOne(ls *listsState, q MatchQuery, sc *matchScratch) (MatchResult, matc
 		sc.lists = append(sc.lists, lm)
 	}
 	res := MatchResult{Lists: sc.lists[listsStart:len(sc.lists):len(sc.lists)]}
+	if hotOnly {
+		res.Degraded = "hot-only"
+	}
 	win := matchWinner{verdict: analytics.VerdictNoMatch, ordinal: -1}
 	switch {
 	case anyAllowed:
@@ -504,7 +623,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.endAdmitted(epMatch, start)
-	res, win := matchOne(ls, sc.q, sc)
+	res, win := matchOne(ls, sc.q, sc, s.degradeHotOnly())
 	if s.anl != nil {
 		s.recordMatch(&sc.q, win, start)
 	}
@@ -556,8 +675,9 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 		sc := getMatchScratch()
 		defer matchScratchPool.Put(sc)
 		now := time.Now()
+		hotOnly := s.degradeHotOnly()
 		for i := range batch.Requests {
-			res, win := matchOne(ls, batch.Requests[i], sc)
+			res, win := matchOne(ls, batch.Requests[i], sc, hotOnly)
 			if s.anl != nil {
 				s.recordMatch(&batch.Requests[i], win, now)
 			}
@@ -1060,6 +1180,76 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &snap)
 }
 
+// ---- degrade ----
+
+// parseDegradeLevel accepts "L2" or "2" forms for operator pins.
+func parseDegradeLevel(v string) (degrade.Level, bool) {
+	if len(v) == 2 && (v[0] == 'L' || v[0] == 'l') {
+		v = v[1:]
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 || n > int(degrade.L4) {
+		return 0, false
+	}
+	return degrade.Level(n), true
+}
+
+// handleDegrade is the operator surface for the overload governor:
+//
+//   - GET returns the governor snapshot (level, pin state, transition
+//     ledger, last pressure signals).
+//   - POST ?pin=L2 pins the ladder at a level — the ticker keeps
+//     counting but cannot move it — for incident response or brownout
+//     drills; POST ?unpin releases it back to automatic control.
+func (s *Server) handleDegrade(w http.ResponseWriter, r *http.Request) {
+	if s.gov == nil {
+		writeError(w, http.StatusNotFound, "degrade_disabled",
+			"the overload governor is disabled on this replica")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		snap := s.gov.Snapshot()
+		writeJSON(w, http.StatusOK, &snap)
+	case http.MethodPost:
+		q := r.URL.Query()
+		switch {
+		case q.Has("pin"):
+			lvl, ok := parseDegradeLevel(q.Get("pin"))
+			if !ok {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					"invalid pin level %q (want L0..L4)", q.Get("pin"))
+				return
+			}
+			s.gov.Pin(lvl)
+		case q.Has("unpin"):
+			s.gov.Unpin()
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"POST needs ?pin=L0..L4 or ?unpin")
+			return
+		}
+		snap := s.gov.Snapshot()
+		writeJSON(w, http.StatusOK, &snap)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s requires GET or POST", r.URL.Path)
+	}
+}
+
+// degradeVars renders the governor snapshot for /debug/vars.
+func (s *Server) degradeVars() string {
+	if s.gov == nil {
+		return `{"enabled":false}`
+	}
+	data, err := json.Marshal(s.gov.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}
+
 // analyticsVars renders the collector's cheap accounting for /debug/vars
 // (lazy-read contract: nothing is computed until scraped).
 func (s *Server) analyticsVars() string {
@@ -1143,5 +1333,6 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%q: %s", "adwars_serve", s.met.String())
 	fmt.Fprintf(w, ",\n%q: %s", "adwars_usage", s.usageVars())
 	fmt.Fprintf(w, ",\n%q: %s", "adwars_analytics", s.analyticsVars())
+	fmt.Fprintf(w, ",\n%q: %s", "adwars_degrade", s.degradeVars())
 	fmt.Fprintf(w, "\n}\n")
 }

@@ -63,6 +63,42 @@ func (h *histogram) Quantile(q float64) uint64 {
 	return h.maxNs.Load()
 }
 
+// windowQuantile returns the approximate q-quantile over only the
+// observations recorded since the previous call with the same prev
+// array, updating prev in place to the current bucket counts. The
+// overload governor needs windowed pressure — the cumulative Quantile
+// never forgets an overload, so a ladder keyed on it would never
+// recover. An empty window returns 0 (calm), which is exactly right:
+// no traffic is no pressure. Same bucket semantics as Quantile.
+func (h *histogram) windowQuantile(prev *[44]uint64, q float64) uint64 {
+	var deltas [44]uint64
+	var total uint64
+	for i := range h.buckets {
+		cur := h.buckets[i].Load()
+		deltas[i] = cur - prev[i]
+		prev[i] = cur
+		total += deltas[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var seen uint64
+	for i := range deltas {
+		seen += deltas[i]
+		if seen >= want {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i) // upper bound of bucket i: 2^i ns
+		}
+	}
+	return 0
+}
+
 // latencySnapshot is the JSON shape of one histogram.
 type latencySnapshot struct {
 	Count  uint64 `json:"count"`
@@ -149,6 +185,14 @@ type metrics struct {
 	// panicsRecovered counts panics converted into structured 500s by the
 	// recovery boundary instead of killing the process.
 	panicsRecovered atomic.Uint64
+	// deadlineRefused counts requests refused at admission because their
+	// propagated X-Adwars-Deadline could not cover even the queue wait —
+	// work the server declined rather than finish after the caller had
+	// already hung up.
+	deadlineRefused atomic.Uint64
+	// degradeShed counts requests shed pre-admission by the overload
+	// governor's ladder (L3 sheds classify, L4 also sheds match batches).
+	degradeShed atomic.Uint64
 	// chaos counters are exported only when fault injection is configured.
 	chaos        chaosStats
 	chaosEnabled bool
@@ -173,6 +217,8 @@ type metricsSnapshot struct {
 	ReloadRejected  uint64                      `json:"reload_rejected"`
 	Pushes          uint64                      `json:"pushes"`
 	PanicsRecovered uint64                      `json:"panics_recovered"`
+	DeadlineRefused uint64                      `json:"deadline_refused"`
+	DegradeShed     uint64                      `json:"degrade_shed"`
 	Chaos           *chaosSnapshot              `json:"chaos,omitempty"`
 }
 
@@ -184,6 +230,8 @@ func (m *metrics) snapshot() metricsSnapshot {
 		ReloadRejected:  m.reloadRejected.Load(),
 		Pushes:          m.pushes.Load(),
 		PanicsRecovered: m.panicsRecovered.Load(),
+		DeadlineRefused: m.deadlineRefused.Load(),
+		DegradeShed:     m.degradeShed.Load(),
 	}
 	if m.chaosEnabled {
 		out.Chaos = &chaosSnapshot{

@@ -24,6 +24,7 @@ import (
 	"adwars/internal/abp"
 	"adwars/internal/analytics"
 	"adwars/internal/artifact"
+	"adwars/internal/degrade"
 	"adwars/internal/features"
 	"adwars/internal/ml"
 )
@@ -81,6 +82,17 @@ type Config struct {
 	// Recording never blocks the hot path and never allocates. Nil means
 	// no analytics at all — no rings, no consumer goroutine.
 	Analytics *analytics.Config
+	// Degrade, when non-nil, enables the adaptive overload governor: a
+	// background ticker watches live pressure (admission queue depth,
+	// windowed match p99, analytics ring drop rate) and steps a global
+	// degradation level L0..L4 through a hysteresis-damped ladder. The
+	// hot path reads the level with one atomic load; transitions force
+	// analytics sampling down (L1+), switch matching to the hot tier
+	// only (L2+), shed /v1/classify* (L3+) and /v1/match/batch (L4).
+	// Source and OnTransition are wired by the server; any OnTransition
+	// the embedder sets is chained after the server's own hook. Nil
+	// means no governor: no goroutine, no header, no ladder.
+	Degrade *degrade.Config
 }
 
 func (c *Config) workers() int {
@@ -194,6 +206,13 @@ type Server struct {
 	anl    *analytics.Collector
 	anlErr error
 
+	// gov is the adaptive overload governor, nil unless cfg.Degrade is
+	// set. Handlers read its level with one atomic load; Serve starts
+	// its ticker and closes it during drain. Embedders that drive the
+	// Handler directly call StartDegrade/CloseDegrade themselves (or
+	// drive gov.Tick in tests — New never spawns the goroutine).
+	gov *degrade.Governor
+
 	model atomic.Pointer[modelState]
 	lists atomic.Pointer[listsState]
 
@@ -225,6 +244,20 @@ func New(cfg Config) *Server {
 			s.anl = anl
 		}
 	}
+	if cfg.Degrade != nil {
+		dcfg := *cfg.Degrade
+		if dcfg.Source == nil {
+			dcfg.Source = s.degradeSource()
+		}
+		userHook := dcfg.OnTransition
+		dcfg.OnTransition = func(from, to degrade.Level) {
+			s.onDegradeTransition(from, to)
+			if userHook != nil {
+				userHook(from, to)
+			}
+		}
+		s.gov = degrade.New(dcfg)
+	}
 	// Middleware order matters: recovery is outermost so it catches panics
 	// from chaos injection and handlers alike; chaos sits between recovery
 	// and the routes so injected faults exercise real handler paths.
@@ -249,6 +282,79 @@ func (s *Server) withReplicaHeader(next http.Handler) http.Handler {
 		w.Header().Set("X-Adwars-Replica", s.cfg.ReplicaID)
 		next.ServeHTTP(w, r)
 	})
+}
+
+// degradeSampleRate is the analytics sampling rate the governor forces
+// at L1 and above: keep 1 in 10 decisions so the pipeline stays alive
+// for reconciliation while its ring pressure drops an order of magnitude.
+const degradeSampleRate = 0.1
+
+// degradeSource builds the governor's pressure probe. The serve-side
+// counters it reads are all cumulative (histogram buckets, analytics
+// producer counters), so the closure keeps previous readings and hands
+// the governor windowed deltas — pressure since the last tick, not
+// since boot. The probe runs on the governor's ticker goroutine only,
+// so the closed-over previous-reading state needs no locking.
+func (s *Server) degradeSource() func() degrade.Signals {
+	var prevBuckets [44]uint64
+	var prevDropped, prevAttempted uint64
+	return func() degrade.Signals {
+		sig := degrade.Signals{
+			QueueDepth: s.adm.queued.Load(),
+			QueueLimit: s.adm.maxQueue,
+			MatchP99Ns: int64(s.met.endpoints[epMatch].latency.windowQuantile(&prevBuckets, 0.99)),
+		}
+		if s.anl != nil {
+			c := s.anl.CountersNow()
+			// Sampled-out events never reach a ring, so they are neither
+			// dropped nor attempted from the ring's point of view.
+			attempted := c.Recorded + c.Dropped
+			dDrop := c.Dropped - prevDropped
+			dAtt := attempted - prevAttempted
+			prevDropped, prevAttempted = c.Dropped, attempted
+			if dAtt > 0 {
+				sig.DropRate = float64(dDrop) / float64(dAtt)
+			}
+		}
+		return sig
+	}
+}
+
+// onDegradeTransition is the server's own ladder hook: crossing into L1
+// forces analytics sampling down to degradeSampleRate; stepping back
+// below L1 restores the configured rate. L2+ behavior (hot-tier-only
+// matching, classify/batch sheds) needs no hook — handlers read the
+// level directly.
+func (s *Server) onDegradeTransition(from, to degrade.Level) {
+	if s.anl == nil {
+		return
+	}
+	switch {
+	case to >= degrade.L1 && from < degrade.L1:
+		s.anl.SetSampleOverride(degradeSampleRate)
+	case to < degrade.L1 && from >= degrade.L1:
+		s.anl.ClearSampleOverride()
+	}
+}
+
+// Degrade returns the overload governor, or nil when degradation is
+// disabled.
+func (s *Server) Degrade() *degrade.Governor { return s.gov }
+
+// StartDegrade starts the governor's ticker goroutine. Nil-safe and
+// idempotent; Serve calls it, embedders that drive the Handler directly
+// call it themselves (tests usually drive gov.Tick instead).
+func (s *Server) StartDegrade() {
+	if s.gov != nil {
+		s.gov.Start()
+	}
+}
+
+// CloseDegrade stops the governor's ticker. Nil-safe and idempotent.
+func (s *Server) CloseDegrade() {
+	if s.gov != nil {
+		s.gov.Close()
+	}
 }
 
 // Metrics returns the server's metrics tree as an expvar-compatible Var
@@ -445,11 +551,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // by DrainTimeout), and flushes a final metrics snapshot to MetricsOut.
 // It returns nil on a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.StartDegrade()
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
+		s.CloseDegrade()
 		return err
 	case <-ctx.Done():
 	}
@@ -460,6 +568,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout())
 	defer cancel()
 	err := hs.Shutdown(drainCtx)
+	// The governor stops first: with the listener closed there is no
+	// pressure left to govern, and closing it before the analytics
+	// collector keeps the ticker from probing a closed pipeline.
+	s.CloseDegrade()
 	// With no more requests in flight, the analytics rings hold the last
 	// recorded decisions; flush them and the aggregator to spill before
 	// the process report, so a drained run loses no telemetry.
